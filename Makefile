@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper (Quick profile).
+bench:
+	dune exec bench/main.exe
+
+# Closer-to-paper settings: 5 runs per cell, finer LP grids. Slow.
+bench-full:
+	QP_BENCH_PROFILE=full dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/data_market.exe
+	dune exec examples/valuation_study.exe
+	dune exec examples/support_tuning.exe
+	dune exec examples/online_learning.exe
+
+clean:
+	dune clean

@@ -1,0 +1,119 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (via Qp_experiments.Registry) and finishes with bechamel
+   micro-benchmarks of the core primitives.
+
+   Usage: main.exe [EXPERIMENT-IDS...]
+   With no arguments every experiment runs, in the paper's order.
+   QP_BENCH_PROFILE=full switches to the slower, closer-to-paper
+   settings (5 runs, finer LP grids). *)
+
+module Registry = Qp_experiments.Registry
+module Context = Qp_experiments.Context
+module WI = Qp_experiments.Workload_instances
+module H = Qp_core.Hypergraph
+module V = Qp_workloads.Valuations
+module Rng = Qp_util.Rng
+
+let run_experiments ctx ids =
+  let entries =
+    match ids with
+    | [] -> Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" id
+                  (String.concat ", " Registry.ids);
+                exit 2)
+          ids
+  in
+  let fmt = Format.std_formatter in
+  List.iter
+    (fun (e : Registry.entry) ->
+      Format.fprintf fmt "@.==================================================@.";
+      Format.fprintf fmt "== %s (%s)@." e.title e.id;
+      Format.fprintf fmt "==================================================@.";
+      let t0 = Unix.gettimeofday () in
+      e.run fmt ctx;
+      Format.fprintf fmt "[%s completed in %.1fs]@." e.id
+        (Unix.gettimeofday () -. t0))
+    entries
+
+(* --- bechamel micro-benchmarks -------------------------------------- *)
+
+let microbenchmarks ctx =
+  let open Bechamel in
+  let inst = Context.instance ctx "skewed" in
+  let h =
+    V.apply ~rng:(Rng.create 1) (V.Uniform_val 100.0) inst.WI.hypergraph
+  in
+  let deltas = inst.WI.deltas in
+  let db = inst.WI.db in
+  let query = List.hd inst.WI.queries in
+  let prep = Qp_relational.Delta_eval.prepare db query in
+  let fresh_h () =
+    (* classes are cached per hypergraph; rebuild to measure cold cost *)
+    H.with_valuations inst.WI.hypergraph (H.valuations h)
+  in
+  let simplex_input =
+    ( Array.init 30 (fun i -> Float.of_int (1 + (i mod 7))),
+      Array.init 40 (fun i ->
+          (Array.init 30 (fun j -> Float.of_int ((i + j) mod 5)), 50.0)) )
+  in
+  let ubp_pricing = Qp_core.Ubp.solve h in
+  let tests =
+    [
+      Test.make ~name:"ubp-solve" (Staged.stage (fun () -> Qp_core.Ubp.solve h));
+      Test.make ~name:"uip-solve" (Staged.stage (fun () -> Qp_core.Uip.solve h));
+      Test.make ~name:"layering-solve"
+        (Staged.stage (fun () -> Qp_core.Layering.solve h));
+      Test.make ~name:"classes-compute"
+        (Staged.stage (fun () -> H.classes (fresh_h ())));
+      Test.make ~name:"conflict-differs-1-delta"
+        (Staged.stage (fun () ->
+             Qp_relational.Delta_eval.differs prep deltas.(0)));
+      Test.make ~name:"simplex-30x40"
+        (Staged.stage (fun () ->
+             let c, rows = simplex_input in
+             Qp_lp.Simplex.solve ~c ~rows ()));
+      Test.make ~name:"revenue-eval"
+        (Staged.stage (fun () -> Qp_core.Pricing.revenue ubp_pricing h));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  print_newline ();
+  print_endline "==================================================";
+  print_endline "== bechamel micro-benchmarks";
+  print_endline "==================================================";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let ids = List.tl (Array.to_list Sys.argv) in
+  let ctx = Context.create () in
+  let t0 = Unix.gettimeofday () in
+  (match ids with
+  | [ "micro" ] -> ()
+  | _ -> run_experiments ctx ids);
+  (match ids with
+  | [] | [ "micro" ] -> microbenchmarks ctx
+  | _ -> ());
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,297 @@
+(* qpricing — command-line front end for the query-pricing library.
+
+   Subcommands:
+     list        — algorithms and experiments available
+     inspect     — build a workload instance and print its hypergraph
+     price       — run one pricing algorithm on a workload + valuations
+     experiment  — regenerate one or more of the paper's tables/figures
+     demo        — a small end-to-end broker session on the world dataset *)
+
+open Cmdliner
+
+module WI = Qp_experiments.Workload_instances
+module Context = Qp_experiments.Context
+module Runner = Qp_experiments.Runner
+module Registry = Qp_experiments.Registry
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module V = Qp_workloads.Valuations
+module Rng = Qp_util.Rng
+module Broker = Qp_market.Broker
+
+(* --- shared arguments ------------------------------------------------ *)
+
+let workload_arg =
+  let doc = "Workload: skewed, uniform, tpch or ssb." in
+  Arg.(required & pos 0 (some (enum (List.map (fun k -> (k, k)) WI.keys))) None
+       & info [] ~docv:"WORKLOAD" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let support_arg =
+  Arg.(value & opt (some int) None
+       & info [ "support" ] ~docv:"N" ~doc:"Support-set size |S|.")
+
+let scale_arg =
+  let doc = "Instance scale: default or tiny (fast, for smoke tests)." in
+  Arg.(value & opt (enum [ ("default", WI.Default); ("tiny", WI.Tiny) ]) WI.Default
+       & info [ "scale" ] ~doc)
+
+let profile_arg =
+  let doc = "Benchmark profile: quick or full (paper-like settings)." in
+  Arg.(value & opt (enum [ ("quick", Runner.Quick); ("full", Runner.Full) ]) Runner.Quick
+       & info [ "profile" ] ~doc)
+
+let model_arg =
+  let parse s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "uniform"; k ] -> Ok (V.Uniform_val (float_of_string k))
+    | [ "zipf"; a ] -> Ok (V.Zipf_val (float_of_string a))
+    | [ "exp"; k ] -> Ok (V.Scaled_exp (float_of_string k))
+    | [ "normal"; k ] -> Ok (V.Scaled_normal (float_of_string k))
+    | [ "additive"; k ] ->
+        Ok (V.Additive { k = int_of_string k; dtilde = V.D_uniform })
+    | [ "additive-binomial"; k ] ->
+        Ok (V.Additive { k = int_of_string k; dtilde = V.D_binomial })
+    | _ ->
+        Error
+          (`Msg
+             "expected MODEL like uniform:100, zipf:1.5, exp:0.5, normal:1, \
+              additive:100 or additive-binomial:100")
+    | exception _ -> Error (`Msg "bad numeric parameter in MODEL")
+  in
+  let print fmt m = Format.pp_print_string fmt (V.describe m) in
+  Arg.(value & opt (conv (parse, print)) (V.Uniform_val 100.0)
+       & info [ "model" ] ~docv:"MODEL" ~doc:"Valuation model (see qpricing list).")
+
+let build_instance workload scale support seed =
+  Printf.printf "building %s instance (this samples the support and all \
+                 conflict sets)...\n%!" workload;
+  WI.build workload ~scale ?support ~seed ()
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Algorithms (§5):";
+    List.iter
+      (fun (s : Qp_core.Algorithms.spec) ->
+        Printf.printf "  %-10s %s\n" s.key s.label)
+      (Qp_core.Algorithms.all ());
+    print_endline "\nWorkloads (§6.2): skewed, uniform, tpch, ssb";
+    print_endline "\nValuation models (§6.3):";
+    print_endline "  uniform:K  zipf:A  exp:K  normal:K  additive:K  additive-binomial:K";
+    print_endline "\nExperiments (tables & figures):";
+    List.iter
+      (fun (e : Registry.entry) -> Printf.printf "  %-18s %s\n" e.id e.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms, workloads and experiments.")
+    Term.(const run $ const ())
+
+(* --- inspect ---------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run workload scale support seed =
+    let inst = build_instance workload scale support seed in
+    let h = inst.WI.hypergraph in
+    Printf.printf "%s\n" inst.WI.label;
+    Printf.printf "  support items n = %d\n" (H.n_items h);
+    Printf.printf "  hyperedges m    = %d\n" (H.m h);
+    Printf.printf "  max degree B    = %d\n" (H.max_degree h);
+    Printf.printf "  max edge size k = %d\n" (H.max_edge_size h);
+    Printf.printf "  avg edge size   = %.2f\n" (H.avg_edge_size h);
+    Printf.printf "  classes         = %d\n" (H.classes h).H.n_classes;
+    Printf.printf "  build time      = %.2fs (%d fallback queries)\n"
+      inst.WI.build_stats.Qp_market.Conflict.elapsed
+      inst.WI.build_stats.Qp_market.Conflict.fallback_queries;
+    let sizes = Array.map (fun (e : H.edge) -> Array.length e.items) (H.edges h) in
+    print_endline "  hyperedge size distribution (log counts):";
+    print_string
+      (Qp_util.Histogram.render ~log_scale:true
+         (Qp_util.Histogram.create ~buckets:12 sizes))
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Build a workload's pricing instance and print it.")
+    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg)
+
+(* --- price ------------------------------------------------------------ *)
+
+let price_cmd =
+  let algorithm_arg =
+    let keys = List.map (fun k -> (k, k)) ("all" :: Qp_core.Algorithms.keys) in
+    Arg.(value & opt (enum keys) "all"
+         & info [ "algorithm"; "a" ] ~doc:"Algorithm key, or 'all'.")
+  in
+  let run workload scale support seed model algorithm profile =
+    let inst = build_instance workload scale support seed in
+    let h = V.apply ~rng:(Rng.create seed) model inst.WI.hypergraph in
+    let total = Float.max 1e-9 (H.sum_valuations h) in
+    let specs =
+      let all =
+        Runner.algorithms profile
+      in
+      if algorithm = "all" then all
+      else List.filter (fun (s : Qp_core.Algorithms.spec) -> s.key = algorithm) all
+    in
+    Printf.printf "%s under %s (sum of valuations %.1f):\n" inst.WI.label
+      (V.describe model) total;
+    List.iter
+      (fun (spec : Qp_core.Algorithms.spec) ->
+        let t0 = Unix.gettimeofday () in
+        let pricing = spec.solve h in
+        let dt = Unix.gettimeofday () -. t0 in
+        let revenue = P.revenue pricing h in
+        let sold = List.length (P.sold_edges pricing h) in
+        Printf.printf
+          "  %-14s revenue %10.2f (normalized %.3f)  sold %4d/%d  %.2fs\n%!"
+          spec.label revenue (revenue /. total) sold (H.m h) dt)
+      specs;
+    Printf.printf "  %-14s %10.2f (normalized %.3f)\n" "subadd-bound"
+      (Qp_core.Bounds.subadditive_bound h)
+      (Qp_core.Bounds.subadditive_bound h /. total)
+  in
+  Cmd.v
+    (Cmd.info "price"
+       ~doc:"Run pricing algorithms on a workload under a valuation model.")
+    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
+          $ model_arg $ algorithm_arg $ profile_arg)
+
+(* --- quote: price raw SQL against a broker -------------------------- *)
+
+let quote_cmd =
+  let sql_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"SQL" ~doc:"Query to price (the workload dialect).")
+  in
+  let run workload seed sql =
+    let rng = Rng.create seed in
+    let db =
+      match workload with
+      | "skewed" | "uniform" ->
+          Qp_workloads.World.generate ~rng:(Rng.split rng "db")
+            ~config:Qp_workloads.World.tiny_config ()
+      | "tpch" ->
+          Qp_workloads.Tpch.generate ~rng:(Rng.split rng "db")
+            ~config:Qp_workloads.Tpch.tiny_config ()
+      | "ssb" ->
+          Qp_workloads.Ssb.generate ~rng:(Rng.split rng "db")
+            ~config:Qp_workloads.Ssb.tiny_config ()
+      | _ -> assert false
+    in
+    match Qp_relational.Sql.parse ~db sql with
+    | Error msg ->
+        Printf.eprintf "parse error: %s
+" msg;
+        exit 2
+    | Ok query ->
+        Printf.printf "parsed: %s
+" (Qp_relational.Query.to_sql query);
+        let broker = Broker.create ~seed ~support_size:200 db in
+        let buyers =
+          match workload with
+          | "skewed" | "uniform" -> Qp_workloads.World_queries.base_templates db
+          | "tpch" ->
+              List.filteri (fun i _ -> i mod 5 = 0) (Qp_workloads.Tpch_queries.workload ())
+          | _ ->
+              List.filteri (fun i _ -> i mod 20 = 0) (Qp_workloads.Ssb_queries.workload ())
+        in
+        List.iteri
+          (fun i q -> Broker.add_buyer broker ~valuation:(10.0 +. Float.of_int i) q)
+          buyers;
+        Printf.printf "building the market (%d registered buyers)...
+%!"
+          (List.length buyers);
+        Broker.build broker;
+        let _ = Broker.price broker ~algorithm:"lpip" in
+        let price = Broker.quote broker query in
+        let answer = Qp_relational.Eval.run db query in
+        Printf.printf "quote: %.2f (answer has %d rows)
+" price
+          (Qp_relational.Result_set.row_count answer)
+  in
+  Cmd.v
+    (Cmd.info "quote"
+       ~doc:
+         "Parse a SQL query, build a broker over the named workload's tiny           dataset, and quote the query's arbitrage-free price.")
+    Term.(const run $ workload_arg $ seed_arg $ sql_arg)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let run ids profile seed =
+    let ctx = Context.create ~profile ~seed () in
+    let entries =
+      match ids with
+      | [] -> Registry.all
+      | ids ->
+          List.filter_map
+            (fun id ->
+              match Registry.find id with
+              | Some e -> Some e
+              | None ->
+                  Printf.eprintf "unknown experiment %S (see qpricing list)\n" id;
+                  exit 2)
+            ids
+    in
+    List.iter
+      (fun (e : Registry.entry) ->
+        Format.printf "@.== %s (%s) ==@." e.title e.id;
+        e.run Format.std_formatter ctx)
+      entries
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (all, or by id).")
+    Term.(const run $ ids_arg $ profile_arg $ seed_arg)
+
+(* --- demo ------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run seed =
+    let module World = Qp_workloads.World in
+    let rng = Rng.create seed in
+    let db = World.generate ~rng ~config:World.tiny_config () in
+    let broker = Broker.create ~seed ~support_size:150 db in
+    let queries = Qp_workloads.World_queries.base_templates db in
+    List.iteri
+      (fun i q -> Broker.add_buyer broker ~valuation:(10.0 +. Float.of_int i) q)
+      queries;
+    Broker.build broker;
+    let _ = Broker.price broker ~algorithm:"lpip" in
+    Printf.printf "expected revenue from the registered workload: %.2f\n"
+      (Broker.expected_revenue broker);
+    let fresh =
+      Qp_relational.Query.make ~name:"fresh"
+        ~from:[ "Country" ]
+        ~where:
+          Qp_relational.Expr.(eq (col "Continent") (str "Europe"))
+        [ Qp_relational.Query.Aggregate (Qp_relational.Query.Count_star, "cnt") ]
+    in
+    Printf.printf "quote for a fresh query %S: %.2f\n"
+      (Qp_relational.Query.to_sql fresh)
+      (Broker.quote broker fresh);
+    (match Broker.purchase broker ~budget:1000.0 fresh with
+    | `Sold (price, answer) ->
+        Printf.printf "purchased for %.2f; answer has %d row(s)\n" price
+          (Qp_relational.Result_set.row_count answer)
+    | `Declined price -> Printf.printf "declined at %.2f\n" price);
+    Printf.printf "revenue collected: %.2f\n" (Broker.revenue_collected broker)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"A small end-to-end broker session (world dataset).")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "qpricing" ~version:"1.0.0"
+      ~doc:"Revenue maximization for query pricing (VLDB 2019 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; inspect_cmd; price_cmd; quote_cmd; experiment_cmd; demo_cmd ]))

@@ -1,0 +1,55 @@
+(* Tuning the support-set size (§6.5, Figure 8 and Table 5).
+
+   The support size n = |S| is the seller's main knob: more support
+   items mean finer-grained prices (more revenue for item pricing) but
+   slower conflict-set computation. This example sweeps n on a small
+   world instance and prints the revenue/runtime trade-off, plus the
+   §7.2-style comparison of uniform vs query-aware neighbor sampling.
+
+   Run with: dune exec examples/support_tuning.exe *)
+
+module WI = Qp_experiments.Workload_instances
+module V = Qp_workloads.Valuations
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module Rng = Qp_util.Rng
+
+let revenue_of solve h =
+  let total = Float.max 1e-9 (H.sum_valuations h) in
+  P.revenue (solve h) h /. total
+
+let () =
+  let base = WI.skewed ~scale:WI.Tiny ~support:100 ~seed:5 () in
+  Printf.printf "workload: %s\n\n" base.WI.label;
+  Printf.printf "%-6s %-8s %-8s %-8s %-8s %-10s\n" "|S|" "UBP" "UIP" "LPIP"
+    "Layering" "build (s)";
+  List.iter
+    (fun support ->
+      let inst = WI.rebuild_with_support base ~support ~seed:5 in
+      let h =
+        V.apply ~rng:(Rng.create 5) (V.Uniform_val 100.0) inst.WI.hypergraph
+      in
+      Printf.printf "%-6d %-8.3f %-8.3f %-8.3f %-8.3f %-10.2f\n" support
+        (revenue_of Qp_core.Ubp.solve h)
+        (revenue_of Qp_core.Uip.solve h)
+        (revenue_of Qp_core.Lpip.solve h)
+        (revenue_of Qp_core.Layering.solve h)
+        inst.WI.build_stats.Qp_market.Conflict.elapsed)
+    [ 50; 100; 200; 400 ];
+
+  print_endline "\nuniform vs query-aware neighbor sampling at |S| = 200:";
+  List.iter
+    (fun (name, strategy) ->
+      let inst = WI.rebuild_with_support ~strategy base ~support:200 ~seed:5 in
+      let h =
+        V.apply ~rng:(Rng.create 5) (V.Uniform_val 100.0) inst.WI.hypergraph
+      in
+      let empty =
+        Array.fold_left
+          (fun a (e : H.edge) -> if e.items = [||] then a + 1 else a)
+          0 (H.edges h)
+      in
+      Printf.printf "  %-12s empty edges %3d/%d   LPIP %.3f\n" name empty
+        (H.m h)
+        (revenue_of Qp_core.Lpip.solve h))
+    [ ("uniform", WI.Uniform_support); ("query-aware", WI.Query_aware) ]

@@ -1,0 +1,38 @@
+(* How the valuation distribution changes which algorithm wins (§6.3).
+
+   Builds a small skewed-workload instance once and sweeps the paper's
+   valuation families over it — a miniature of Figures 5 and 7. The
+   pattern to look for: LPIP leads almost everywhere; UBP catches up
+   when valuations are independent of bundle structure; the layering
+   algorithm only shines when a few huge-valuation edges dominate
+   (zipf with small exponent).
+
+   Run with: dune exec examples/valuation_study.exe *)
+
+module WI = Qp_experiments.Workload_instances
+module Runner = Qp_experiments.Runner
+module V = Qp_workloads.Valuations
+
+let models =
+  [
+    V.Uniform_val 100.0;
+    V.Uniform_val 500.0;
+    V.Zipf_val 1.5;
+    V.Zipf_val 2.5;
+    V.Scaled_exp 1.0;
+    V.Scaled_normal 1.0;
+    V.Additive { k = 100; dtilde = V.D_uniform };
+    V.Additive { k = 100; dtilde = V.D_binomial };
+  ]
+
+let () =
+  let inst = WI.skewed ~scale:WI.Tiny ~support:250 ~seed:3 () in
+  Printf.printf "instance: %s (n = %d)\n\n" inst.WI.label
+    (Qp_core.Hypergraph.n_items inst.WI.hypergraph);
+  let cells =
+    List.map
+      (fun model -> Runner.run_cell ~profile:Runner.Quick ~seed:3 model inst)
+      models
+  in
+  print_string (Runner.cell_table ~header_label:"valuation model" cells);
+  print_endline "\n(all values are revenue normalized by the sum of valuations)"

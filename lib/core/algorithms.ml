@@ -1,0 +1,33 @@
+type spec = {
+  key : string;
+  label : string;
+  solve : Hypergraph.t -> Pricing.t;
+}
+
+let all ?lpip_options ?cip_options () =
+  [
+    { key = "ubp"; label = "UBP"; solve = Ubp.solve };
+    { key = "uip"; label = "UIP"; solve = Uip.solve };
+    {
+      key = "lpip";
+      label = "LPIP";
+      solve = (fun h -> Lpip.solve ?options:lpip_options h);
+    };
+    {
+      key = "cip";
+      label = "CIP";
+      solve = (fun h -> Cip.solve ?options:cip_options h);
+    };
+    { key = "layering"; label = "Layering"; solve = Layering.solve };
+    {
+      key = "xos";
+      label = "XOS-LPIP+CIP";
+      solve = (fun h -> Xos.solve ?lpip_options ?cip_options h);
+    };
+  ]
+
+let keys = [ "ubp"; "uip"; "lpip"; "cip"; "layering"; "xos" ]
+
+let find ?lpip_options ?cip_options key =
+  let key = String.lowercase_ascii key in
+  List.find (fun s -> s.key = key) (all ?lpip_options ?cip_options ())

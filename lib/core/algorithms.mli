@@ -1,0 +1,19 @@
+(** Registry of the pricing algorithms evaluated in §6, keyed by the
+    paper's names. The experiment harness and CLI iterate over this
+    list so that every figure reports the same algorithm set. *)
+
+type spec = {
+  key : string;  (** short machine name, e.g. ["lpip"] *)
+  label : string;  (** the paper's display name, e.g. ["LPIP"] *)
+  solve : Hypergraph.t -> Pricing.t;
+}
+
+val all :
+  ?lpip_options:Lpip.options -> ?cip_options:Cip.options -> unit -> spec list
+(** UBP, UIP, LPIP, CIP, Layering, XOS-LPIP+CIP — the six algorithms of
+    the paper's plots, in their legend order. *)
+
+val find : ?lpip_options:Lpip.options -> ?cip_options:Cip.options -> string -> spec
+(** Lookup by [key] (case-insensitive). Raises [Not_found]. *)
+
+val keys : string list

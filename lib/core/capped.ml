@@ -1,0 +1,53 @@
+let quantiles n xs =
+  let sorted = List.sort_uniq compare xs in
+  let arr = Array.of_list sorted in
+  let len = Array.length arr in
+  if len <= n then sorted
+  else List.init n (fun i -> arr.(i * len / n)) @ [ arr.(len - 1) ]
+
+let optimal ?(cap_candidates = 32) h =
+  let edges = Hypergraph.edges h in
+  let sized =
+    Array.to_list edges
+    |> List.filter_map (fun (e : Hypergraph.edge) ->
+           let s = Array.length e.items in
+           if s = 0 then None else Some (s, e.valuation))
+  in
+  match sized with
+  | [] -> ((0.0, 0.0), 0.0)
+  | _ ->
+      let slopes =
+        List.map (fun (s, v) -> v /. Float.of_int s) sized |> List.sort_uniq compare
+      in
+      let caps =
+        infinity :: quantiles cap_candidates (List.map snd sized)
+      in
+      let revenue_of w cap =
+        List.fold_left
+          (fun acc (s, v) ->
+            let price = Float.min (w *. Float.of_int s) cap in
+            if price <= v +. 1e-12 then acc +. price else acc)
+          0.0 sized
+      in
+      let best = ref ((0.0, 0.0), 0.0) in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun cap ->
+              let r = revenue_of w cap in
+              let _, br = !best in
+              if r > br then best := ((w, cap), r))
+            caps)
+        slopes;
+      (* An infinite cap is just the uniform item pricing; report it as
+         a finite number above every bundle price for a clean record. *)
+      let (w, cap), r = !best in
+      let max_size =
+        List.fold_left (fun acc (s, _) -> max acc s) 1 sized
+      in
+      let cap = if cap = infinity then w *. Float.of_int max_size else cap in
+      ((w, cap), r)
+
+let solve ?cap_candidates h =
+  let (weight, cap), _ = optimal ?cap_candidates h in
+  Pricing.Capped_item { weight; cap }

@@ -1,0 +1,84 @@
+module Lp = Qp_lp.Lp
+
+type options = {
+  epsilon : float;
+  max_pivots : int;
+  time_budget : float option;
+}
+
+let default_options = { epsilon = 0.25; max_pivots = 200_000; time_budget = None }
+
+let capacity_grid ~epsilon ~max_degree =
+  assert (epsilon > 0.0);
+  let b = Float.of_int max_degree in
+  let rec grow k acc = if k >= b then acc else grow (k *. (1.0 +. epsilon)) (k :: acc) in
+  if max_degree <= 0 then []
+  else List.rev (b :: grow 1.0 [])
+
+(* Item prices are the capacity constraints' optimal duals, so we solve
+   the welfare LP's *dual* directly — the prices become structural
+   variables and the program has one row per edge instead of one per
+   class plus one per edge bound:
+
+   minimize    k * sum_c y_c + sum_e z_e
+   subject to  sum_{c inside e} y_c + z_e >= v_e    for every edge e
+               y, z >= 0 *)
+let prices_for_capacity ~max_pivots h k =
+  let classes = Hypergraph.classes h in
+  let p = Lp.create ~minimize:true () in
+  let y =
+    Array.init classes.Hypergraph.n_classes (fun c ->
+        if Array.length classes.Hypergraph.class_edges.(c) = 0 then None
+        else Some (Lp.add_var p ~obj:k ()))
+  in
+  Array.iter
+    (fun (e : Hypergraph.edge) ->
+      let z = Lp.add_var p ~obj:1.0 () in
+      let terms =
+        (1.0, z)
+        :: (Array.to_list classes.Hypergraph.edge_classes.(e.id)
+           |> List.filter_map (fun c -> Option.map (fun v -> (1.0, v)) y.(c)))
+      in
+      ignore (Lp.add_ge p terms e.valuation))
+    (Hypergraph.edges h);
+  match Lp.solve ~max_pivots p with
+  | Ok sol ->
+      let w_class = Array.make classes.Hypergraph.n_classes 0.0 in
+      Array.iteri
+        (fun c var ->
+          match var with
+          | Some v -> w_class.(c) <- Float.max 0.0 (Lp.value sol v)
+          | None -> ())
+        y;
+      Some (Hypergraph.spread_class_weights h w_class)
+  | Error _ -> None
+  | exception Failure _ -> None
+
+let solve_with_trace ?(options = default_options) h =
+  let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
+  let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
+  let solved = ref 0 in
+  let started = Unix.gettimeofday () in
+  let in_budget () =
+    match options.time_budget with
+    | None -> true
+    | Some budget -> Unix.gettimeofday () -. started < budget
+  in
+  List.iter
+    (fun k ->
+      if not (in_budget ()) then ()
+      else
+      match prices_for_capacity ~max_pivots:options.max_pivots h k with
+      | None -> ()
+      | Some w ->
+          incr solved;
+          let pricing = Pricing.Item w in
+          let revenue = Pricing.revenue pricing h in
+          if revenue > !best_revenue then begin
+            best := pricing;
+            best_revenue := revenue
+          end)
+    (capacity_grid ~epsilon:options.epsilon ~max_degree:(Hypergraph.max_degree h));
+  (!best, !solved)
+
+let solve ?options h = fst (solve_with_trace ?options h)

@@ -1,0 +1,33 @@
+(** Capacity item pricing (§5.2, after Cheung & Swamy): for each
+    capacity [k] on a (1+ε) grid up to the maximum degree [B], solve the
+    welfare-maximization LP
+
+    maximize    sum_e v_e x_e
+    subject to  sum_{e : j in e} x_e <= k   for every item j
+                0 <= x_e <= 1
+
+    and read item prices off the optimal duals of the capacity
+    constraints. The best revenue over the grid is an O((1+ε) log B)
+    approximation. Item constraints are collapsed to membership classes,
+    which is exact (identical rows). *)
+
+type options = {
+  epsilon : float;
+  max_pivots : int;
+  time_budget : float option;
+      (** wall-clock seconds across the whole grid; once exceeded the
+          remaining capacities are skipped — the paper applies exactly
+          this mitigation ("we fix ε = 3 to limit the running time",
+          §6.4) *)
+}
+
+val default_options : options
+(** ε = 0.25, 200k pivots per LP, no time budget. *)
+
+val capacity_grid : epsilon:float -> max_degree:int -> float list
+(** [1, (1+ε), (1+ε)^2, ..., B] (deduplicated, always ends at [B]). *)
+
+val solve : ?options:options -> Hypergraph.t -> Pricing.t
+
+val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
+(** Also reports how many welfare LPs were solved. *)

@@ -1,0 +1,73 @@
+module Lp = Qp_lp.Lp
+
+(* The no-collapse variant views every item as its own class; both
+   variants share the solving code below. *)
+let identity_classes h =
+  let n = Hypergraph.n_items h in
+  let edge_lists = Array.make n [] in
+  Array.iter
+    (fun (e : Hypergraph.edge) ->
+      Array.iter (fun j -> edge_lists.(j) <- e.id :: edge_lists.(j)) e.items)
+    (Hypergraph.edges h);
+  let class_edges =
+    Array.map (fun l -> Array.of_list (List.rev l)) edge_lists
+  in
+  let edge_classes =
+    Array.map (fun (e : Hypergraph.edge) -> Array.copy e.items) (Hypergraph.edges h)
+  in
+  (n, class_edges, edge_classes)
+
+let solve_must_sell ?(max_pivots = 200_000) ?(collapse = true) h ~edge_ids =
+  let n_classes, class_edges, edge_classes, members_first =
+    if collapse then
+      let c = Hypergraph.classes h in
+      ( c.Hypergraph.n_classes,
+        c.Hypergraph.class_edges,
+        c.Hypergraph.edge_classes,
+        `Collapsed )
+    else
+      let n, ce, ec = identity_classes h in
+      (n, ce, ec, `Identity)
+  in
+  let in_s = Array.make (Hypergraph.m h) false in
+  List.iter (fun e -> in_s.(e) <- true) edge_ids;
+  (* Only classes intersecting S carry weight; others stay at 0. *)
+  let class_ids =
+    Array.to_list
+      (Array.init n_classes (fun c ->
+           if Array.exists (fun e -> in_s.(e)) class_edges.(c) then Some c
+           else None))
+    |> List.filter_map Fun.id
+  in
+  let p = Lp.create () in
+  let var_of_class = Hashtbl.create (List.length class_ids) in
+  List.iter
+    (fun c ->
+      let s_degree =
+        Array.fold_left
+          (fun acc e -> if in_s.(e) then acc + 1 else acc)
+          0 class_edges.(c)
+      in
+      let v = Lp.add_var p ~obj:(Float.of_int s_degree) () in
+      Hashtbl.replace var_of_class c v)
+    class_ids;
+  List.iter
+    (fun e ->
+      let terms =
+        Array.to_list edge_classes.(e)
+        |> List.filter_map (fun c ->
+               Option.map (fun v -> (1.0, v)) (Hashtbl.find_opt var_of_class c))
+      in
+      ignore (Lp.add_le p terms (Hypergraph.edge h e).Hypergraph.valuation))
+    edge_ids;
+  match Lp.solve ~max_pivots p with
+  | Ok sol ->
+      let w_class = Array.make n_classes 0.0 in
+      Hashtbl.iter
+        (fun c v -> w_class.(c) <- Float.max 0.0 (Lp.value sol v))
+        var_of_class;
+      (match members_first with
+      | `Collapsed -> Some (Hypergraph.spread_class_weights h w_class)
+      | `Identity -> Some w_class)
+  | Error _ -> None
+  | exception Failure _ -> None

@@ -1,0 +1,22 @@
+(** The "must-sell" linear program shared by LPIP and the UBP
+    refinement step (§5.2, §6.3).
+
+    Given a set [S] of hyperedges that must all be sold, the LP finds
+    non-negative item weights maximizing the total price of [S]:
+
+    maximize    sum_{e in S} p(e)
+    subject to  p(e) = sum_{j in e} w_j <= v_e   for every e in S
+                w >= 0
+
+    Items are collapsed into membership classes (see
+    {!Hypergraph.classes}), which is revenue-preserving and shrinks the
+    program from |support| to at most |classes-touching-S| variables. *)
+
+val solve_must_sell :
+  ?max_pivots:int -> ?collapse:bool -> Hypergraph.t -> edge_ids:int list ->
+  float array option
+(** Per-item weights, or [None] when the simplex exceeded its pivot
+    budget. The LP itself is always feasible (w = 0) and bounded.
+    [collapse] (default true) enables the membership-class variable
+    aggregation; disabling it reproduces the naive one-variable-per-item
+    LP and exists for the ablation bench. *)

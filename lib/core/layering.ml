@@ -1,0 +1,117 @@
+module Int_set = Set.Make (Int)
+
+let items_of edges =
+  List.fold_left
+    (fun acc (e : Hypergraph.edge) ->
+      Array.fold_left (fun acc j -> Int_set.add j acc) acc e.items)
+    Int_set.empty edges
+
+(* Greedy cover (most new items first, higher valuation breaking ties)
+   followed by a minimalization pass that drops redundant edges,
+   cheapest first — minimality is what guarantees unique items. *)
+let minimal_cover edges =
+  let universe = items_of edges in
+  let uncovered = ref universe in
+  let chosen = ref [] in
+  let remaining = ref edges in
+  while not (Int_set.is_empty !uncovered) do
+    let gain (e : Hypergraph.edge) =
+      Array.fold_left
+        (fun acc j -> if Int_set.mem j !uncovered then acc + 1 else acc)
+        0 e.items
+    in
+    let best =
+      List.fold_left
+        (fun acc e ->
+          let g = gain e in
+          match acc with
+          | Some (bg, (be : Hypergraph.edge)) ->
+              if g > bg || (g = bg && e.Hypergraph.valuation > be.valuation) then
+                Some (g, e)
+              else acc
+          | None -> Some (g, e))
+        None !remaining
+    in
+    match best with
+    | Some (g, e) when g > 0 ->
+        chosen := e :: !chosen;
+        remaining := List.filter (fun (e' : Hypergraph.edge) -> e'.id <> e.id) !remaining;
+        uncovered :=
+          Array.fold_left (fun acc j -> Int_set.remove j acc) !uncovered e.items
+    | _ -> assert false (* the remaining edges always cover their own items *)
+  done;
+  (* Minimalize: drop an edge when the others still cover everything.
+     Trying cheap edges first keeps value in the layer. *)
+  let by_value_asc =
+    List.sort
+      (fun (a : Hypergraph.edge) (b : Hypergraph.edge) ->
+        compare a.valuation b.valuation)
+      !chosen
+  in
+  let cover = ref !chosen in
+  List.iter
+    (fun (e : Hypergraph.edge) ->
+      let without = List.filter (fun (e' : Hypergraph.edge) -> e'.id <> e.id) !cover in
+      if Int_set.equal (items_of without) universe then cover := without)
+    by_value_asc;
+  !cover
+
+let layers h =
+  let non_empty =
+    Array.to_list (Hypergraph.edges h)
+    |> List.filter (fun (e : Hypergraph.edge) -> Array.length e.items > 0)
+  in
+  let rec peel remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let layer = minimal_cover remaining in
+        let layer_ids = Int_set.of_list (List.map (fun (e : Hypergraph.edge) -> e.id) layer) in
+        let rest =
+          List.filter
+            (fun (e : Hypergraph.edge) -> not (Int_set.mem e.id layer_ids))
+            remaining
+        in
+        peel rest (layer :: acc)
+  in
+  peel non_empty []
+
+let layer_value layer =
+  List.fold_left (fun acc (e : Hypergraph.edge) -> acc +. e.valuation) 0.0 layer
+
+let price_layer h layer =
+  let w = Array.make (Hypergraph.n_items h) 0.0 in
+  (* Count item occurrences within the layer; an item used once is the
+     unique item minimality promises. *)
+  let occurrences = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Hypergraph.edge) ->
+      Array.iter
+        (fun j ->
+          Hashtbl.replace occurrences j
+            (1 + Option.value (Hashtbl.find_opt occurrences j) ~default:0))
+        e.items)
+    layer;
+  List.iter
+    (fun (e : Hypergraph.edge) ->
+      match
+        Array.find_opt (fun j -> Hashtbl.find occurrences j = 1) e.items
+      with
+      | Some j -> w.(j) <- e.valuation
+      | None -> assert false (* impossible for a minimal cover *))
+    layer;
+  Pricing.Item w
+
+let solve h =
+  match layers h with
+  | [] -> Pricing.Item (Array.make (Hypergraph.n_items h) 0.0)
+  | ls ->
+      let best =
+        List.fold_left
+          (fun acc layer ->
+            match acc with
+            | Some best_layer when layer_value best_layer >= layer_value layer -> acc
+            | _ -> Some layer)
+          None ls
+      in
+      price_layer h (Option.get best)

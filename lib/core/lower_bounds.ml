@@ -1,0 +1,57 @@
+let lemma2 ~m =
+  assert (m >= 1);
+  let specs =
+    Array.init m (fun i ->
+        (Printf.sprintf "buyer%d" (i + 1), [| i |], 1.0 /. Float.of_int (i + 1)))
+  in
+  Hypergraph.create ~n_items:m specs
+
+let lemma2_optimal ~m =
+  let rec go i acc = if i > m then acc else go (i + 1) (acc +. (1.0 /. Float.of_int i)) in
+  go 1 0.0
+
+let lemma3 ~n =
+  assert (n >= 1);
+  let specs = ref [] in
+  for i = 1 to n do
+    let buyers = (n + i - 1) / i in
+    for b = 0 to buyers - 1 do
+      let lo = b * i in
+      let hi = min n (lo + i) in
+      if hi > lo then
+        let items = Array.init (hi - lo) (fun k -> lo + k) in
+        specs := (Printf.sprintf "C%d-%d" i b, items, 1.0) :: !specs
+    done
+  done;
+  Hypergraph.create ~n_items:n (Array.of_list (List.rev !specs))
+
+let lemma3_optimal ~n =
+  let h = lemma3 ~n in
+  Float.of_int (Hypergraph.m h)
+
+let pow_int base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let lemma4 ~levels =
+  assert (levels >= 0 && levels <= 8);
+  let t = levels in
+  let n = pow_int 2 t in
+  let specs = ref [] in
+  for l = 0 to t do
+    let set_size = n / pow_int 2 l in
+    let copies = pow_int 2 l * pow_int 3 (t - l) in
+    let value = (3.0 /. 4.0) ** Float.of_int l in
+    for s = 0 to pow_int 2 l - 1 do
+      let items = Array.init set_size (fun k -> (s * set_size) + k) in
+      for c = 0 to copies - 1 do
+        specs := (Printf.sprintf "L%d-S%d-c%d" l s c, items, value) :: !specs
+      done
+    done
+  done;
+  Hypergraph.create ~n_items:n (Array.of_list (List.rev !specs))
+
+let lemma4_optimal ~levels =
+  Float.of_int (levels + 1) *. Float.of_int (pow_int 3 levels)
+
+let lemma4_simple_bound ~levels = Float.of_int (pow_int 3 (levels + 1))

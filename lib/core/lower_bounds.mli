@@ -1,0 +1,32 @@
+(** The worst-case constructions of Lemmas 2-4 (Appendix A), as concrete
+    hypergraph instances. Each comes with its known optimal revenue, so
+    the benches can exhibit the Ω(log m) gaps the lemmas prove. *)
+
+val lemma2 : m:int -> Hypergraph.t
+(** [m] buyers, buyer [i] (1-based) wants item [i-1] alone at value
+    [1/i]. Item pricing extracts the full harmonic sum; any uniform
+    bundle price earns O(1). *)
+
+val lemma2_optimal : m:int -> float
+(** The harmonic number H_m. *)
+
+val lemma3 : n:int -> Hypergraph.t
+(** Customer classes C_i, i = 1..n: class i holds [ceil(n/i)] buyers
+    wanting pairwise-disjoint blocks of [i] items, all at value 1.
+    Uniform bundle price 1 extracts everything (Θ(n log n)); any item
+    pricing earns O(n). *)
+
+val lemma3_optimal : n:int -> float
+(** The number of buyers (every valuation is 1). *)
+
+val lemma4 : levels:int -> Hypergraph.t
+(** The laminar binary-tree family over [n = 2^levels] items: depth-l
+    sets have value [(3/4)^l] and [(2/3)^l * 3^levels] copies. The
+    valuation is submodular and extracting it fully needs a general
+    subadditive pricing: both uniform bundle and item pricing earn only
+    O(3^levels) of the [(levels+1) * 3^levels] optimum. *)
+
+val lemma4_optimal : levels:int -> float
+val lemma4_simple_bound : levels:int -> float
+(** The O(3^t) ceiling (with its hidden constant made explicit: we use
+    [3^(t+1)], valid for both simple families per the proof). *)

@@ -1,0 +1,74 @@
+type options = { max_candidates : int option; max_pivots : int }
+
+let default_options = { max_candidates = None; max_pivots = 200_000 }
+
+(* Subsample n of the candidates (sorted by descending valuation):
+   half taken geometrically from the top ranks — where the optimum
+   usually lives, since high thresholds mean few must-sell constraints —
+   and half evenly across the rest of the range. *)
+let evenly_spaced n xs =
+  let len = List.length xs in
+  if len <= n then xs
+  else begin
+    let arr = Array.of_list xs in
+    let picked = Hashtbl.create n in
+    let take i = Hashtbl.replace picked (max 0 (min (len - 1) i)) () in
+    let geometric = max 1 (n / 2) in
+    let rank = ref 1.0 in
+    for _ = 1 to geometric do
+      take (int_of_float !rank - 1);
+      rank := Float.max (!rank +. 1.0) (!rank *. 1.6)
+    done;
+    let rest = n - Hashtbl.length picked in
+    for i = 0 to rest - 1 do
+      take (i * len / max 1 rest)
+    done;
+    Hashtbl.fold (fun i () acc -> i :: acc) picked []
+    |> List.sort compare
+    |> List.map (fun i -> arr.(i))
+  end
+
+let solve_with_trace ?(options = default_options) h =
+  let edges = Array.to_list (Hypergraph.edges h) in
+  let sorted =
+    List.sort
+      (fun (a : Hypergraph.edge) (b : Hypergraph.edge) ->
+        compare b.valuation a.valuation)
+      edges
+  in
+  (* Equal valuations induce equal F_e: keep one candidate per distinct
+     valuation, remembering the prefix of must-sell edges. *)
+  let candidates, _ =
+    List.fold_left
+      (fun (cands, prefix) (e : Hypergraph.edge) ->
+        let prefix = e.id :: prefix in
+        match cands with
+        | (v, _) :: _ when v = e.valuation -> ((v, prefix) :: List.tl cands, prefix)
+        | _ -> ((e.valuation, prefix) :: cands, prefix))
+      ([], []) sorted
+  in
+  let candidates = List.rev candidates in
+  let candidates =
+    match options.max_candidates with
+    | None -> candidates
+    | Some n -> evenly_spaced n candidates
+  in
+  let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
+  let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
+  let solved = ref 0 in
+  List.iter
+    (fun (_, must_sell) ->
+      match Class_lp.solve_must_sell ~max_pivots:options.max_pivots h ~edge_ids:must_sell with
+      | None -> ()
+      | Some w ->
+          incr solved;
+          let pricing = Pricing.Item w in
+          let revenue = Pricing.revenue pricing h in
+          if revenue > !best_revenue then begin
+            best := pricing;
+            best_revenue := revenue
+          end)
+    candidates;
+  (!best, !solved)
+
+let solve ?options h = fst (solve_with_trace ?options h)

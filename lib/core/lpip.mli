@@ -1,0 +1,23 @@
+(** LP item pricing (§5.2): for each candidate edge [e], solve a linear
+    program that must sell every edge at least as valuable as [e]
+    ([F_e = {e' : v_e' >= v_e}]) while maximizing their total price, then
+    keep the candidate whose resulting item pricing earns the most over
+    the whole instance. Worst-case guarantee O(log m); empirically the
+    strongest algorithm in the paper.
+
+    Two optimizations over the naive O(m) LPs, both revenue-preserving:
+    candidates are deduplicated by valuation (equal valuations induce
+    the same [F_e]), and each LP runs over item membership classes
+    ({!Class_lp}). [max_candidates] further subsamples the candidate
+    list evenly (by descending valuation) to bound running time, at the
+    cost of the paper's exact sweep. *)
+
+type options = { max_candidates : int option; max_pivots : int }
+
+val default_options : options
+(** No candidate cap, 200k pivots per LP. *)
+
+val solve : ?options:options -> Hypergraph.t -> Pricing.t
+
+val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
+(** Also reports how many LPs were solved. *)

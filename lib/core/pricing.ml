@@ -1,0 +1,55 @@
+type t =
+  | Uniform_bundle of float
+  | Item of float array
+  | Xos of float array list
+  | Capped_item of { weight : float; cap : float }
+
+let additive_price w items =
+  Array.fold_left (fun acc j -> acc +. w.(j)) 0.0 items
+
+let price_items p items =
+  match p with
+  | Uniform_bundle v -> v
+  | Item w -> additive_price w items
+  | Xos ws ->
+      List.fold_left (fun acc w -> Float.max acc (additive_price w items)) 0.0 ws
+  | Capped_item { weight; cap } ->
+      if Array.length items = 0 then 0.0
+      else Float.min (weight *. Float.of_int (Array.length items)) cap
+
+let price p (e : Hypergraph.edge) = price_items p e.items
+
+let tolerance = 1e-9
+
+let sells p (e : Hypergraph.edge) =
+  let pr = price p e in
+  pr <= e.valuation +. (tolerance *. Float.max 1.0 (Float.abs e.valuation))
+
+let revenue p h =
+  Array.fold_left
+    (fun acc e -> if sells p e then acc +. price p e else acc)
+    0.0 (Hypergraph.edges h)
+
+let sold_edges p h =
+  Array.to_list (Hypergraph.edges h) |> List.filter (sells p)
+
+let is_valid p h =
+  match p with
+  | Uniform_bundle v -> v >= 0.0
+  | Capped_item { weight; cap } -> weight >= 0.0 && cap >= 0.0
+  | Item w ->
+      Array.length w = Hypergraph.n_items h && Array.for_all (fun x -> x >= 0.0) w
+  | Xos ws ->
+      ws <> []
+      && List.for_all
+           (fun w ->
+             Array.length w = Hypergraph.n_items h
+             && Array.for_all (fun x -> x >= 0.0) w)
+           ws
+
+let describe = function
+  | Uniform_bundle v -> Printf.sprintf "uniform-bundle(%.4g)" v
+  | Item _ -> "item-pricing"
+  | Xos ws -> Printf.sprintf "xos(%d components)" (List.length ws)
+  | Capped_item { weight; cap } ->
+      Printf.sprintf "capped-item(w=%.4g, cap=%.4g)" weight cap

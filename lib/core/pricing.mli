@@ -1,0 +1,47 @@
+(** Succinct pricing functions (§3.4) and revenue accounting (§3.3).
+
+    All three families are monotone and subadditive as set functions
+    over the support, hence arbitrage-free by Theorem 1 of the paper:
+    - uniform bundle pricing charges the same price for every bundle;
+    - item (additive) pricing sums non-negative per-item weights;
+    - XOS pricing takes the maximum over several additive pricings.
+
+    A buyer purchases iff the price does not exceed their valuation;
+    supply is unlimited, so revenue is the sum of prices over purchasing
+    buyers. *)
+
+type t =
+  | Uniform_bundle of float
+  | Item of float array  (** one weight per support item *)
+  | Xos of float array list  (** max over additive components *)
+  | Capped_item of { weight : float; cap : float }
+      (** [min(weight * |bundle|, cap)] — the lower envelope of a
+          uniform item pricing and a uniform bundle pricing. Monotone
+          and subadditive (so arbitrage-free) for non-negative
+          parameters; an extension family beyond the paper's three,
+          evaluated by the [capped] bench. Note that unlike
+          [Uniform_bundle], the empty bundle costs 0. *)
+
+val price : t -> Hypergraph.edge -> float
+(** Note that a uniform bundle price applies to {e every} bundle,
+    including empty conflict sets, while additive prices give empty
+    bundles price 0 — this asymmetry drives several effects in the
+    paper's experiments (e.g. UBP on TPC-H's empty edges). *)
+
+val price_items : t -> int array -> float
+(** Price an arbitrary bundle of items — used to quote queries that
+    were not part of the priced workload, and by the arbitrage
+    checker. *)
+
+val sells : t -> Hypergraph.edge -> bool
+(** [price <= valuation], with a 1e-9 relative tolerance so that
+    LP-derived prices that are tight against a valuation still sell. *)
+
+val revenue : t -> Hypergraph.t -> float
+val sold_edges : t -> Hypergraph.t -> Hypergraph.edge list
+
+val is_valid : t -> Hypergraph.t -> bool
+(** Structural sanity: weights non-negative and sized to the instance;
+    uniform price non-negative. *)
+
+val describe : t -> string

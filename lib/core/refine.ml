@@ -1,0 +1,7 @@
+let refine_ubp ?(max_pivots = 200_000) h =
+  let ubp = Ubp.solve h in
+  let sold = Pricing.sold_edges ubp h in
+  let edge_ids = List.map (fun (e : Hypergraph.edge) -> e.id) sold in
+  match Class_lp.solve_must_sell ~max_pivots h ~edge_ids with
+  | Some w -> Pricing.Item w
+  | None -> ubp

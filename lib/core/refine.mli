@@ -1,0 +1,11 @@
+(** The post-processing step of §6.3: starting from the optimal uniform
+    bundle price, re-optimize item prices with an LP constrained to keep
+    selling every bundle the uniform price sold. On TPC-H the paper
+    reports this one-second step lifting normalized revenue from 0.78 to
+    0.99. *)
+
+val refine_ubp : ?max_pivots:int -> Hypergraph.t -> Pricing.t
+(** Runs {!Ubp.solve}, takes its sold set [S], and returns the item
+    pricing maximizing the revenue of [S] (other edges may additionally
+    sell). Falls back to the plain UBP pricing when the LP is cut off by
+    the pivot budget. *)

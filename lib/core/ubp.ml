@@ -1,0 +1,17 @@
+let optimal_price h =
+  let vals = Hypergraph.valuations h in
+  Array.sort (fun a b -> compare b a) vals;
+  let best_price = ref 0.0 and best_revenue = ref 0.0 in
+  Array.iteri
+    (fun j v ->
+      (* At price v_(j) (descending), exactly the j+1 top-valued buyers
+         can afford the bundle price. *)
+      let revenue = v *. Float.of_int (j + 1) in
+      if revenue > !best_revenue then begin
+        best_revenue := revenue;
+        best_price := v
+      end)
+    vals;
+  (!best_price, !best_revenue)
+
+let solve h = Pricing.Uniform_bundle (fst (optimal_price h))

@@ -1,0 +1,10 @@
+(** Uniform bundle pricing (§5.1): every bundle sells at the same price
+    [P]. The optimal [P] is one of the valuations; a sorted sweep finds
+    it in O(m log m). Worst-case guarantee: O(log m) of the sum of
+    valuations (Lemma 1), and this is tight (Lemma 2). *)
+
+val optimal_price : Hypergraph.t -> float * float
+(** [(price, revenue)] of the optimal uniform bundle price (price 0 and
+    revenue 0 on the empty instance). *)
+
+val solve : Hypergraph.t -> Pricing.t

@@ -1,0 +1,28 @@
+let optimal_weight h =
+  let sized =
+    Array.to_list (Hypergraph.edges h)
+    |> List.filter_map (fun (e : Hypergraph.edge) ->
+           let s = Array.length e.items in
+           if s = 0 then None else Some (e.valuation /. Float.of_int s, s))
+  in
+  let sorted = List.sort (fun (qa, _) (qb, _) -> compare qb qa) sized in
+  (* An edge sells at weight w iff q_e >= w, so at w = q_(j) the sellable
+     size mass is the prefix sum of sizes. *)
+  let best_w = ref 0.0 and best_revenue = ref 0.0 in
+  let _ =
+    List.fold_left
+      (fun prefix (q, s) ->
+        let prefix = prefix + s in
+        let revenue = q *. Float.of_int prefix in
+        if revenue > !best_revenue then begin
+          best_revenue := revenue;
+          best_w := q
+        end;
+        prefix)
+      0 sorted
+  in
+  (!best_w, !best_revenue)
+
+let solve h =
+  let w, _ = optimal_weight h in
+  Pricing.Item (Array.make (Hypergraph.n_items h) w)

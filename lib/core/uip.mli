@@ -1,0 +1,11 @@
+(** Uniform item pricing (§5.2, Guruswami et al.): all items get the
+    same weight [w], so a bundle of size [s] costs [w * s]. The optimal
+    [w] is one of [q_e = v_e / |e|]; a sweep over the edges sorted by
+    [q_e] finds it in O(m log m). Worst-case guarantee:
+    O(log n + log m). *)
+
+val optimal_weight : Hypergraph.t -> float * float
+(** [(weight, revenue)]. Edges with empty conflict sets always sell at
+    price 0 and contribute nothing, so they are not candidates. *)
+
+val solve : Hypergraph.t -> Pricing.t

@@ -1,0 +1,15 @@
+let combine ps =
+  let components =
+    List.concat_map
+      (function
+        | Pricing.Item w -> [ w ]
+        | Pricing.Xos ws -> ws
+        | Pricing.Uniform_bundle _ | Pricing.Capped_item _ ->
+            invalid_arg "Xos.combine: component is not additive")
+      ps
+  in
+  if components = [] then invalid_arg "Xos.combine: empty combination";
+  Pricing.Xos components
+
+let solve ?lpip_options ?cip_options h =
+  combine [ Lpip.solve ?options:lpip_options h; Cip.solve ?options:cip_options h ]

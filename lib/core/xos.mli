@@ -1,0 +1,17 @@
+(** XOS (fractionally subadditive) pricing (§5.2): the maximum over
+    several additive pricings. The paper's XOS algorithm combines the
+    LPIP and CIP pricing vectors; the price offered for a bundle is the
+    higher of the two. *)
+
+val combine : Pricing.t list -> Pricing.t
+(** [combine ps] builds the XOS max over the additive components of
+    [ps]. Every element must be an [Item] pricing (or an XOS whose
+    components are merged in). Raises [Invalid_argument] on a uniform
+    bundle component or an empty list. *)
+
+val solve :
+  ?lpip_options:Lpip.options ->
+  ?cip_options:Cip.options ->
+  Hypergraph.t ->
+  Pricing.t
+(** XOS-LPIP+CIP as in the paper's experiments. *)

@@ -1,0 +1,23 @@
+type t = {
+  profile : Runner.profile;
+  seed : int;
+  cache : (string, Workload_instances.t) Hashtbl.t;
+}
+
+let create ?profile ?(seed = 42) () =
+  let profile =
+    match profile with Some p -> p | None -> Runner.profile_of_env ()
+  in
+  { profile; seed; cache = Hashtbl.create 4 }
+
+let profile t = t.profile
+let seed t = t.seed
+
+let instance t key =
+  let key = String.lowercase_ascii key in
+  match Hashtbl.find_opt t.cache key with
+  | Some i -> i
+  | None ->
+      let i = Workload_instances.build key ~seed:t.seed () in
+      Hashtbl.replace t.cache key i;
+      i

@@ -1,0 +1,15 @@
+(** Shared state for a bench/CLI session: the profile, the seed, and a
+    cache of built workload instances (building SSB takes seconds —
+    every experiment that needs it should reuse one build). *)
+
+type t
+
+val create : ?profile:Runner.profile -> ?seed:int -> unit -> t
+(** Profile defaults to {!Runner.profile_of_env}; seed to 42. *)
+
+val profile : t -> Runner.profile
+val seed : t -> int
+
+val instance : t -> string -> Workload_instances.t
+(** Cached lookup by workload key ("skewed", "uniform", "tpch", "ssb").
+    Raises [Not_found] for unknown keys. *)

@@ -1,0 +1,45 @@
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module V = Qp_workloads.Valuations
+module WI = Workload_instances
+module Rng = Qp_util.Rng
+
+let models =
+  [ V.Uniform_val 100.0; V.Zipf_val 1.75; V.Scaled_exp 0.5;
+    V.Additive { k = 100; dtilde = V.D_uniform } ]
+
+let run fmt ctx =
+  Format.fprintf fmt
+    "Capped uniform item pricing min(w*|e|, cap) vs its parents@.\
+     (normalized revenue; capped >= UIP by construction)@.";
+  let header =
+    [ "workload / model"; "UIP"; "UBP"; "Capped"; "LPIP" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun key ->
+      let inst = Context.instance ctx key in
+      List.iter
+        (fun model ->
+          let h =
+            V.apply ~rng:(Rng.create (Context.seed ctx)) model
+              inst.WI.hypergraph
+          in
+          let total = Float.max 1e-9 (H.sum_valuations h) in
+          let norm solve = P.revenue (solve h) h /. total in
+          rows :=
+            [
+              Printf.sprintf "%s / %s" key (V.describe model);
+              Printf.sprintf "%.3f" (norm Qp_core.Uip.solve);
+              Printf.sprintf "%.3f" (norm Qp_core.Ubp.solve);
+              Printf.sprintf "%.3f" (norm Qp_core.Capped.solve);
+              Printf.sprintf "%.3f"
+                (norm
+                   (Qp_core.Lpip.solve
+                      ~options:(Runner.lpip_options (Context.profile ctx))));
+            ]
+            :: !rows)
+        models)
+    WI.keys;
+  Format.fprintf fmt "%s@."
+    (Qp_util.Text_table.render ~header (List.rev !rows))

@@ -1,0 +1,8 @@
+(** Extension: the capped uniform item pricing family
+    [min(w * |e|, cap)] (see {!Qp_core.Capped}) head-to-head with its
+    two parents (UIP, UBP) and with LPIP across all four workloads and
+    three valuation families. The interesting question: how much of
+    LPIP's advantage comes from per-item granularity versus merely
+    capping the price of huge bundles? *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,21 @@
+(** Extensions and ablations motivated by the paper's §6.3/§6.4
+    discussion and §7.2 future work:
+
+    - {b UBP refinement} (§6.3): re-optimizing item prices over the
+      uniform bundle price's sold set (the paper reports 0.78 → 0.99 on
+      TPC-H under the additive model with k = 1).
+    - {b Support strategy ablation} (§7.2 "choosing the support set"):
+      uniform Qirana-style neighbor sampling vs the query-aware sampler
+      this reproduction uses at reduced scale.
+    - {b CIP ε sweep} (§6.4): the revenue/runtime trade-off of the
+      capacity grid resolution.
+    - {b LPIP candidate cap sweep}: revenue/runtime of subsampling the
+      candidate edges.
+    - {b Class collapsing ablation}: LP sizes and solve times with and
+      without membership-class variable aggregation. *)
+
+val run_refine : Format.formatter -> Context.t -> unit
+val run_support_strategy : Format.formatter -> Context.t -> unit
+val run_cip_epsilon : Format.formatter -> Context.t -> unit
+val run_lpip_candidates : Format.formatter -> Context.t -> unit
+val run_collapse : Format.formatter -> Context.t -> unit

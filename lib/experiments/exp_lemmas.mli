@@ -1,0 +1,10 @@
+(** The lower-bound constructions of Appendix A, measured: on each
+    lemma's instance family the predicted-weak pricing family stays an
+    Ω(log m) factor below the optimal revenue while the predicted-strong
+    one extracts (almost) all of it.
+
+    - Lemma 2: item pricing extracts H_m, uniform bundle pricing O(1);
+    - Lemma 3: uniform bundle extracts everything, item pricing O(n);
+    - Lemma 4: both families cap at O(3^t) of the (t+1)·3^t optimum. *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,13 @@
+(** The §7.2 extensions, measured:
+
+    - {b online pricing}: bandit (UCB1, EXP3) and gradient
+      (multiplicative-weights, OGD) policies learning prices from
+      accept/decline feedback only, reported as the fraction of the
+      best offline fixed pricing's per-round revenue they collect;
+    - {b unique-item support}: the constructed per-query discriminating
+      deltas, the coverage achieved, and the revenue of the standard
+      algorithms on the resulting hypergraph (full extraction when
+      coverage is 1). *)
+
+val run_online : Format.formatter -> Context.t -> unit
+val run_unique_support : Format.formatter -> Context.t -> unit

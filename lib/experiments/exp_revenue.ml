@@ -1,0 +1,59 @@
+module V = Qp_workloads.Valuations
+module WI = Workload_instances
+
+let sampled_models =
+  List.map (fun k -> V.Uniform_val (Float.of_int k)) [ 100; 200; 300; 400; 500 ]
+  @ List.map (fun a -> V.Zipf_val a) [ 1.5; 1.75; 2.0; 2.25; 2.5 ]
+
+let scaled_models =
+  List.map (fun k -> V.Scaled_exp k) [ 2.0; 1.5; 1.0; 0.5; 0.25 ]
+  @ List.map (fun k -> V.Scaled_normal k) [ 2.0; 1.5; 1.0; 0.5; 0.25 ]
+
+let additive_models =
+  List.concat_map
+    (fun k ->
+      [
+        V.Additive { k; dtilde = V.D_uniform };
+        V.Additive { k; dtilde = V.D_binomial };
+      ])
+    [ 1; 10; 100; 1000; 5000; 10000 ]
+
+let panel fmt ctx ~title ~workloads ~models =
+  Format.fprintf fmt "%s@." title;
+  List.iter
+    (fun key ->
+      let inst = Context.instance ctx key in
+      let cells =
+        List.map
+          (fun model ->
+            Runner.run_cell ~profile:(Context.profile ctx)
+              ~seed:(Context.seed ctx) model inst)
+          models
+      in
+      Format.fprintf fmt "@.%s:@.%s" inst.WI.label
+        (Runner.cell_table ~header_label:"valuation model" cells))
+    workloads
+
+let run_fig5 fmt ctx =
+  panel fmt ctx
+    ~title:"Figure 5a: sampled bundle valuations (skewed, uniform workloads)"
+    ~workloads:[ "skewed"; "uniform" ] ~models:sampled_models;
+  panel fmt ctx
+    ~title:"Figure 5b: scaled bundle valuations (skewed, uniform workloads)"
+    ~workloads:[ "skewed"; "uniform" ] ~models:scaled_models
+
+let run_fig6 fmt ctx =
+  panel fmt ctx
+    ~title:"Figure 6a: sampled bundle valuations (SSB, TPC-H workloads)"
+    ~workloads:[ "ssb"; "tpch" ] ~models:sampled_models;
+  panel fmt ctx
+    ~title:"Figure 6b: scaled bundle valuations (SSB, TPC-H workloads)"
+    ~workloads:[ "ssb"; "tpch" ] ~models:scaled_models
+
+let run_fig7 fmt ctx =
+  panel fmt ctx
+    ~title:"Figure 7a: additive item-price model (skewed, uniform workloads)"
+    ~workloads:[ "skewed"; "uniform" ] ~models:additive_models;
+  panel fmt ctx
+    ~title:"Figure 7b: additive item-price model (SSB, TPC-H workloads)"
+    ~workloads:[ "ssb"; "tpch" ] ~models:additive_models

@@ -1,0 +1,17 @@
+(** Figures 5, 6 and 7: normalized revenue of the six pricing algorithms
+    under the three valuation families.
+
+    - Figure 5: skewed + uniform workloads; (a) sampled valuations
+      (uniform[1,k], zipf(a)), (b) scaled valuations (exp/normal with
+      location |e|^k).
+    - Figure 6: the same two panels for SSB and TPC-H.
+    - Figure 7: the additive item-price model (D_i = U(i,i+1),
+      D̃ ∈ {uniform, binomial}) on all four workloads.
+
+    Every value printed is revenue / sum-of-valuations, averaged over
+    the profile's run count, with the subadditive-bound column the
+    paper's plots carry. *)
+
+val run_fig5 : Format.formatter -> Context.t -> unit
+val run_fig6 : Format.formatter -> Context.t -> unit
+val run_fig7 : Format.formatter -> Context.t -> unit

@@ -1,0 +1,16 @@
+(** Tables 4-6: algorithm running times.
+
+    - Table 4: seconds per algorithm per workload, with the hypergraph
+      (conflict-set) construction time reported separately — the paper
+      prints it as "1300 + 13" for the big workloads.
+    - Table 5: skewed workload, runtime vs support size {e including}
+      construction time.
+    - Table 6: SSB workload, runtime vs support size {e excluding}
+      construction time.
+
+    XOS is omitted as in the paper (§6.4: it is derived from LPIP and
+    CIP). Valuations are uniform[1,100]. *)
+
+val run_table4 : Format.formatter -> Context.t -> unit
+val run_table5 : Format.formatter -> Context.t -> unit
+val run_table6 : Format.formatter -> Context.t -> unit

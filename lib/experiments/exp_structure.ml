@@ -1,0 +1,45 @@
+module H = Qp_core.Hypergraph
+module WI = Workload_instances
+
+let run_table3 fmt ctx =
+  Format.fprintf fmt "Table 3: hypergraph characteristics@.";
+  let rows =
+    List.map
+      (fun key ->
+        let inst = Context.instance ctx key in
+        let h = inst.WI.hypergraph in
+        let empty =
+          Array.fold_left
+            (fun a (e : H.edge) -> if e.items = [||] then a + 1 else a)
+            0 (H.edges h)
+        in
+        [
+          key;
+          string_of_int (H.m h);
+          string_of_int (H.max_degree h);
+          Printf.sprintf "%.2f" (H.avg_edge_size h);
+          string_of_int (H.n_items h);
+          string_of_int empty;
+        ])
+      WI.keys
+  in
+  Format.fprintf fmt "%s@."
+    (Qp_util.Text_table.render
+       ~header:
+         [ "Query Workload"; "# Queries (m)"; "Max degree (B)"; "Avg edge size";
+           "n (support)"; "empty edges" ]
+       rows)
+
+let run_fig4 fmt ctx =
+  Format.fprintf fmt "Figure 4: hyperedge size distributions@.";
+  List.iter
+    (fun key ->
+      let inst = Context.instance ctx key in
+      let h = inst.WI.hypergraph in
+      let sizes =
+        Array.map (fun (e : H.edge) -> Array.length e.items) (H.edges h)
+      in
+      let hist = Qp_util.Histogram.create ~buckets:16 sizes in
+      Format.fprintf fmt "@.%s (log-scale counts):@.%s" inst.WI.label
+        (Qp_util.Histogram.render ~log_scale:true hist))
+    WI.keys

@@ -1,0 +1,7 @@
+(** Table 3 and Figure 4: the structural characteristics of the four
+    workload hypergraphs — query count, maximum degree B, average edge
+    size (Table 3) and the full hyperedge-size distribution (Figure 4,
+    log-count histograms). *)
+
+val run_table3 : Format.formatter -> Context.t -> unit
+val run_fig4 : Format.formatter -> Context.t -> unit

@@ -1,0 +1,30 @@
+module V = Qp_workloads.Valuations
+module WI = Workload_instances
+
+let supports_for = function
+  | "skewed" -> [ 100; 500; 1000; 1500 ]
+  | "ssb" -> [ 150; 400; 800; 1200 ]
+  | _ -> [ 100; 400; 800 ]
+
+let panel fmt ctx key =
+  let base = Context.instance ctx key in
+  let cells =
+    List.map
+      (fun support ->
+        let inst =
+          WI.rebuild_with_support base ~support ~seed:(Context.seed ctx)
+        in
+        let cell =
+          Runner.run_cell ~profile:(Context.profile ctx)
+            ~seed:(Context.seed ctx) (V.Uniform_val 100.0) inst
+        in
+        { cell with Runner.model = Printf.sprintf "|S| = %d" support })
+      (supports_for key)
+  in
+  Format.fprintf fmt "@.%s, uniform[1,100] valuations:@.%s" base.WI.label
+    (Runner.cell_table ~header_label:"support size" cells)
+
+let run_fig8 fmt ctx =
+  Format.fprintf fmt "Figure 8: revenue vs support-set size@.";
+  panel fmt ctx "skewed";
+  panel fmt ctx "ssb"

@@ -1,0 +1,12 @@
+(** Figure 8 and the §6.5 study: how the support-set size affects the
+    revenue each algorithm can extract. A fresh support of each size is
+    sampled over the same database and workload, conflict sets are
+    recomputed, and every algorithm is re-run under uniform[1,100]
+    valuations (the paper's setting). *)
+
+val run_fig8 : Format.formatter -> Context.t -> unit
+(** Panel (a): skewed workload; panel (b): SSB — support grids scaled
+    down from the paper's {100..15000} / {1000..100000}. *)
+
+val supports_for : string -> int list
+(** The support grid used for a workload key. *)

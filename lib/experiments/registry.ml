@@ -1,0 +1,52 @@
+type entry = {
+  id : string;
+  title : string;
+  run : Format.formatter -> Context.t -> unit;
+}
+
+let all =
+  [
+    { id = "table3"; title = "Table 3: hypergraph characteristics";
+      run = Exp_structure.run_table3 };
+    { id = "fig4"; title = "Figure 4: hyperedge size distributions";
+      run = Exp_structure.run_fig4 };
+    { id = "fig5"; title = "Figure 5: revenue, skewed + uniform workloads";
+      run = Exp_revenue.run_fig5 };
+    { id = "fig6"; title = "Figure 6: revenue, SSB + TPC-H workloads";
+      run = Exp_revenue.run_fig6 };
+    { id = "fig7"; title = "Figure 7: revenue, additive item-price model";
+      run = Exp_revenue.run_fig7 };
+    { id = "fig8"; title = "Figure 8: revenue vs support size";
+      run = Exp_support.run_fig8 };
+    { id = "table4"; title = "Table 4: algorithm running times";
+      run = Exp_runtime.run_table4 };
+    { id = "table5"; title = "Table 5: runtime vs support size (skewed)";
+      run = Exp_runtime.run_table5 };
+    { id = "table6"; title = "Table 6: runtime vs support size (SSB)";
+      run = Exp_runtime.run_table6 };
+    { id = "lemmas"; title = "Lemmas 2-4: lower-bound constructions";
+      run = Exp_lemmas.run };
+    { id = "refine"; title = "UBP refinement post-processing (§6.3)";
+      run = Exp_extensions.run_refine };
+    { id = "support-strategy"; title = "Ablation: support sampling strategy";
+      run = Exp_extensions.run_support_strategy };
+    { id = "cip-epsilon"; title = "Ablation: CIP capacity-grid ε";
+      run = Exp_extensions.run_cip_epsilon };
+    { id = "lpip-candidates"; title = "Ablation: LPIP candidate cap";
+      run = Exp_extensions.run_lpip_candidates };
+    { id = "collapse"; title = "Ablation: membership-class collapsing";
+      run = Exp_extensions.run_collapse };
+    { id = "online"; title = "Extension: online price learning (§7.2)";
+      run = Exp_online.run_online };
+    { id = "unique-support";
+      title = "Extension: unique-item support construction (§7.2)";
+      run = Exp_online.run_unique_support };
+    { id = "capped"; title = "Extension: capped uniform item pricing";
+      run = Exp_capped.run };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,45 @@
+(** Shared experiment machinery: algorithm options per profile,
+    measurement of revenue (normalized as in the paper's plots) and
+    runtime, and averaging over runs with the paper's protocol (§6.1:
+    average of 5 runs, first run discarded — profile-dependent here). *)
+
+type profile = Quick | Full
+
+val profile_of_env : unit -> profile
+(** Reads [QP_BENCH_PROFILE] ("quick" default, "full" for
+    closer-to-paper settings). *)
+
+val runs : profile -> int
+val lpip_options : profile -> Qp_core.Lpip.options
+val cip_options : profile -> Qp_core.Cip.options
+val algorithms : profile -> Qp_core.Algorithms.spec list
+
+type measurement = {
+  algorithm : string;
+  revenue : float;
+  normalized : float;  (** revenue / sum of valuations *)
+  seconds : float;
+}
+
+type cell = {
+  instance : string;
+  model : string;
+  sum_valuations : float;
+  subadditive : float;  (** normalized subadditive upper bound *)
+  measurements : measurement list;
+}
+
+val run_cell :
+  profile:profile ->
+  seed:int ->
+  Qp_workloads.Valuations.model ->
+  Workload_instances.t ->
+  cell
+(** Draw valuations (averaging measurements over [runs profile]
+    independent draws), run every algorithm, and collect one plot
+    cell. *)
+
+val cell_table : header_label:string -> cell list -> string
+(** Render cells as an aligned text table, one row per parameter value,
+    one column per algorithm — the textual analogue of the paper's bar
+    groups. *)

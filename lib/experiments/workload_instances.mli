@@ -1,0 +1,59 @@
+(** End-to-end construction of the paper's four pricing instances
+    (§6.2): generate the dataset, expand the query workload, sample the
+    support, and compute every conflict set.
+
+    Scales are reduced relative to the paper (SF-1 TPC-H and support
+    100 000 do not fit a CI budget); EXPERIMENTS.md records the exact
+    numbers used for every reported figure. Valuations in the returned
+    hypergraph are placeholders (1.0) — experiments overlay a
+    {!Qp_workloads.Valuations.model}. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Delta = Qp_relational.Delta
+
+type t = {
+  key : string;  (** "skewed" | "uniform" | "tpch" | "ssb" *)
+  label : string;  (** display name, e.g. "986 queries, skewed workload" *)
+  db : Database.t;
+  queries : Query.t list;
+  deltas : Delta.t array;
+  hypergraph : Qp_core.Hypergraph.t;
+  build_stats : Qp_market.Conflict.stats;
+}
+
+type scale = Tiny | Default
+(** [Tiny] is for unit tests (seconds); [Default] for the benches. *)
+
+type support_strategy = Uniform_support | Query_aware
+(** How neighbors are sampled (see {!Qp_market.Support}). [Query_aware]
+    is the default: at reduced data scale it reproduces the paper's
+    hyperedge-size distributions; the benches ablate the choice. *)
+
+val skewed :
+  ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
+  unit -> t
+
+val uniform :
+  ?scale:scale -> ?strategy:support_strategy -> ?support:int -> ?m:int ->
+  seed:int -> unit -> t
+
+val tpch :
+  ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
+  unit -> t
+
+val ssb :
+  ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
+  unit -> t
+
+val keys : string list
+
+val build :
+  string -> ?scale:scale -> ?strategy:support_strategy -> ?support:int ->
+  seed:int -> unit -> t
+(** Build by key. Raises [Not_found] on an unknown key. *)
+
+val rebuild_with_support :
+  ?strategy:support_strategy -> t -> support:int -> seed:int -> t
+(** Re-sample a support of a different size over the same database and
+    queries, and recompute conflict sets — the §6.5 experiments. *)

@@ -1,0 +1,94 @@
+type var = int
+type constr = int
+
+type sense = Le | Ge | Eq
+
+type row = { terms : (float * var) list; bound : float; sense : sense }
+
+type t = {
+  minimize : bool;
+  mutable objs : float list; (* reversed *)
+  mutable nvars : int;
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+}
+
+type solution = {
+  objective : float;
+  primal : float array;
+  row_dual : float array; (* indexed by user constraint *)
+}
+
+type error =
+  | Infeasible
+  | Unbounded
+
+let create ?(minimize = false) () =
+  { minimize; objs = []; nvars = 0; rows = []; nrows = 0 }
+
+let add_var p ?name ~obj () =
+  ignore name;
+  p.objs <- obj :: p.objs;
+  p.nvars <- p.nvars + 1;
+  p.nvars - 1
+
+let var_count p = p.nvars
+let constr_count p = p.nrows
+
+let add_row p sense terms bound =
+  p.rows <- { terms; bound; sense } :: p.rows;
+  p.nrows <- p.nrows + 1;
+  p.nrows - 1
+
+let add_le p terms b = add_row p Le terms b
+let add_ge p terms b = add_row p Ge terms b
+let add_eq p terms b = add_row p Eq terms b
+
+let dense_of_terms nvars terms =
+  let a = Array.make nvars 0.0 in
+  List.iter
+    (fun (coef, v) ->
+      assert (v >= 0 && v < nvars);
+      a.(v) <- a.(v) +. coef)
+    terms;
+  a
+
+let solve ?max_pivots p =
+  let nvars = p.nvars in
+  let sign = if p.minimize then -1.0 else 1.0 in
+  let c = Array.make nvars 0.0 in
+  List.iteri (fun i obj -> c.(nvars - 1 - i) <- sign *. obj) p.objs;
+  let user_rows = Array.of_list (List.rev p.rows) in
+  (* Expansion into <= form. [origin.(k)] records which user constraint
+     produced simplex row [k] and with which dual sign. *)
+  let sim_rows = ref [] and origin = ref [] in
+  Array.iteri
+    (fun i { terms; bound; sense } ->
+      let a = dense_of_terms nvars terms in
+      let push arr b sgn =
+        sim_rows := (arr, b) :: !sim_rows;
+        origin := (i, sgn) :: !origin
+      in
+      match sense with
+      | Le -> push a bound 1.0
+      | Ge -> push (Array.map (fun x -> -.x) a) (-.bound) (-1.0)
+      | Eq ->
+          push (Array.copy a) bound 1.0;
+          push (Array.map (fun x -> -.x) a) (-.bound) (-1.0))
+    user_rows;
+  let rows = Array.of_list (List.rev !sim_rows) in
+  let origin = Array.of_list (List.rev !origin) in
+  match Simplex.solve ?max_pivots ~c ~rows () with
+  | Simplex.Infeasible -> Error Infeasible
+  | Simplex.Unbounded -> Error Unbounded
+  | Simplex.Optimal { objective; primal; dual } ->
+      let row_dual = Array.make (Array.length user_rows) 0.0 in
+      Array.iteri
+        (fun k (i, sgn) ->
+          row_dual.(i) <- row_dual.(i) +. (sgn *. sign *. dual.(k)))
+        origin;
+      Ok { objective = sign *. objective; primal; row_dual }
+
+let objective_value s = s.objective
+let value s v = s.primal.(v)
+let dual s cid = s.row_dual.(cid)

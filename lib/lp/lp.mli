@@ -1,0 +1,57 @@
+(** Incremental linear-program builder over {!Simplex}.
+
+    Models problems of the form {b maximize} (or minimize) [c . x]
+    subject to linear [<=], [>=] and [=] constraints with non-negative
+    variables. [>=] and [=] rows are rewritten into [<=] form before the
+    simplex runs ([=] becomes a pair of inequalities), and dual values
+    are mapped back to the user-facing constraints with the right sign.
+
+    Typical use, pricing-flavoured:
+    {[
+      let p = Lp.create () in
+      let w = Array.init n (fun i -> Lp.add_var p ~obj:(coef i) ()) in
+      List.iter (fun edge ->
+        ignore (Lp.add_le p (terms_of edge w) (value edge))) edges;
+      match Lp.solve p with
+      | Ok sol -> Array.map (Lp.value sol) w
+      | Error _ -> ...
+    ]} *)
+
+type t
+type var
+type constr
+
+type solution
+
+type error =
+  | Infeasible
+  | Unbounded
+
+val create : ?minimize:bool -> unit -> t
+(** A fresh empty problem; maximization unless [minimize] is set. *)
+
+val add_var : t -> ?name:string -> obj:float -> unit -> var
+(** A new non-negative variable with the given objective coefficient. *)
+
+val var_count : t -> int
+val constr_count : t -> int
+
+val add_le : t -> (float * var) list -> float -> constr
+(** [add_le p terms b] adds [sum terms <= b]. Repeated variables in
+    [terms] are summed. *)
+
+val add_ge : t -> (float * var) list -> float -> constr
+val add_eq : t -> (float * var) list -> float -> constr
+
+val solve : ?max_pivots:int -> t -> (solution, error) result
+
+val objective_value : solution -> float
+
+val value : solution -> var -> float
+(** Optimal primal value of a variable. *)
+
+val dual : solution -> constr -> float
+(** Optimal dual multiplier of a constraint. For a [<=] row in a
+    maximization this is the non-negative shadow price; for [>=] rows
+    the sign convention is flipped accordingly; for [=] rows it is the
+    net multiplier of the two generated inequalities. *)

@@ -1,0 +1,243 @@
+type outcome =
+  | Optimal of solution
+  | Unbounded
+  | Infeasible
+
+and solution = {
+  objective : float;
+  primal : float array;
+  dual : float array;
+}
+
+let eps = 1e-9
+
+(* Tableau layout: columns [0, nvars) are structural variables, columns
+   [nvars, nvars + nrows) are slacks, then one artificial column per row
+   whose rhs was negative. Each row is stored with its rhs in the last
+   cell. [obj] holds the reduced costs of the current basis; [obj_val]
+   the current objective value. *)
+type tableau = {
+  nvars : int;
+  nrows : int;
+  ncols : int;
+  rows : float array array;
+  obj : float array;
+  mutable obj_val : float;
+  basis : int array;
+  art_first : int; (* index of the first artificial column *)
+  mutable pivots : int;
+  max_pivots : int;
+}
+
+let pivot t r col =
+  let row = t.rows.(r) in
+  let p = row.(col) in
+  for j = 0 to t.ncols do
+    row.(j) <- row.(j) /. p
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if Float.abs f > 0.0 then
+      for j = 0 to t.ncols do
+        target.(j) <- target.(j) -. (f *. row.(j))
+      done
+  in
+  for i = 0 to t.nrows - 1 do
+    if i <> r then eliminate t.rows.(i)
+  done;
+  let f = t.obj.(col) in
+  if Float.abs f > 0.0 then begin
+    for j = 0 to t.ncols do
+      t.obj.(j) <- t.obj.(j) -. (f *. row.(j))
+    done;
+    t.obj_val <- t.obj_val +. (f *. row.(t.ncols))
+  end;
+  t.basis.(r) <- col;
+  t.pivots <- t.pivots + 1;
+  if t.pivots > t.max_pivots then
+    failwith "Simplex.solve: pivot budget exceeded"
+
+(* Entering-column choice: Dantzig's rule until [bland_after] pivots,
+   then Bland's rule (smallest eligible index), which guarantees
+   termination under degeneracy. [allowed] filters out banned columns
+   (artificials during phase 2). *)
+let entering t ~bland ~allowed =
+  if bland then begin
+    let found = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && t.obj.(j) > eps then begin
+           found := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    let best = ref (-1) and best_val = ref eps in
+    for j = 0 to t.ncols - 1 do
+      if allowed j && t.obj.(j) > !best_val then begin
+        best := j;
+        best_val := t.obj.(j)
+      end
+    done;
+    !best
+  end
+
+(* Ratio test with lexicographic-ish tie-breaking on the basis index,
+   which in combination with Bland's entering rule prevents cycling. *)
+let leaving t col =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to t.nrows - 1 do
+    let a = t.rows.(i).(col) in
+    if a > eps then begin
+      let ratio = t.rows.(i).(t.ncols) /. a in
+      if
+        ratio < !best_ratio -. eps
+        || (ratio < !best_ratio +. eps
+           && !best >= 0
+           && t.basis.(i) < t.basis.(!best))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  !best
+
+type phase_result = Phase_optimal | Phase_unbounded
+
+let run_phase t ~allowed =
+  let bland_after = max 2000 (20 * (t.nrows + t.nvars)) in
+  let start = t.pivots in
+  let rec loop () =
+    let bland = t.pivots - start > bland_after in
+    let col = entering t ~bland ~allowed in
+    if col < 0 then Phase_optimal
+    else
+      let r = leaving t col in
+      if r < 0 then Phase_unbounded
+      else begin
+        pivot t r col;
+        loop ()
+      end
+  in
+  loop ()
+
+let solve ?(max_pivots = 50_000) ~c ~rows () =
+  let nvars = Array.length c in
+  let nrows = Array.length rows in
+  Array.iter (fun (a, _) -> assert (Array.length a = nvars)) rows;
+  let negated = Array.map (fun (_, b) -> b < 0.0) rows in
+  let n_art = Array.fold_left (fun acc n -> if n then acc + 1 else acc) 0 negated in
+  let art_first = nvars + nrows in
+  let ncols = nvars + nrows + n_art in
+  let t =
+    {
+      nvars;
+      nrows;
+      ncols;
+      rows = Array.init nrows (fun _ -> Array.make (ncols + 1) 0.0);
+      obj = Array.make (ncols + 1) 0.0;
+      obj_val = 0.0;
+      basis = Array.make nrows 0;
+      art_first;
+      pivots = 0;
+      max_pivots;
+    }
+  in
+  let next_art = ref art_first in
+  Array.iteri
+    (fun i (a, b) ->
+      let row = t.rows.(i) in
+      let sign = if negated.(i) then -1.0 else 1.0 in
+      Array.iteri (fun j v -> row.(j) <- sign *. v) a;
+      row.(nvars + i) <- sign;
+      row.(ncols) <- sign *. b;
+      if negated.(i) then begin
+        row.(!next_art) <- 1.0;
+        t.basis.(i) <- !next_art;
+        incr next_art
+      end
+      else t.basis.(i) <- nvars + i)
+    rows;
+  let all_allowed _ = true in
+  let no_artificials j = j < t.art_first in
+  let feasible =
+    if n_art = 0 then true
+    else begin
+      (* Phase 1: minimize the sum of artificials, expressed as
+         maximizing reduced costs built from the artificial rows. *)
+      for i = 0 to nrows - 1 do
+        if t.basis.(i) >= art_first then begin
+          let row = t.rows.(i) in
+          for j = 0 to ncols do
+            t.obj.(j) <- t.obj.(j) +. row.(j)
+          done
+        end
+      done;
+      for j = art_first to ncols - 1 do
+        t.obj.(j) <- 0.0
+      done;
+      (match run_phase t ~allowed:all_allowed with
+      | Phase_optimal -> ()
+      | Phase_unbounded -> assert false);
+      let residual = ref 0.0 in
+      for i = 0 to nrows - 1 do
+        if t.basis.(i) >= art_first then
+          residual := !residual +. t.rows.(i).(ncols)
+      done;
+      if !residual > 1e-7 then false
+      else begin
+        (* Drive any degenerate artificial out of the basis when a
+           non-artificial pivot exists; a fully zero row is redundant
+           and can safely keep its zero-valued artificial as long as
+           artificial columns are banned from re-entering. *)
+        for i = 0 to nrows - 1 do
+          if t.basis.(i) >= art_first then begin
+            let found = ref (-1) in
+            (try
+               for j = 0 to art_first - 1 do
+                 if Float.abs t.rows.(i).(j) > eps then begin
+                   found := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !found >= 0 then pivot t i !found
+          end
+        done;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Phase 2: rebuild reduced costs for the real objective under the
+       current basis. *)
+    Array.fill t.obj 0 (ncols + 1) 0.0;
+    t.obj_val <- 0.0;
+    Array.blit c 0 t.obj 0 nvars;
+    for i = 0 to nrows - 1 do
+      let b = t.basis.(i) in
+      if b < nvars && Float.abs c.(b) > 0.0 then begin
+        let cb = c.(b) in
+        let row = t.rows.(i) in
+        for j = 0 to ncols do
+          t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
+        done;
+        t.obj_val <- t.obj_val +. (cb *. row.(ncols))
+      end
+    done;
+    match run_phase t ~allowed:no_artificials with
+    | Phase_unbounded -> Unbounded
+    | Phase_optimal ->
+        let primal = Array.make nvars 0.0 in
+        for i = 0 to nrows - 1 do
+          if t.basis.(i) < nvars then
+            primal.(t.basis.(i)) <- t.rows.(i).(ncols)
+        done;
+        let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
+        Optimal { objective = t.obj_val; primal; dual }
+  end

@@ -1,0 +1,36 @@
+(** Dense two-phase primal simplex.
+
+    Solves {b maximize} [c . x] subject to [A x <= b], [x >= 0], where
+    [b] may have negative entries (phase 1 introduces artificial
+    variables for the infeasible slack rows). This is the raw engine;
+    {!Lp} offers a friendlier incremental problem builder.
+
+    The implementation is a textbook dense tableau: Dantzig pricing with
+    a switch to Bland's rule after a pivot budget to guarantee
+    termination under degeneracy. It is intended for the mid-size LPs of
+    the pricing algorithms (up to a few thousand rows/columns), not for
+    sparse industrial instances. *)
+
+type outcome =
+  | Optimal of solution
+  | Unbounded
+  | Infeasible
+
+and solution = {
+  objective : float;
+  primal : float array;  (** one value per structural variable *)
+  dual : float array;
+      (** one value per constraint: the optimal dual multipliers
+          (shadow prices); non-negative for binding [<=] rows *)
+}
+
+val solve :
+  ?max_pivots:int ->
+  c:float array ->
+  rows:(float array * float) array ->
+  unit ->
+  outcome
+(** [solve ~c ~rows ()] maximizes [c . x] over [{x >= 0 | a_i . x <= b_i}]
+    for [(a_i, b_i)] in [rows]. Every [a_i] must have the same length as
+    [c]. [max_pivots] (default [50_000]) bounds the total pivot count;
+    exceeding it raises [Failure]. *)

@@ -1,0 +1,107 @@
+(** End-to-end data-market broker: the Qirana-like runtime the paper's
+    pipeline sits on.
+
+    Lifecycle:
+    + {!create} — fix the seller's instance and sample the support set;
+    + {!add_buyer} — register the query workload with valuations
+      (obtained from market research, §3.3);
+    + {!build} — map every buyer query to its conflict-set hyperedge;
+    + {!price} — run one of the revenue-maximization algorithms;
+    + {!quote} / {!purchase} — serve queries (including fresh ones that
+      were never part of the priced workload) at arbitrage-free prices,
+      collecting revenue.
+
+    Out-of-order calls raise [Invalid_argument] with a description of
+    the missing step. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Result_set = Qp_relational.Result_set
+module Delta = Qp_relational.Delta
+
+type t
+
+val create :
+  ?seed:int ->
+  ?support_size:int ->
+  ?support_config:Support.config ->
+  Database.t ->
+  t
+(** Default seed 42, support size 256. The support set is sampled
+    lazily, at the first {!build}/{!support} call: if buyers are
+    registered by then, sampling is query-aware
+    ({!Support.generate_query_aware}), otherwise uniform. *)
+
+val database : t -> Database.t
+
+val support : t -> Delta.t array
+(** Forces the sampling if it has not happened yet. *)
+
+val add_buyer : t -> valuation:float -> Query.t -> unit
+val buyers : t -> (Query.t * float) list
+
+val build : ?on_progress:(done_:int -> total:int -> unit) -> t -> unit
+(** Computes every buyer's conflict set; idempotent until the buyer list
+    changes. *)
+
+val hypergraph : t -> Qp_core.Hypergraph.t
+(** Requires {!build}. *)
+
+val build_stats : t -> Conflict.stats
+(** Requires {!build}. *)
+
+val price : t -> algorithm:string -> Qp_core.Pricing.t
+(** Runs the named algorithm (a {!Qp_core.Algorithms} key) on the built
+    hypergraph, stores the result as the active pricing, and returns
+    it. Requires {!build}. *)
+
+val set_pricing : t -> Qp_core.Pricing.t -> unit
+(** Install a pricing computed elsewhere. *)
+
+val active_pricing : t -> Qp_core.Pricing.t
+(** Requires {!price} or {!set_pricing}. *)
+
+val expected_revenue : t -> float
+(** Revenue of the active pricing over the registered buyers. *)
+
+val quote : t -> Query.t -> float
+(** Price for an arbitrary query: its conflict set against the support
+    is computed on the fly and priced with the active pricing —
+    arbitrage-freeness extends to queries outside the workload because
+    the price is still [f(CS(Q, D))] for the same monotone subadditive
+    [f]. *)
+
+val purchase :
+  t -> budget:float -> Query.t -> [ `Sold of float * Result_set.t | `Declined of float ]
+(** Quote the query; if the buyer's budget covers it, record the sale
+    and return the answer with the price paid, otherwise decline. *)
+
+val revenue_collected : t -> float
+(** Total from {!purchase} and {!purchase_as} sales. *)
+
+(** {2 History-aware pricing}
+
+    Upadhyaya et al. (cited in the paper's §2) study history-aware
+    pricing with refunds: a returning buyer should not pay twice for
+    overlapping information. The broker implements the refund folded
+    into the charge: a named account is charged the {e marginal} price
+    [f(H ∪ CS(Q)) - f(H)] where [H] is the union of the bundles it
+    already bought. Monotonicity makes the marginal non-negative and
+    subadditivity caps it by the standalone price [f(CS(Q))], so the
+    scheme never overcharges relative to fresh purchases and stays
+    arbitrage-free for each account's own history. *)
+
+val purchase_as :
+  t ->
+  account:string ->
+  budget:float ->
+  Query.t ->
+  [ `Sold of float * Result_set.t | `Declined of float ]
+(** Quote the marginal price for this account; on success the account's
+    history absorbs the query's conflict set. *)
+
+val account_history : t -> string -> int array
+(** Sorted support items the account has already paid for (empty for
+    unknown accounts). *)
+
+val account_spent : t -> string -> float

@@ -1,0 +1,51 @@
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Delta = Qp_relational.Delta
+module Delta_eval = Qp_relational.Delta_eval
+
+type stats = {
+  queries : int;
+  support : int;
+  fallback_queries : int;
+  elapsed : float;
+}
+
+let conflict_set_prepared prep deltas =
+  let hits = ref [] in
+  Array.iteri
+    (fun i delta -> if Delta_eval.differs prep delta then hits := i :: !hits)
+    deltas;
+  Array.of_list (List.rev !hits)
+
+let conflict_set db q deltas =
+  conflict_set_prepared (Delta_eval.prepare db q) deltas
+
+let hypergraph ?on_progress db valued_queries deltas =
+  let t0 = Unix.gettimeofday () in
+  let total = List.length valued_queries in
+  let fallbacks = ref 0 in
+  let specs =
+    List.mapi
+      (fun i (q, valuation) ->
+        let prep = Delta_eval.prepare db q in
+        if Delta_eval.strategy_name prep = "fallback" then incr fallbacks;
+        let items = conflict_set_prepared prep deltas in
+        (match on_progress with
+        | Some f -> f ~done_:(i + 1) ~total
+        | None -> ());
+        (q.Query.name, items, valuation))
+      valued_queries
+  in
+  let h =
+    Qp_core.Hypergraph.create ~n_items:(Array.length deltas)
+      (Array.of_list specs)
+  in
+  let stats =
+    {
+      queries = total;
+      support = Array.length deltas;
+      fallback_queries = !fallbacks;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (h, stats)

@@ -1,0 +1,30 @@
+(** Conflict-set computation (§3.2): the bundle a query maps to.
+
+    [CS(Q, D) = { D' in S | Q(D) <> Q(D') }] — the support instances a
+    buyer can rule out after seeing the answer. Each query is prepared
+    once ({!Qp_relational.Delta_eval}) and then tested against every
+    support delta incrementally. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Delta = Qp_relational.Delta
+
+type stats = {
+  queries : int;
+  support : int;
+  fallback_queries : int;  (** queries that used full re-evaluation *)
+  elapsed : float;  (** wall-clock seconds for the whole computation *)
+}
+
+val conflict_set : Database.t -> Query.t -> Delta.t array -> int array
+(** Sorted support indices in conflict with one query. *)
+
+val hypergraph :
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Database.t ->
+  (Query.t * float) list ->
+  Delta.t array ->
+  Qp_core.Hypergraph.t * stats
+(** Build the pricing instance for a valued workload: item [i] is
+    support delta [i]; each [(query, valuation)] becomes one hyperedge
+    named after the query. *)

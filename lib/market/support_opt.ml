@@ -1,0 +1,74 @@
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Delta = Qp_relational.Delta
+module Delta_eval = Qp_relational.Delta_eval
+module Rng = Qp_util.Rng
+
+type result = {
+  deltas : Delta.t array;
+  dedicated : (int * int) array;
+  unserved : int list;
+}
+
+let construct ?(candidates_per_query = 24) ~rng db queries =
+  let query_arr = Array.of_list queries in
+  let preps = Array.map (Delta_eval.prepare db) query_arr in
+  let chosen = ref [] and dedicated = ref [] and unserved = ref [] in
+  let seen = Hashtbl.create 256 in
+  let next_index = ref 0 in
+  Array.iteri
+    (fun qi q ->
+      (* Candidates biased toward this query's footprint; the sampler
+         may produce fewer than requested on tiny databases. *)
+      let candidates =
+        match
+          Support.generate_query_aware ~uniform_share:0.0
+            ~rng:(Rng.split rng (Printf.sprintf "q%d" qi))
+            ~queries:[ q ] db ~n:candidates_per_query
+        with
+        | deltas -> deltas
+        | exception Invalid_argument _ -> [||]
+      in
+      let discriminating d =
+        Delta_eval.differs preps.(qi) d
+        &&
+        let ok = ref true in
+        (try
+           Array.iteri
+             (fun j prep ->
+               if j <> qi && Delta_eval.differs prep d then begin
+                 ok := false;
+                 raise Exit
+               end)
+             preps
+         with Exit -> ());
+        !ok
+      in
+      let found = Array.find_opt discriminating candidates in
+      match found with
+      | Some d ->
+          let key = Format.asprintf "%a" Delta.pp d in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            chosen := d :: !chosen;
+            dedicated := (qi, !next_index) :: !dedicated;
+            incr next_index
+          end
+          else
+            (* A previous query claimed the same delta; by construction
+               that delta discriminates the earlier query, so it cannot
+               also discriminate this one — unreachable, but keep the
+               bookkeeping safe. *)
+            unserved := qi :: !unserved
+      | None -> unserved := qi :: !unserved)
+    query_arr;
+  {
+    deltas = Array.of_list (List.rev !chosen);
+    dedicated = Array.of_list (List.rev !dedicated);
+    unserved = List.rev !unserved;
+  }
+
+let coverage r =
+  let total = Array.length r.dedicated + List.length r.unserved in
+  if total = 0 then 1.0
+  else Float.of_int (Array.length r.dedicated) /. Float.of_int total

@@ -1,0 +1,42 @@
+(** Support-set optimization — the paper's §7.2 problem statement:
+
+    "Given queries Q1 ... Qm and a database D, does there exist a set of
+    databases D1 ... Dm such that Qi(Di) ≠ Qi(D) but Qi(Dj) = Qi(D) for
+    i ≠ j?"
+
+    Such a support gives every hyperedge a {e unique item}, and then the
+    layering algorithm (or the must-sell LP) extracts the {e full}
+    revenue: price each unique item at its buyer's valuation. This
+    module searches for per-query discriminating deltas greedily:
+    candidates come from the query's footprint (and the near-miss flip
+    construction of {!Support}), and each candidate is screened against
+    every other query with the incremental evaluator. The search is
+    heuristic — the decision problem's complexity is exactly the open
+    question the paper poses — so the result reports which queries ended
+    up with a dedicated item. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Delta = Qp_relational.Delta
+
+type result = {
+  deltas : Delta.t array;  (** the constructed support *)
+  dedicated : (int * int) array;
+      (** (query index, support index of its discriminating delta) for
+          every query the search served *)
+  unserved : int list;  (** query indices with no discriminating delta *)
+}
+
+val construct :
+  ?candidates_per_query:int ->
+  rng:Qp_util.Rng.t ->
+  Database.t ->
+  Query.t list ->
+  result
+(** [candidates_per_query] bounds the candidate deltas screened per
+    query (default 24). Runtime is O(m² · candidate screening) in the
+    worst case — intended for moderate workloads; the benches use it at
+    reduced scale. *)
+
+val coverage : result -> float
+(** Fraction of queries with a dedicated support item. *)

@@ -1,0 +1,41 @@
+module H = Qp_core.Hypergraph
+module Pricing = Qp_core.Pricing
+module Rng = Qp_util.Rng
+
+type arrival =
+  | Round_robin
+  | Random
+
+type t = {
+  h : H.t;
+  arrival : arrival;
+  rng : Rng.t;
+  mutable clock : int;
+  mutable collected : float;
+}
+
+let create ?(arrival = Random) ~rng h =
+  if H.m h = 0 then invalid_arg "Environment.create: no buyers";
+  { h; arrival; rng; clock = 0; collected = 0.0 }
+
+let n_items t = H.n_items t.h
+let rounds_played t = t.clock
+let revenue_collected t = t.collected
+
+let next_buyer t =
+  let ix =
+    match t.arrival with
+    | Round_robin -> t.clock mod H.m t.h
+    | Random -> Rng.int t.rng (H.m t.h)
+  in
+  H.edge t.h ix
+
+let transact t (buyer : H.edge) ~price =
+  t.clock <- t.clock + 1;
+  let sold = price <= buyer.valuation +. 1e-12 in
+  if sold then t.collected <- t.collected +. price;
+  sold
+
+let offline_benchmark t solve =
+  let pricing = solve t.h in
+  Pricing.revenue pricing t.h /. Float.of_int (H.m t.h)

@@ -1,0 +1,41 @@
+(** The online data market of the paper's §7.2 ("Learning buyer
+    valuations"): queries arrive one at a time, every buyer has a fixed
+    valuation {e unknown} to the seller, and the broker may re-price
+    between arrivals based only on accept/decline feedback.
+
+    The environment wraps a pricing instance (hypergraph + hidden
+    valuations): each round it draws a buyer, reveals the buyer's bundle
+    (the broker sees the query, hence its conflict set), asks the policy
+    for a quote, and reports whether the buyer purchased. *)
+
+type arrival =
+  | Round_robin  (** buyers 0, 1, ..., m-1, 0, 1, ... *)
+  | Random  (** i.i.d. uniform over buyers *)
+
+type t
+
+val create :
+  ?arrival:arrival -> rng:Qp_util.Rng.t -> Qp_core.Hypergraph.t -> t
+(** The hypergraph's valuations are the hidden truth. Default arrival is
+    [Random]. The instance must have at least one edge. *)
+
+val n_items : t -> int
+val rounds_played : t -> int
+val revenue_collected : t -> float
+
+val next_buyer : t -> Qp_core.Hypergraph.edge
+(** Reveal the next arrival's bundle. The valuation field of the
+    returned edge must not be read by a policy — {!Simulate} passes
+    policies only the items. *)
+
+val transact : t -> Qp_core.Hypergraph.edge -> price:float -> bool
+(** [transact env buyer ~price] — the buyer purchases iff
+    [price <= valuation]; the sale is recorded. Returns whether it
+    sold. *)
+
+val offline_benchmark : t -> (Qp_core.Hypergraph.t -> Qp_core.Pricing.t) -> float
+(** Expected {e per-round} revenue of the best fixed pricing the given
+    offline algorithm finds with full knowledge of the valuations —
+    the comparator for regret. (Exact for [Round_robin] and the
+    expectation for [Random], since both average uniformly over
+    buyers.) *)

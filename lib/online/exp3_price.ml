@@ -1,0 +1,60 @@
+module Rng = Qp_util.Rng
+
+type state = {
+  grid : float array;
+  weights : float array;
+  gamma : float;
+  rng : Rng.t;
+  mutable active : int;
+  mutable active_prob : float;
+}
+
+let distribution st =
+  let k = Array.length st.grid in
+  let total = Array.fold_left ( +. ) 0.0 st.weights in
+  Array.init k (fun i ->
+      ((1.0 -. st.gamma) *. st.weights.(i) /. total) +. (st.gamma /. Float.of_int k))
+
+let sample st =
+  let probs = distribution st in
+  let u = Rng.float st.rng 1.0 in
+  let rec go i acc =
+    if i = Array.length probs - 1 then i
+    else if u < acc +. probs.(i) then i
+    else go (i + 1) (acc +. probs.(i))
+  in
+  let ix = go 0 0.0 in
+  st.active <- ix;
+  st.active_prob <- probs.(ix)
+
+let create ?(gamma = 0.1) ~rng ~grid () =
+  if Array.length grid = 0 then invalid_arg "Exp3_price.create: empty grid";
+  let st =
+    {
+      grid;
+      weights = Array.make (Array.length grid) 1.0;
+      gamma;
+      rng;
+      active = 0;
+      active_prob = 1.0;
+    }
+  in
+  sample st;
+  let hi = Array.fold_left Float.max grid.(0) grid in
+  let k = Float.of_int (Array.length grid) in
+  {
+    Policy.name = "exp3-uniform";
+    current = (fun () -> Qp_core.Pricing.Uniform_bundle st.grid.(st.active));
+    observe =
+      (fun ~items:_ ~price ~sold ->
+        let reward = if sold then price /. hi else 0.0 in
+        let estimate = reward /. Float.max 1e-9 st.active_prob in
+        st.weights.(st.active) <-
+          st.weights.(st.active) *. exp (st.gamma *. estimate /. k);
+        (* Periodic renormalization guards against float overflow on
+           very long runs. *)
+        let max_w = Array.fold_left Float.max 0.0 st.weights in
+        if max_w > 1e12 then
+          Array.iteri (fun i w -> st.weights.(i) <- w /. max_w) st.weights;
+        sample st);
+  }

@@ -1,0 +1,9 @@
+(** EXP3 over a geometric grid of uniform bundle prices: the adversarial
+    counterpart of {!Ucb_price}, robust to arrival sequences that are
+    not i.i.d. (e.g. the round-robin arrivals of the benches). Standard
+    EXP3 with importance-weighted reward estimates; O(sqrt(T K log K))
+    expected regret against the best grid price. *)
+
+val create :
+  ?gamma:float -> rng:Qp_util.Rng.t -> grid:float array -> unit -> Policy.t
+(** [gamma] is the exploration mix (default 0.1). *)

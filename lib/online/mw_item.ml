@@ -1,0 +1,15 @@
+let create ?(eta = 0.05) ?floor ?cap ~n_items ~initial () =
+  if initial <= 0.0 then invalid_arg "Mw_item.create: initial must be positive";
+  let floor = Option.value floor ~default:(initial /. 1000.0) in
+  let cap = Option.value cap ~default:(initial *. 1000.0) in
+  let w = Array.make n_items initial in
+  {
+    Policy.name = "mw-item";
+    current = (fun () -> Qp_core.Pricing.Item (Array.copy w));
+    observe =
+      (fun ~items ~price:_ ~sold ->
+        let factor = if sold then 1.0 +. eta else 1.0 /. (1.0 +. eta) in
+        Array.iter
+          (fun j -> w.(j) <- Float.min cap (Float.max floor (w.(j) *. factor)))
+          items);
+  }

@@ -1,0 +1,21 @@
+(** Multiplicative-weights item pricing — the "gradient descent"
+    direction of §7.2, in its multiplicative form.
+
+    The policy maintains non-negative item weights (an additive,
+    arbitrage-free pricing at every instant). After quoting a bundle:
+    a sale suggests the bundle was (weakly) under-priced, so the items
+    involved get scaled up by (1+η); a decline suggests over-pricing,
+    so they get scaled down. Weights are clamped to a [floor, cap]
+    range so prices can both recover from early mistakes and never
+    explode. This is a heuristic (no regret guarantee is claimed for
+    bundle feedback); the benches measure how it actually performs. *)
+
+val create :
+  ?eta:float ->
+  ?floor:float ->
+  ?cap:float ->
+  n_items:int ->
+  initial:float ->
+  unit ->
+  Policy.t
+(** Defaults: η = 0.05, floor = initial/1000, cap = initial*1000. *)

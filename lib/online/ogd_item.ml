@@ -1,0 +1,15 @@
+let create ?step ~n_items ~initial () =
+  if initial < 0.0 then invalid_arg "Ogd_item.create: negative initial";
+  let base = Option.value step ~default:(Float.max 1e-9 (initial /. 4.0)) in
+  let w = Array.make n_items initial in
+  let t = ref 0 in
+  {
+    Policy.name = "ogd-item";
+    current = (fun () -> Qp_core.Pricing.Item (Array.copy w));
+    observe =
+      (fun ~items ~price:_ ~sold ->
+        incr t;
+        let eta = base /. sqrt (Float.of_int !t) in
+        let dir = if sold then eta else -.eta in
+        Array.iter (fun j -> w.(j) <- Float.max 0.0 (w.(j) +. dir)) items);
+  }

@@ -1,0 +1,8 @@
+(** Online (sub)gradient item pricing: the additive-update variant of
+    {!Mw_item}. On a sale the quoted bundle's item weights move up by a
+    step, on a decline down, with the step size decaying as 1/sqrt(t)
+    (the classical online-gradient schedule). Projection keeps weights
+    non-negative, so the pricing stays arbitrage-free throughout. *)
+
+val create : ?step:float -> n_items:int -> initial:float -> unit -> Policy.t
+(** [step] is the base step size (default [initial / 4]). *)

@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  current : unit -> Qp_core.Pricing.t;
+  observe : items:int array -> price:float -> sold:bool -> unit;
+}
+
+let quote p items = Qp_core.Pricing.price_items (p.current ()) items
+
+let fixed name pricing =
+  {
+    name;
+    current = (fun () -> pricing);
+    observe = (fun ~items:_ ~price:_ ~sold:_ -> ());
+  }

@@ -1,0 +1,26 @@
+(** Interface of an online pricing policy.
+
+    A policy maintains, at every point in time, a {e complete}
+    arbitrage-free pricing function ({!Qp_core.Pricing.t}) — quotes are
+    always [f(bundle)] for the current monotone subadditive [f], so a
+    buyer arriving at any single instant faces an arbitrage-free menu
+    (the paper notes that arbitrage {e across} time needs a new model;
+    see §7.2 — we inherit that open question and keep per-instant
+    freeness). After each transaction the policy observes only the
+    binary accept/decline outcome. *)
+
+type t = {
+  name : string;
+  current : unit -> Qp_core.Pricing.t;
+      (** the pricing function in force (used to quote and audited by
+          the tests for arbitrage-freeness) *)
+  observe : items:int array -> price:float -> sold:bool -> unit;
+      (** feedback after a round: the bundle quoted, the price it was
+          quoted at, and whether the buyer took it *)
+}
+
+val quote : t -> int array -> float
+(** [quote p items] prices a bundle with the policy's current pricing. *)
+
+val fixed : string -> Qp_core.Pricing.t -> t
+(** A non-adaptive policy (used for skyline/baseline comparisons). *)

@@ -1,0 +1,4 @@
+let make ?(epsilon = 0.25) ~lo ~hi () =
+  if not (lo > 0.0 && lo <= hi) then invalid_arg "Price_grid.make: need 0 < lo <= hi";
+  let rec grow p acc = if p >= hi then acc else grow (p *. (1.0 +. epsilon)) (p :: acc) in
+  Array.of_list (List.rev (hi :: grow lo []))

@@ -1,0 +1,10 @@
+(** Geometric price grids shared by the bandit policies.
+
+    For unlimited-supply posted pricing, restricting to a geometric grid
+    [{lo, lo(1+ε), lo(1+ε)², ..., hi}] loses at most a (1+ε) factor of
+    revenue against the best fixed price in the range — the standard
+    discretization argument behind bandit pricing. *)
+
+val make : ?epsilon:float -> lo:float -> hi:float -> unit -> float array
+(** Requires [0 < lo <= hi]; ε defaults to 0.25. The grid always
+    includes [hi]. *)

@@ -1,0 +1,37 @@
+module H = Qp_core.Hypergraph
+module Rng = Qp_util.Rng
+
+type trace = {
+  policy : string;
+  rounds : int;
+  collected : float;
+  per_round : float;
+  checkpoints : (int * float) list;
+}
+
+let run ?arrival ?(checkpoint_every = 0) ~rng ~rounds h policy =
+  let env = Environment.create ?arrival ~rng:(Rng.split rng "arrivals") h in
+  let checkpoints = ref [] in
+  for round = 1 to rounds do
+    let buyer = Environment.next_buyer env in
+    let price = Policy.quote policy buyer.H.items in
+    let sold = Environment.transact env buyer ~price in
+    policy.Policy.observe ~items:buyer.H.items ~price ~sold;
+    if
+      checkpoint_every > 0
+      && (round mod checkpoint_every = 0 || round = rounds)
+    then checkpoints := (round, Environment.revenue_collected env) :: !checkpoints
+  done;
+  {
+    policy = policy.Policy.name;
+    rounds;
+    collected = Environment.revenue_collected env;
+    per_round = Environment.revenue_collected env /. Float.of_int (max 1 rounds);
+    checkpoints = List.rev !checkpoints;
+  }
+
+let offline_per_round h solve =
+  Qp_core.Pricing.revenue (solve h) h /. Float.of_int (max 1 (H.m h))
+
+let compare ?arrival ~rng ~rounds h policies =
+  List.map (fun p -> run ?arrival ~rng ~rounds h p) policies

@@ -1,0 +1,37 @@
+(** Driving policies through the online market and measuring them
+    against the best fixed pricing in hindsight. *)
+
+type trace = {
+  policy : string;
+  rounds : int;
+  collected : float;
+  per_round : float;
+  checkpoints : (int * float) list;
+      (** (round, cumulative revenue) at logarithmically spaced rounds —
+          enough to see whether a policy's average is still climbing *)
+}
+
+val run :
+  ?arrival:Environment.arrival ->
+  ?checkpoint_every:int ->
+  rng:Qp_util.Rng.t ->
+  rounds:int ->
+  Qp_core.Hypergraph.t ->
+  Policy.t ->
+  trace
+(** One policy, one fresh environment. Deterministic in the rng. *)
+
+val offline_per_round :
+  Qp_core.Hypergraph.t -> (Qp_core.Hypergraph.t -> Qp_core.Pricing.t) -> float
+(** Per-round revenue of the given offline algorithm with full
+    knowledge — the hindsight comparator. *)
+
+val compare :
+  ?arrival:Environment.arrival ->
+  rng:Qp_util.Rng.t ->
+  rounds:int ->
+  Qp_core.Hypergraph.t ->
+  Policy.t list ->
+  trace list
+(** Every policy runs against its own environment copy with an
+    identically-seeded arrival stream, so traces are comparable. *)

@@ -1,0 +1,59 @@
+type state = {
+  grid : float array;
+  counts : int array;
+  sums : float array;  (** rewards normalized to [0,1] *)
+  exploration : float;
+  mutable rounds : int;
+  mutable active : int;
+}
+
+let select st =
+  let k = Array.length st.grid in
+  (* Play every arm once, then maximize the UCB index. *)
+  let unplayed = ref (-1) in
+  for i = k - 1 downto 0 do
+    if st.counts.(i) = 0 then unplayed := i
+  done;
+  if !unplayed >= 0 then !unplayed
+  else begin
+    let best = ref 0 and best_index = ref neg_infinity in
+    for i = 0 to k - 1 do
+      let n = Float.of_int st.counts.(i) in
+      let mean = st.sums.(i) /. n in
+      let radius =
+        sqrt (st.exploration *. log (Float.of_int (max 2 st.rounds)) /. n)
+      in
+      if mean +. radius > !best_index then begin
+        best := i;
+        best_index := mean +. radius
+      end
+    done;
+    !best
+  end
+
+let create ?(exploration = 2.0) ~grid () =
+  if Array.length grid = 0 then invalid_arg "Ucb_price.create: empty grid";
+  Array.iter
+    (fun p -> if p <= 0.0 then invalid_arg "Ucb_price.create: nonpositive price")
+    grid;
+  let st =
+    {
+      grid;
+      counts = Array.make (Array.length grid) 0;
+      sums = Array.make (Array.length grid) 0.0;
+      exploration;
+      rounds = 0;
+      active = 0;
+    }
+  in
+  let hi = Array.fold_left Float.max grid.(0) grid in
+  {
+    Policy.name = "ucb-uniform";
+    current = (fun () -> Qp_core.Pricing.Uniform_bundle st.grid.(st.active));
+    observe =
+      (fun ~items:_ ~price ~sold ->
+        st.rounds <- st.rounds + 1;
+        st.counts.(st.active) <- st.counts.(st.active) + 1;
+        if sold then st.sums.(st.active) <- st.sums.(st.active) +. (price /. hi);
+        st.active <- select st);
+  }

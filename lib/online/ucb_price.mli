@@ -1,0 +1,14 @@
+(** UCB1 over a geometric grid of uniform bundle prices — the "bandit
+    algorithms" direction of §7.2.
+
+    Arms are candidate uniform prices; pulling arm [p] means posting the
+    uniform bundle price [p] for one round, with reward [p] on a sale
+    and 0 otherwise (rescaled to [0,1] by the grid maximum). Against
+    stochastic arrivals with fixed valuations this is a standard
+    stochastic bandit, so UCB1's O(sqrt(K T log T)) regret applies
+    against the best {e grid} price, which is within (1+ε) of the best
+    uniform price overall. *)
+
+val create : ?exploration:float -> grid:float array -> unit -> Policy.t
+(** [exploration] scales the confidence radius (default 2.0). The grid
+    must be non-empty with positive prices. *)

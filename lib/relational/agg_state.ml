@@ -1,0 +1,238 @@
+type kind =
+  | K_count_star
+  | K_count
+  | K_count_distinct
+  | K_sum
+  | K_avg
+  | K_min
+  | K_max
+
+let kind_of_agg = function
+  | Query.Count_star -> K_count_star
+  | Query.Count _ -> K_count
+  | Query.Count_distinct _ -> K_count_distinct
+  | Query.Sum _ -> K_sum
+  | Query.Avg _ -> K_avg
+  | Query.Min _ -> K_min
+  | Query.Max _ -> K_max
+
+type slot =
+  | S_star
+  | S_count of { mutable nonnull : int }
+  | S_sum of { mutable nonnull : int; mutable total : int }
+  | S_values of values_slot
+      (** per-value multiplicities, for DISTINCT / MIN / MAX *)
+
+and values_slot = {
+  tbl : (Value.t, int) Hashtbl.t;
+  mutable cached_min : Value.t option option;
+  mutable cached_max : Value.t option option;
+}
+
+type acc = { kinds : kind array; slots : slot array; mutable nrows : int }
+
+let slot_of_kind = function
+  | K_count_star -> S_star
+  | K_count -> S_count { nonnull = 0 }
+  | K_sum | K_avg -> S_sum { nonnull = 0; total = 0 }
+  | K_count_distinct | K_min | K_max ->
+      S_values { tbl = Hashtbl.create 8; cached_min = None; cached_max = None }
+
+let create kinds =
+  { kinds; slots = Array.map slot_of_kind kinds; nrows = 0 }
+
+let int_arg kind v =
+  match v with
+  | Value.Int i -> i
+  | Value.Null | Value.Ratio _ | Value.Str _ ->
+      ignore kind;
+      invalid_arg "Agg_state: SUM/AVG argument must be an integer"
+
+let add acc args =
+  acc.nrows <- acc.nrows + 1;
+  Array.iteri
+    (fun i slot ->
+      let v = args.(i) in
+      match slot with
+      | S_star -> ()
+      | S_count c -> if v <> Value.Null then c.nonnull <- c.nonnull + 1
+      | S_sum s ->
+          if v <> Value.Null then begin
+            s.nonnull <- s.nonnull + 1;
+            s.total <- s.total + int_arg acc.kinds.(i) v
+          end
+      | S_values vs ->
+          if v <> Value.Null then begin
+            let cur = Option.value (Hashtbl.find_opt vs.tbl v) ~default:0 in
+            Hashtbl.replace vs.tbl v (cur + 1);
+            vs.cached_min <- None;
+            vs.cached_max <- None
+          end)
+    acc.slots
+
+let rows acc = acc.nrows
+
+let table_extreme better tbl =
+  Hashtbl.fold
+    (fun v count best ->
+      if count <= 0 then best
+      else
+        match best with
+        | None -> Some v
+        | Some b -> if better v b then Some v else best)
+    tbl None
+
+let value_of_extreme = function None -> Value.Null | Some v -> v
+
+let base_min vs =
+  match vs.cached_min with
+  | Some e -> e
+  | None ->
+      let e = table_extreme (fun a b -> Value.compare a b < 0) vs.tbl in
+      vs.cached_min <- Some e;
+      e
+
+let base_max vs =
+  match vs.cached_max with
+  | Some e -> e
+  | None ->
+      let e = table_extreme (fun a b -> Value.compare a b > 0) vs.tbl in
+      vs.cached_max <- Some e;
+      e
+
+let slot_output kind slot nrows =
+  match (kind, slot) with
+  | K_count_star, S_star -> Value.Int nrows
+  | K_count, S_count c -> Value.Int c.nonnull
+  | K_sum, S_sum s -> if s.nonnull = 0 then Value.Null else Value.Int s.total
+  | K_avg, S_sum s ->
+      if s.nonnull = 0 then Value.Null else Value.ratio s.total s.nonnull
+  | K_count_distinct, S_values vs -> Value.Int (Hashtbl.length vs.tbl)
+  | K_min, S_values vs -> value_of_extreme (base_min vs)
+  | K_max, S_values vs -> value_of_extreme (base_max vs)
+  | _ -> assert false
+
+let output acc =
+  Array.mapi (fun i slot -> slot_output acc.kinds.(i) slot acc.nrows) acc.slots
+
+let empty_output kinds =
+  Array.map
+    (function
+      | K_count_star | K_count | K_count_distinct -> Value.Int 0
+      | K_sum | K_avg | K_min | K_max -> Value.Null)
+    kinds
+
+(* --- non-mutating delta view --------------------------------------- *)
+
+let overlay_of i ~removed ~added =
+  let overlay = Hashtbl.create 8 in
+  let bump v d =
+    if v <> Value.Null then
+      let cur = Option.value (Hashtbl.find_opt overlay v) ~default:0 in
+      Hashtbl.replace overlay v (cur + d)
+  in
+  List.iter (fun args -> bump args.(i) (-1)) removed;
+  List.iter (fun args -> bump args.(i) 1) added;
+  overlay
+
+let count_after tbl overlay v =
+  Option.value (Hashtbl.find_opt tbl v) ~default:0
+  + Option.value (Hashtbl.find_opt overlay v) ~default:0
+
+(* Recompute min/max over [base + overlay]. The fast path avoids the
+   full scan when the (cached) base extreme survives the removals. *)
+let extreme_after better ~base tbl overlay =
+  let base_alive =
+    match base with Some v -> count_after tbl overlay v > 0 | None -> false
+  in
+  let overlay_best =
+    Hashtbl.fold
+      (fun v _ best ->
+        if count_after tbl overlay v <= 0 then best
+        else
+          match best with
+          | None -> Some v
+          | Some b -> if better v b then Some v else best)
+      overlay None
+  in
+  if base_alive then
+    match (base, overlay_best) with
+    | Some b, Some o -> Some (if better o b then o else b)
+    | Some b, None -> Some b
+    | None, _ -> assert false
+  else
+    (* The base extreme vanished: full rescan over both key sets. *)
+    let scan src best =
+      Hashtbl.fold
+        (fun v _ best ->
+          if count_after tbl overlay v <= 0 then best
+          else
+            match best with
+            | None -> Some v
+            | Some b -> if better v b then Some v else best)
+        src best
+    in
+    scan tbl (scan overlay None)
+
+let distinct_after tbl overlay =
+  Hashtbl.length tbl
+  + Hashtbl.fold
+      (fun v d acc ->
+        if d = 0 then acc
+        else
+          let base = Option.value (Hashtbl.find_opt tbl v) ~default:0 in
+          if base > 0 && base + d <= 0 then acc - 1
+          else if base = 0 && d > 0 then acc + 1
+          else acc)
+      overlay 0
+
+let output_with_delta acc ~removed ~added =
+  let nrows = acc.nrows - List.length removed + List.length added in
+  if nrows <= 0 then None
+  else
+    Some
+      (Array.mapi
+         (fun i slot ->
+           let delta_nonnull =
+             lazy
+               (List.fold_left (fun a args -> if args.(i) <> Value.Null then a + 1 else a) 0 added
+               - List.fold_left
+                   (fun a args -> if args.(i) <> Value.Null then a + 1 else a)
+                   0 removed)
+           in
+           match (acc.kinds.(i), slot) with
+           | K_count_star, S_star -> Value.Int nrows
+           | K_count, S_count c -> Value.Int (c.nonnull + Lazy.force delta_nonnull)
+           | (K_sum | K_avg), S_sum s ->
+               let dt =
+                 List.fold_left
+                   (fun a args ->
+                     if args.(i) = Value.Null then a
+                     else a + int_arg acc.kinds.(i) args.(i))
+                   0 added
+                 - List.fold_left
+                     (fun a args ->
+                       if args.(i) = Value.Null then a
+                       else a + int_arg acc.kinds.(i) args.(i))
+                     0 removed
+               in
+               let nonnull = s.nonnull + Lazy.force delta_nonnull in
+               if nonnull = 0 then Value.Null
+               else if acc.kinds.(i) = K_sum then Value.Int (s.total + dt)
+               else Value.ratio (s.total + dt) nonnull
+           | K_count_distinct, S_values vs ->
+               Value.Int (distinct_after vs.tbl (overlay_of i ~removed ~added))
+           | K_min, S_values vs ->
+               value_of_extreme
+                 (extreme_after
+                    (fun a b -> Value.compare a b < 0)
+                    ~base:(base_min vs) vs.tbl
+                    (overlay_of i ~removed ~added))
+           | K_max, S_values vs ->
+               value_of_extreme
+                 (extreme_after
+                    (fun a b -> Value.compare a b > 0)
+                    ~base:(base_max vs) vs.tbl
+                    (overlay_of i ~removed ~added))
+           | _ -> assert false)
+         acc.slots)

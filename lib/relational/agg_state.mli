@@ -1,0 +1,46 @@
+(** Per-group aggregate accumulators.
+
+    Both the full evaluator ({!Eval}) and the incremental evaluator
+    ({!Delta_eval}) derive aggregate outputs from this module, so a
+    delta-updated answer is guaranteed to be structurally identical to a
+    recomputed one.
+
+    An accumulator is built by feeding it "pre-aggregation rows": for
+    each input row (after joins and [WHERE]), the array of aggregate
+    argument values, positionally matching the [kind] array
+    ([Count_star] slots receive an ignored placeholder). *)
+
+type kind =
+  | K_count_star
+  | K_count
+  | K_count_distinct
+  | K_sum
+  | K_avg
+  | K_min
+  | K_max
+
+val kind_of_agg : Query.agg_fn -> kind
+
+type acc
+
+val create : kind array -> acc
+val add : acc -> Value.t array -> unit
+val rows : acc -> int
+
+val output : acc -> Value.t array
+(** One value per aggregate: COUNT variants yield [Int]; SUM yields
+    [Int] (or [Null] when every argument was null); AVG yields a
+    normalized [Ratio]; MIN/MAX yield the extreme non-null value or
+    [Null]. *)
+
+val empty_output : kind array -> Value.t array
+(** SQL semantics for a global aggregate over zero rows: counts are 0,
+    everything else [Null]. *)
+
+val output_with_delta :
+  acc -> removed:Value.t array list -> added:Value.t array list -> Value.t array option
+(** The output the accumulator {e would} produce after removing and
+    adding the given pre-aggregation rows, without mutating it. [None]
+    means the group becomes empty (it disappears from a grouped
+    answer). Removed rows must actually be present in the accumulated
+    multiset — the delta evaluator guarantees this by construction. *)

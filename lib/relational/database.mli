@@ -1,0 +1,17 @@
+(** A database instance: a set of named relations. *)
+
+type t
+
+val make : Relation.t list -> t
+(** Relation names (from their schemas) must be distinct. *)
+
+val relation : t -> string -> Relation.t
+(** Lookup by name (case-insensitive). Raises [Not_found]. *)
+
+val relation_opt : t -> string -> Relation.t option
+val relations : t -> Relation.t list
+val names : t -> string list
+val total_rows : t -> int
+
+val with_relation : t -> Relation.t -> t
+(** [with_relation db r] replaces the relation with [r]'s name. *)

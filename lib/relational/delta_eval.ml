@@ -1,0 +1,221 @@
+type group = { acc : Agg_state.acc; mutable base_out : Value.t array option }
+
+type grouped_state = {
+  groups : (Value.t array, group) Hashtbl.t;
+  global : bool;
+}
+
+type strategy =
+  | Rowwise
+  | Rowwise_distinct of (Value.t array, int) Hashtbl.t
+  | Grouped of grouped_state
+  | Fallback
+
+type t = {
+  db : Database.t;
+  q : Query.t;
+  plan : Eval.plan;
+  prejoined : Eval.prejoined;
+  positions : (string, int list) Hashtbl.t;  (** table name -> FROM levels *)
+  strategy : strategy;
+  mutable base : Result_set.t option;
+}
+
+let query t = t.q
+
+let base_result t =
+  match t.base with
+  | Some r -> r
+  | None ->
+      let r = Eval.run_plan t.plan t.db in
+      t.base <- Some r;
+      r
+
+let strategy_name t =
+  match t.strategy with
+  | Rowwise -> "rowwise"
+  | Rowwise_distinct _ -> "rowwise-distinct"
+  | Grouped _ -> "grouped"
+  | Fallback -> "fallback"
+
+(* Grouped answers stay per-key comparable only when every selected
+   field is itself a group key; then output rows are pairwise distinct
+   and a changed group cannot be masked by another group's identical
+   row. *)
+let fields_are_group_keys q =
+  List.for_all
+    (function
+      | Query.Field (e, _) -> List.exists (fun g -> g = e) q.Query.group_by
+      | Query.Aggregate _ -> true)
+    q.Query.select
+
+let table_positions q =
+  let positions = Hashtbl.create 4 in
+  List.iteri
+    (fun i { Query.table; _ } ->
+      let key = String.lowercase_ascii table in
+      let cur = Option.value (Hashtbl.find_opt positions key) ~default:[] in
+      Hashtbl.replace positions key (cur @ [ i ]))
+    q.Query.from;
+  positions
+
+let choose_strategy plan q envs positions =
+  let self_join = Hashtbl.fold (fun _ ps b -> b || List.length ps > 1) positions false in
+  if self_join || q.Query.limit <> None then Fallback
+  else if Query.has_aggregate q || q.Query.group_by <> [] then
+    if q.Query.distinct then Fallback
+    else if q.Query.group_by = [] && List.exists (function Query.Field _ -> true | Query.Aggregate _ -> false) q.Query.select
+    then Fallback
+    else if not (fields_are_group_keys q) then Fallback
+    else begin
+      let groups = Hashtbl.create 64 in
+      List.iter
+        (fun env ->
+          let key = Eval.group_key plan env in
+          let g =
+            match Hashtbl.find_opt groups key with
+            | Some g -> g
+            | None ->
+                let g = { acc = Agg_state.create (Eval.agg_kinds plan); base_out = None } in
+                Hashtbl.add groups key g;
+                g
+          in
+          Agg_state.add g.acc (Eval.agg_row plan env))
+        envs;
+      Grouped { groups; global = q.Query.group_by = [] }
+    end
+  else if q.Query.distinct then begin
+    let counts = Hashtbl.create 256 in
+    List.iter
+      (fun env ->
+        let row = Eval.project plan env in
+        let cur = Option.value (Hashtbl.find_opt counts row) ~default:0 in
+        Hashtbl.replace counts row (cur + 1))
+      envs;
+    Rowwise_distinct counts
+  end
+  else Rowwise
+
+let prepare db q =
+  let plan = Eval.prepare db q in
+  let prejoined = Eval.precompute_levels plan db in
+  let positions = table_positions q in
+  let needs_envs =
+    (Query.has_aggregate q || q.Query.group_by <> [] || q.Query.distinct)
+    && q.Query.limit = None
+  in
+  let envs = if needs_envs then Eval.join_prejoined plan prejoined else [] in
+  let strategy = choose_strategy plan q envs positions in
+  { db; q; plan; prejoined; positions; strategy; base = None }
+
+(* --- per-delta contribution ----------------------------------------- *)
+
+let contributions t level tup_opt =
+  match tup_opt with
+  | None -> []
+  | Some tup -> Eval.join_fixed t.plan t.prejoined (level, tup)
+
+let multiset_equal rows_a rows_b =
+  List.length rows_a = List.length rows_b
+  &&
+  let sort l = List.sort Result_set.compare_rows l in
+  List.for_all2
+    (fun a b -> Result_set.compare_rows a b = 0)
+    (sort rows_a) (sort rows_b)
+
+let rowwise_differs t removed added =
+  let proj envs = List.map (Eval.project t.plan) envs in
+  not (multiset_equal (proj removed) (proj added))
+
+let distinct_differs t counts removed added =
+  let net = Hashtbl.create 8 in
+  let bump env d =
+    let row = Eval.project t.plan env in
+    let cur = Option.value (Hashtbl.find_opt net row) ~default:0 in
+    Hashtbl.replace net row (cur + d)
+  in
+  List.iter (fun env -> bump env (-1)) removed;
+  List.iter (fun env -> bump env 1) added;
+  Hashtbl.fold
+    (fun row d acc ->
+      acc
+      ||
+      let base = Option.value (Hashtbl.find_opt counts row) ~default:0 in
+      base > 0 <> (base + d > 0))
+    net false
+
+let group_base_out g =
+  match g.base_out with
+  | Some out -> out
+  | None ->
+      let out = Agg_state.output g.acc in
+      g.base_out <- Some out;
+      out
+
+let grouped_differs t gs removed added =
+  let by_key = Hashtbl.create 8 in
+  let file d env =
+    let key = Eval.group_key t.plan env in
+    let rem, add =
+      Option.value (Hashtbl.find_opt by_key key) ~default:([], [])
+    in
+    let row = Eval.agg_row t.plan env in
+    if d < 0 then Hashtbl.replace by_key key (row :: rem, add)
+    else Hashtbl.replace by_key key (rem, row :: add)
+  in
+  List.iter (file (-1)) removed;
+  List.iter (file 1) added;
+  let arr_equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b in
+  Hashtbl.fold
+    (fun key (rem, add) acc ->
+      acc
+      ||
+      match Hashtbl.find_opt gs.groups key with
+      | Some g -> (
+          match Agg_state.output_with_delta g.acc ~removed:rem ~added:add with
+          | None ->
+              if gs.global then
+                (* A global aggregate never loses its single output row;
+                   it degrades to the empty-input row. *)
+                not (arr_equal (group_base_out g)
+                       (Agg_state.empty_output (Eval.agg_kinds t.plan)))
+              else true
+          | Some out -> not (arr_equal (group_base_out g) out))
+      | None ->
+          (* A brand-new group key: only additions can reach it. *)
+          add <> []
+          &&
+          if gs.global then
+            let acc0 = Agg_state.create (Eval.agg_kinds t.plan) in
+            List.iter (Agg_state.add acc0) add;
+            not (arr_equal (Agg_state.output acc0)
+                   (Agg_state.empty_output (Eval.agg_kinds t.plan)))
+          else true)
+    by_key false
+
+let fallback_differs t delta =
+  let perturbed = Delta.apply t.db delta in
+  not (Result_set.equal (Eval.run_plan t.plan perturbed) (base_result t))
+
+let differs t delta =
+  let table = String.lowercase_ascii (Delta.relation delta) in
+  match Hashtbl.find_opt t.positions table with
+  | None -> false
+  | Some levels -> (
+      match t.strategy with
+      | Fallback -> fallback_differs t delta
+      | strategy -> (
+          match levels with
+          | [ level ] -> (
+              let old_tup, new_tup = Delta.changed_tuple t.db delta in
+              let removed = contributions t level (Some old_tup) in
+              let added = contributions t level new_tup in
+              match strategy with
+              | Rowwise -> rowwise_differs t removed added
+              | Rowwise_distinct counts -> distinct_differs t counts removed added
+              | Grouped gs -> grouped_differs t gs removed added
+              | Fallback -> assert false)
+          | _ ->
+              (* Self-joins force the fallback strategy at prepare
+                 time, so this is unreachable; stay safe regardless. *)
+              fallback_differs t delta))

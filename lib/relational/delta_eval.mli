@@ -1,0 +1,42 @@
+(** Incremental query evaluation against single-tuple deltas.
+
+    Conflict-set computation asks, for one query and thousands of
+    support deltas, whether [Q(D ⊕ δ) <> Q(D)]. Re-running the query per
+    delta costs |support| full evaluations per query; this module
+    answers each test from the changed tuple's {e contribution} to the
+    answer instead, which is constant-time for most of the paper's
+    workload queries.
+
+    Strategy selection (per query, at {!prepare} time):
+    - {b rowwise}: no aggregates / grouping / DISTINCT / LIMIT — compare
+      the old and new tuple's projected contributions as multisets.
+    - {b rowwise-distinct}: as above with DISTINCT — decide via
+      precomputed projection multiplicities whether the answer {e set}
+      changes.
+    - {b grouped}: aggregates, optionally GROUP BY where every selected
+      field is a group key — recompute only the affected groups'
+      aggregate outputs through {!Agg_state.output_with_delta}.
+    - {b fallback}: anything else (LIMIT, DISTINCT+GROUP BY, self-joins,
+      grouped queries selecting non-key fields) — full re-evaluation
+      with the compiled plan.
+
+    Every strategy is observationally equivalent to
+    [not (Result_set.equal (Eval.run d' q) (Eval.run d q))]; the test
+    suite checks this by property. *)
+
+type t
+
+val prepare : Database.t -> Query.t -> t
+(** Compiles the query, enumerates its pre-aggregation rows once, and
+    builds the per-strategy base state. *)
+
+val query : t -> Query.t
+val base_result : t -> Result_set.t
+(** [Q(D)], computed lazily from the same plan. *)
+
+val strategy_name : t -> string
+(** ["rowwise"], ["rowwise-distinct"], ["grouped"] or ["fallback"] —
+    exposed for tests and diagnostics. *)
+
+val differs : t -> Delta.t -> bool
+(** Whether the perturbed instance changes the query answer. *)

@@ -1,0 +1,61 @@
+(** Full query evaluation.
+
+    A query is compiled once against the database's schemas into a
+    {!plan} (column resolution, predicate pushdown, equi-join detection)
+    and can then be run against any instance with the same schemas —
+    which is exactly what conflict-set computation needs, since every
+    support instance shares the seller instance's schemas. *)
+
+type plan
+
+val prepare : Database.t -> Query.t -> plan
+(** Resolves and compiles. Raises [Invalid_argument] on unknown tables
+    or columns, ill-typed aggregates, etc. *)
+
+val run_plan : plan -> Database.t -> Result_set.t
+(** Evaluates on an instance schema-compatible with the one the plan
+    was prepared on. *)
+
+val run : Database.t -> Query.t -> Result_set.t
+(** [prepare] + [run_plan] in one step. *)
+
+(** {2 Introspection used by {!Delta_eval}} *)
+
+val query : plan -> Query.t
+val from_env : plan -> (string * Schema.t) array
+(** The alias/schema environment the plan compiled against. *)
+
+val join_with_fixed :
+  plan -> Database.t -> fixed:(int * Relation.tuple) -> Expr.env list
+(** All [WHERE]-satisfying join environments in which [FROM] position
+    [fst fixed] is bound to the given tuple (which need not occur in the
+    instance — this is how the delta evaluator probes a changed tuple
+    for its contribution to the answer). *)
+
+val join_all : plan -> Database.t -> Expr.env list
+(** Every [WHERE]-satisfying environment (the pre-aggregation rows). *)
+
+type prejoined
+(** Per-level candidate sets and hash indexes precomputed against one
+    instance, so that repeated [join_fixed] probes (one per support
+    delta) do not rebuild them. *)
+
+val precompute_levels : plan -> Database.t -> prejoined
+
+val join_fixed : plan -> prejoined -> int * Relation.tuple -> Expr.env list
+(** Like {!join_with_fixed} but reusing the precomputation for every
+    level other than the fixed one. *)
+
+val join_prejoined : plan -> prejoined -> Expr.env list
+(** {!join_all} over already-precomputed levels. *)
+
+val project : plan -> Expr.env -> Value.t array
+(** The output row for one environment. Only valid for plans without
+    aggregates. *)
+
+val group_key : plan -> Expr.env -> Value.t array
+val agg_row : plan -> Expr.env -> Value.t array
+(** Aggregate-argument values for one environment, positionally
+    matching {!agg_kinds}. *)
+
+val agg_kinds : plan -> Agg_state.kind array

@@ -1,0 +1,68 @@
+(** Scalar and predicate expressions for [WHERE] clauses, [GROUP BY]
+    keys and aggregate arguments.
+
+    Expressions are built as an untyped AST (convenient for the workload
+    generators, printable as SQL) and compiled against a [FROM]
+    environment before evaluation; see {!Eval}. *)
+
+type col_ref = { table : string option; column : string }
+(** [table] is a [FROM] alias or relation name; [None] means the column
+    is resolved by unique name across the environment. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul
+
+type t =
+  | Col of col_ref
+  | Const of Value.t
+  | Arith of arith * t * t
+      (** integer arithmetic; [Null] operands (or non-integers)
+          propagate [Null] *)
+  | Cmp of cmp * t * t
+  | Between of t * t * t  (** [Between (e, lo, hi)], bounds inclusive *)
+  | In_list of t * Value.t list
+  | Like of t * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val col : ?table:string -> string -> t
+val int : int -> t
+val str : string -> t
+val eq : t -> t -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val conj : t list -> t option
+(** Conjunction of a possibly-empty list ([None] when empty). *)
+
+val columns : t -> col_ref list
+(** All column references, in syntactic order, duplicates included. *)
+
+val to_sql : t -> string
+
+(** Compiled form. *)
+
+type env = Relation.tuple array
+(** One bound tuple per [FROM] item, positionally. *)
+
+type compiled = private {
+  eval : env -> Value.t;
+  tables : int list;  (** sorted indices of the [FROM] items read *)
+}
+
+val compile : (string * Schema.t) array -> t -> compiled
+(** [compile from expr] resolves every column against [from] (pairs of
+    alias and schema, positionally matching the runtime [env]).
+    Unqualified columns must resolve uniquely; failures raise
+    [Invalid_argument] with a descriptive message.
+
+    Comparison, [BETWEEN], [IN] and [LIKE] involving [NULL] evaluate to
+    false (two-valued logic — the generated datasets keep predicate
+    columns non-null, so this never diverges from SQL). Predicates
+    return [Int 1] / [Int 0]; {!is_true} interprets them. *)
+
+val is_true : Value.t -> bool
+(** [Int 0] and [Null] are false; everything else is true. *)

@@ -1,0 +1,19 @@
+(* Backtracking matcher with the classic two-pointer optimization: on a
+   mismatch, restart just after the most recent '%'. Linear in practice
+   for the workload patterns (a single leading or trailing '%'). *)
+let matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si star_pi star_si =
+    if si = ns then
+      let rec only_percents i = i = np || (pattern.[i] = '%' && only_percents (i + 1)) in
+      if only_percents pi then true
+      else if star_pi >= 0 && star_si < ns then
+        go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+      else false
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si pi si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)

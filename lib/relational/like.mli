@@ -1,0 +1,6 @@
+(** SQL [LIKE] pattern matching: [%] matches any (possibly empty)
+    substring, [_] matches exactly one character, everything else is
+    literal and case-sensitive (matching MySQL with a binary collation,
+    which is what the workload queries assume). *)
+
+val matches : pattern:string -> string -> bool

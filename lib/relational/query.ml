@@ -1,0 +1,105 @@
+type agg_fn =
+  | Count_star
+  | Count of Expr.t
+  | Count_distinct of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type select_item =
+  | Field of Expr.t * string
+  | Aggregate of agg_fn * string
+
+type from_item = { table : string; alias : string option }
+
+type t = {
+  name : string;
+  select : select_item list;
+  distinct : bool;
+  from : from_item list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+  limit : int option;
+}
+
+let parse_from entry =
+  match String.split_on_char ' ' (String.trim entry) with
+  | [ table ] -> { table; alias = None }
+  | [ table; alias ] -> { table; alias = Some alias }
+  | _ -> invalid_arg (Printf.sprintf "Query.make: bad FROM entry %S" entry)
+
+let make ~name ?(distinct = false) ?where ?(group_by = []) ?limit ~from select =
+  if from = [] then invalid_arg "Query.make: empty FROM";
+  if select = [] then invalid_arg "Query.make: empty SELECT";
+  (match limit with
+  | Some k when k < 0 -> invalid_arg "Query.make: negative LIMIT"
+  | Some _ | None -> ());
+  { name; select; distinct; from = List.map parse_from from; where; group_by; limit }
+
+let star db t =
+  let multi = List.length t.from > 1 in
+  List.concat_map
+    (fun { table; alias } ->
+      let schema = Relation.schema (Database.relation db table) in
+      let qualifier = Option.value alias ~default:table in
+      List.map
+        (fun (attr, _) ->
+          let expr =
+            if multi then Expr.col ~table:qualifier attr else Expr.col attr
+          in
+          Field (expr, attr))
+        (Schema.attrs schema))
+    t.from
+
+let aggregates t =
+  List.filter_map
+    (function Aggregate (fn, _) -> Some fn | Field _ -> None)
+    t.select
+
+let has_aggregate t = aggregates t <> []
+
+let tables t =
+  List.sort_uniq String.compare
+    (List.map (fun { table; _ } -> String.lowercase_ascii table) t.from)
+
+let agg_sql fn =
+  match fn with
+  | Count_star -> "count(*)"
+  | Count e -> Printf.sprintf "count(%s)" (Expr.to_sql e)
+  | Count_distinct e -> Printf.sprintf "count(distinct %s)" (Expr.to_sql e)
+  | Sum e -> Printf.sprintf "sum(%s)" (Expr.to_sql e)
+  | Avg e -> Printf.sprintf "avg(%s)" (Expr.to_sql e)
+  | Min e -> Printf.sprintf "min(%s)" (Expr.to_sql e)
+  | Max e -> Printf.sprintf "max(%s)" (Expr.to_sql e)
+
+let to_sql t =
+  let item = function
+    | Field (e, _) -> Expr.to_sql e
+    | Aggregate (fn, _) -> agg_sql fn
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if t.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map item t.select));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun { table; alias } ->
+            match alias with None -> table | Some a -> table ^ " " ^ a)
+          t.from));
+  (match t.where with
+  | Some e ->
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf (Expr.to_sql e)
+  | None -> ());
+  (match t.group_by with
+  | [] -> ()
+  | keys ->
+      Buffer.add_string buf " GROUP BY ";
+      Buffer.add_string buf (String.concat ", " (List.map Expr.to_sql keys)));
+  (match t.limit with
+  | Some k -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" k)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Query abstract syntax: a single [SELECT] block with optional
+    [DISTINCT], multi-table [FROM] (joins are expressed as conjunctive
+    [WHERE] predicates, as in the paper's workloads), [GROUP BY],
+    aggregates and [LIMIT].
+
+    Semantics (implemented by {!Eval}): the answer is a {e multiset} of
+    rows, canonically sorted; [LIMIT k] keeps the first [k] rows of the
+    sorted answer, which makes it deterministic (MySQL's unordered
+    [LIMIT] is not a function of the instance, and pricing requires
+    queries to be deterministic functions). *)
+
+type agg_fn =
+  | Count_star
+  | Count of Expr.t
+  | Count_distinct of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type select_item =
+  | Field of Expr.t * string  (** expression and output column name *)
+  | Aggregate of agg_fn * string
+
+type from_item = { table : string; alias : string option }
+
+type t = {
+  name : string;  (** identifier used in reports, e.g. ["Q17[USA]"] *)
+  select : select_item list;
+  distinct : bool;
+  from : from_item list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+  limit : int option;
+}
+
+val make :
+  name:string ->
+  ?distinct:bool ->
+  ?where:Expr.t ->
+  ?group_by:Expr.t list ->
+  ?limit:int ->
+  from:string list ->
+  select_item list ->
+  t
+(** [from] entries of the form ["Country C"] declare an alias. At least
+    one [FROM] table and one select item are required. *)
+
+val star : Database.t -> t -> select_item list
+(** Expands [SELECT *] for [t]'s [FROM] list against the database's
+    schemas: one [Field] per attribute, qualified when the query joins
+    several tables. *)
+
+val aggregates : t -> agg_fn list
+val has_aggregate : t -> bool
+val tables : t -> string list
+(** Distinct relation names referenced in [FROM]. *)
+
+val to_sql : t -> string

@@ -1,0 +1,53 @@
+type t = { header : string array; rows : Value.t array array }
+
+let compare_rows a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let make ~header rows =
+  Array.sort compare_rows rows;
+  { header; rows }
+
+let header t = t.header
+let rows t = t.rows
+let row_count t = Array.length t.rows
+
+let equal a b =
+  Array.length a.rows = Array.length b.rows
+  && Array.length a.header = Array.length b.header
+  &&
+  let n = Array.length a.rows in
+  let rec go i = i = n || (compare_rows a.rows.(i) b.rows.(i) = 0 && go (i + 1)) in
+  go 0
+
+let hash_value h v =
+  let mix h x = (h * 0x01000193) lxor x in
+  match v with
+  | Value.Null -> mix h 1
+  | Value.Int i -> mix (mix h 2) i
+  | Value.Ratio (p, q) -> mix (mix (mix h 3) p) q
+  | Value.Str s -> mix (mix h 4) (Hashtbl.hash s)
+
+let hash t =
+  Array.fold_left
+    (fun h row -> Array.fold_left hash_value (h * 31) row)
+    (Array.length t.rows) t.rows
+
+let pp fmt t =
+  Format.fprintf fmt "%s@." (String.concat " | " (Array.to_list t.header));
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "%s@."
+        (String.concat " | "
+           (Array.to_list (Array.map Value.to_string row))))
+    t.rows
+
+let truncated_to k t =
+  if Array.length t.rows <= k then t
+  else { t with rows = Array.sub t.rows 0 k }

@@ -1,0 +1,31 @@
+(** Canonical query answers.
+
+    Answers are multisets of rows; the representation sorts rows so that
+    multiset equality is plain structural equality. Conflict-set
+    computation ([Q(D) <> Q(D')]) reduces to {!equal}. *)
+
+type t
+
+val make : header:string array -> Value.t array array -> t
+(** Takes ownership of [rows] and sorts them in place
+    (lexicographically by {!Value.compare}). *)
+
+val header : t -> string array
+val rows : t -> Value.t array array
+(** Sorted; callers must not mutate. *)
+
+val row_count : t -> int
+
+val compare_rows : Value.t array -> Value.t array -> int
+(** Lexicographic row order used for the canonical sort. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+(** Structural hash consistent with {!equal}, covering every row (the
+    polymorphic [Hashtbl.hash] truncates large structures and would
+    collide trivially on big answers). *)
+
+val pp : Format.formatter -> t -> unit
+val truncated_to : int -> t -> t
+(** [truncated_to k t] keeps the first [k] sorted rows — the
+    deterministic [LIMIT] semantics. *)

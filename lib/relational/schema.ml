@@ -1,0 +1,39 @@
+type attr_type = T_int | T_string
+
+type t = {
+  name : string;
+  attrs : (string * attr_type) array;
+  index : (string, int) Hashtbl.t;
+}
+
+let normalize = String.lowercase_ascii
+
+let make ~name ~attrs =
+  let attrs = Array.of_list attrs in
+  let index = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i (a, _) ->
+      let key = normalize a in
+      if Hashtbl.mem index key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" a);
+      Hashtbl.replace index key i)
+    attrs;
+  { name; attrs; index }
+
+let name t = t.name
+let arity t = Array.length t.attrs
+let attrs t = Array.to_list t.attrs
+
+let index_of t a =
+  match Hashtbl.find_opt t.index (normalize a) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let attr_name t i = fst t.attrs.(i)
+let attr_type t i = snd t.attrs.(i)
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2)
+       a.attrs b.attrs

@@ -1,0 +1,20 @@
+(** Relation schemas: attribute names with declared types. *)
+
+type attr_type = T_int | T_string
+
+type t
+
+val make : name:string -> attrs:(string * attr_type) list -> t
+(** Attribute names must be distinct (checked). *)
+
+val name : t -> string
+val arity : t -> int
+val attrs : t -> (string * attr_type) list
+
+val index_of : t -> string -> int
+(** Position of an attribute (case-insensitive). Raises [Not_found]. *)
+
+val attr_name : t -> int -> string
+val attr_type : t -> int -> attr_type
+
+val equal : t -> t -> bool

@@ -1,0 +1,45 @@
+type t =
+  | Null
+  | Int of int
+  | Ratio of int * int
+  | Str of string
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let ratio num den =
+  assert (den <> 0);
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = gcd (abs num) den in
+  let g = if g = 0 then 1 else g in
+  if den / g = 1 then Int (num / g) else Ratio (num / g, den / g)
+
+(* Exact comparison of p/q vs r/s by cross-multiplication. Magnitudes in
+   this codebase stay far below sqrt(max_int), so the products cannot
+   overflow. *)
+let compare_num p q r s = compare (p * s) (r * q)
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> compare x y
+  | Int x, Ratio (r, s) -> compare_num x 1 r s
+  | Ratio (p, q), Int y -> compare_num p q y 1
+  | Ratio (p, q), Ratio (r, s) -> compare_num p q r s
+  | (Int _ | Ratio _), Str _ -> -1
+  | Str _, (Int _ | Ratio _) -> 1
+  | Str x, Str y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Int i -> Format.pp_print_int fmt i
+  | Ratio (p, q) -> Format.fprintf fmt "%d/%d" p q
+  | Str s -> Format.fprintf fmt "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+let as_int = function Int i -> Some i | Null | Ratio _ | Str _ -> None
+let as_string = function Str s -> Some s | Null | Int _ | Ratio _ -> None

@@ -1,0 +1,34 @@
+(** Typed atomic values.
+
+    Numeric data is kept exact: integers for raw data (the generators
+    store money in cents) and normalized rationals for averages. Exact
+    arithmetic matters because conflict-set computation compares query
+    answers for equality, and the delta evaluator must produce
+    bit-identical answers to the full evaluator regardless of the order
+    in which aggregates are accumulated. *)
+
+type t =
+  | Null
+  | Int of int
+  | Ratio of int * int
+      (** Normalized rational: positive denominator, gcd 1. Produced by
+          AVG; construct via {!ratio}. *)
+  | Str of string
+
+val ratio : int -> int -> t
+(** [ratio num den] normalizes: reduces by gcd, moves the sign to the
+    numerator, and collapses to [Int] when the denominator is 1.
+    Requires [den <> 0]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] < numerics (compared as rationals) < strings. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val as_int : t -> int option
+(** [Some i] for [Int i], [None] otherwise. *)
+
+val as_string : t -> string option

@@ -1,0 +1,56 @@
+let uniform rng ~lo ~hi =
+  assert (lo <= hi);
+  lo +. Rng.float rng (hi -. lo)
+
+(* Rejection sampler for the Zipf distribution, after Devroye (1986),
+   "Non-Uniform Random Variate Generation", ch. X.6. Expected number of
+   iterations is bounded by a small constant for a > 1. *)
+let zipf rng ~a ~n =
+  assert (a > 1.0 && n >= 1);
+  let b = 2.0 ** (a -. 1.0) in
+  let rec loop tries =
+    if tries > 10_000 then 1
+    else
+      let u = Rng.float rng 1.0 in
+      let v = Rng.float rng 1.0 in
+      let x = floor ((1.0 -. u) ** (-1.0 /. (a -. 1.0))) in
+      if x < 1.0 || x > Float.of_int n then loop (tries + 1)
+      else
+        let t = (1.0 +. (1.0 /. x)) ** (a -. 1.0) in
+        if v *. x *. (t -. 1.0) /. (b -. 1.0) <= t /. b then int_of_float x
+        else loop (tries + 1)
+  in
+  loop 0
+
+let exponential rng ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. Rng.float rng 1.0 in
+  -.mean *. log u
+
+let normal rng ~mu ~sigma =
+  let u1 = 1.0 -. Rng.float rng 1.0 in
+  let u2 = Rng.float rng 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let normal_pos rng ~mu ~sigma =
+  let rec loop tries =
+    if tries >= 100 then Float.max 0.0 (normal rng ~mu ~sigma)
+    else
+      let x = normal rng ~mu ~sigma in
+      if x > 0.0 then x else loop (tries + 1)
+  in
+  loop 0
+
+let binomial rng ~n ~p =
+  assert (n >= 0 && p >= 0.0 && p <= 1.0);
+  if n <= 10_000 then (
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Rng.float rng 1.0 < p then incr count
+    done;
+    !count)
+  else
+    let mu = Float.of_int n *. p in
+    let sigma = sqrt (Float.of_int n *. p *. (1.0 -. p)) in
+    let x = normal rng ~mu ~sigma in
+    int_of_float (Float.max 0.0 (Float.min (Float.of_int n) (Float.round x)))

@@ -1,0 +1,28 @@
+(** Probability distributions used by the valuation models of §6.3.
+
+    All samplers take an {!Rng.t} so experiments stay reproducible. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on the closed interval [lo, hi]. *)
+
+val zipf : Rng.t -> a:float -> n:int -> int
+(** Zipf law on [{1, ..., n}] with exponent [a > 1]: P(X = i) is
+    proportional to [i ** -a]. Sampled by inversion over the
+    precomputed CDF would cost O(n) per draw, so we use rejection
+    sampling (Devroye), which is O(1) expected. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponential with the given mean (the paper parameterizes by
+    [beta = |e|^k], which is the mean). Requires [mean > 0]. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via the Box-Muller transform. *)
+
+val normal_pos : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian truncated below at 0 (valuations must be non-negative);
+    resamples until positive, falling back to [max 0] after 100 tries
+    for extreme parameters. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Binomial(n, p) by direct simulation for small n, normal
+    approximation beyond n = 10_000. *)

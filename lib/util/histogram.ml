@@ -1,0 +1,41 @@
+type t = { lo : int; width : int; counts : int array }
+
+let create ?(buckets = 20) data =
+  assert (buckets > 0);
+  if Array.length data = 0 then { lo = 0; width = 1; counts = Array.make buckets 0 }
+  else
+    let lo = Array.fold_left min data.(0) data in
+    let hi = Array.fold_left max data.(0) data in
+    let width = max 1 (((hi - lo) / buckets) + 1) in
+    let counts = Array.make buckets 0 in
+    Array.iter
+      (fun x ->
+        let b = min (buckets - 1) ((x - lo) / width) in
+        counts.(b) <- counts.(b) + 1)
+      data;
+    { lo; width; counts }
+
+let bucket_count t = Array.length t.counts
+
+let bucket t i =
+  let lo = t.lo + (i * t.width) in
+  (lo, lo + t.width, t.counts.(i))
+
+let render ?(log_scale = false) ?(width = 50) t =
+  let scale c =
+    if log_scale then log10 (1.0 +. Float.of_int c) else Float.of_int c
+  in
+  let max_scaled =
+    Array.fold_left (fun acc c -> Float.max acc (scale c)) 1e-9 t.counts
+  in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i c ->
+      let lo, hi, _ = bucket t i in
+      let bar_len =
+        int_of_float (Float.of_int width *. scale c /. max_scaled)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "[%6d, %6d) %6d %s\n" lo hi c (String.make bar_len '#')))
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. Float.of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. Float.of_int n
+    in
+    sqrt var
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. Float.of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. Float.of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let minimum xs = Array.fold_left Float.min xs.(0) xs
+let maximum xs = Array.fold_left Float.max xs.(0) xs

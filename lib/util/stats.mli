@@ -1,0 +1,15 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation between
+    order statistics. Requires a non-empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+val sum : float array -> float

@@ -1,0 +1,36 @@
+let pad_row width_count row =
+  if List.length row >= width_count then row
+  else row @ List.init (width_count - List.length row) (fun _ -> "")
+
+let render ~header rows =
+  let cols = List.length header in
+  let rows = List.map (pad_row cols) rows in
+  let all = header :: rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+  ^ "\n"
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv ~header rows =
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"

@@ -1,0 +1,10 @@
+(** Aligned plain-text tables for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in columns padded to the
+    widest cell, with a separator rule under the header. Rows shorter
+    than the header are padded with empty cells. *)
+
+val render_csv : header:string list -> string list list -> string
+(** Same data as comma-separated values (cells containing commas or
+    quotes are quoted). *)

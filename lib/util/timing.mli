@@ -1,0 +1,11 @@
+(** Wall-clock timing for the runtime tables (Tables 4-6). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)
+
+val time_runs : ?warmup:int -> runs:int -> (unit -> 'a) -> float
+(** [time_runs ~warmup ~runs f] reports the mean elapsed seconds over
+    [runs] executions after [warmup] (default 1) discarded executions —
+    the measurement protocol of §6.1 ("average over 5 runs, where we
+    discard the first run"). *)

@@ -1,0 +1,156 @@
+module Database = Qp_relational.Database
+module Relation = Qp_relational.Relation
+module Schema = Qp_relational.Schema
+module Value = Qp_relational.Value
+module Rng = Qp_util.Rng
+
+type config = {
+  customers : int;
+  suppliers : int;
+  parts : int;
+  lineorders : int;
+}
+
+let default_config =
+  { customers = 500; suppliers = 100; parts = 200; lineorders = 6000 }
+
+let tiny_config = { customers = 60; suppliers = 15; parts = 30; lineorders = 250 }
+
+let regions = Tpch.regions
+let nations = Tpch.nations
+let years = [ 1992; 1993; 1994; 1995; 1996; 1997; 1998 ]
+
+(* SSB city = the nation's first 9 characters (space-padded) plus a
+   digit, e.g. "UNITED KI4". *)
+let city_of nation digit =
+  let base =
+    if String.length nation >= 9 then String.sub nation 0 9
+    else nation ^ String.make (9 - String.length nation) ' '
+  in
+  Printf.sprintf "%s%d" base digit
+
+let cities =
+  Array.concat
+    (List.map
+       (fun (nation, _) -> Array.init 10 (fun d -> city_of nation d))
+       (Array.to_list nations))
+
+let categories =
+  Array.init 25 (fun i -> Printf.sprintf "MFGR#%d%d" (1 + (i / 5)) (1 + (i mod 5)))
+
+let brand_of category n = Printf.sprintf "%s%02d" category n
+
+let date_schema =
+  Schema.make ~name:"date"
+    ~attrs:
+      [ ("d_datekey", Schema.T_int); ("d_year", Schema.T_int);
+        ("d_yearmonthnum", Schema.T_int); ("d_weeknuminyear", Schema.T_int) ]
+
+let customer_schema =
+  Schema.make ~name:"customer"
+    ~attrs:
+      [ ("c_custkey", Schema.T_int); ("c_name", Schema.T_string);
+        ("c_city", Schema.T_string); ("c_nation", Schema.T_string);
+        ("c_region", Schema.T_string) ]
+
+let supplier_schema =
+  Schema.make ~name:"supplier"
+    ~attrs:
+      [ ("s_suppkey", Schema.T_int); ("s_name", Schema.T_string);
+        ("s_city", Schema.T_string); ("s_nation", Schema.T_string);
+        ("s_region", Schema.T_string) ]
+
+let part_schema =
+  Schema.make ~name:"part"
+    ~attrs:
+      [ ("p_partkey", Schema.T_int); ("p_name", Schema.T_string);
+        ("p_mfgr", Schema.T_string); ("p_category", Schema.T_string);
+        ("p_brand", Schema.T_string) ]
+
+let lineorder_schema =
+  Schema.make ~name:"lineorder"
+    ~attrs:
+      [ ("lo_orderkey", Schema.T_int); ("lo_linenumber", Schema.T_int);
+        ("lo_custkey", Schema.T_int); ("lo_partkey", Schema.T_int);
+        ("lo_suppkey", Schema.T_int); ("lo_orderdate", Schema.T_int);
+        ("lo_quantity", Schema.T_int); ("lo_extendedprice", Schema.T_int);
+        ("lo_discount", Schema.T_int); ("lo_revenue", Schema.T_int);
+        ("lo_supplycost", Schema.T_int) ]
+
+let date_rows () =
+  (* One row per ISO-ish week over 1992-1998, spread across all twelve
+     months (Q3.4 filters on December). *)
+  List.concat_map
+    (fun year ->
+      List.init 52 (fun w ->
+          let month = 1 + (w * 12 / 52) in
+          let day = 1 + (6 * (w mod 4)) in
+          [|
+            Value.Int (Tpch.date ~year ~month ~day);
+            Value.Int year;
+            Value.Int ((year * 100) + month);
+            Value.Int (w + 1);
+          |]))
+    years
+
+let located_rows rng ~n ~name_fmt =
+  List.init n (fun i ->
+      let nation, region = Rng.pick rng nations in
+      let city = city_of nation (Rng.int rng 10) in
+      (i + 1, Printf.sprintf name_fmt (i + 1), city, nation, region))
+
+let generate ~rng ?(config = default_config) () =
+  let r = Rng.split rng "ssb" in
+  let dates = date_rows () in
+  let datekeys = Array.of_list (List.map (fun row -> row.(0)) dates) in
+  let customer_rows =
+    List.map
+      (fun (k, name, city, nation, region) ->
+        [| Value.Int k; Value.Str name; Value.Str city; Value.Str nation;
+           Value.Str region |])
+      (located_rows r ~n:config.customers ~name_fmt:"Customer#%05d")
+  in
+  let supplier_rows =
+    List.map
+      (fun (k, name, city, nation, region) ->
+        [| Value.Int k; Value.Str name; Value.Str city; Value.Str nation;
+           Value.Str region |])
+      (located_rows r ~n:config.suppliers ~name_fmt:"Supplier#%05d")
+  in
+  let part_rows =
+    List.init config.parts (fun i ->
+        let category = Rng.pick r categories in
+        [|
+          Value.Int (i + 1);
+          Value.Str (Printf.sprintf "part %d" (i + 1));
+          Value.Str (String.sub category 0 6);
+          Value.Str category;
+          Value.Str (brand_of category (Rng.int_in r 1 40));
+        |])
+  in
+  let lineorder_rows =
+    List.init config.lineorders (fun i ->
+        let price = Rng.int_in r 100 6_000_000 in
+        let discount = Rng.int_in r 0 10 in
+        [|
+          Value.Int ((i / 4) + 1);
+          Value.Int ((i mod 4) + 1);
+          Value.Int (Rng.int_in r 1 config.customers);
+          Value.Int (Rng.int_in r 1 config.parts);
+          Value.Int (Rng.int_in r 1 config.suppliers);
+          Rng.pick r datekeys;
+          Value.Int (Rng.int_in r 1 50);
+          Value.Int price;
+          Value.Int discount;
+          Value.Int (price * (100 - discount) / 100);
+          Value.Int (Rng.int_in r 100 400_000);
+        |])
+  in
+  Database.make
+    [
+      Relation.make date_schema dates;
+      Relation.make customer_schema customer_rows;
+      Relation.make supplier_schema supplier_rows;
+      Relation.make part_schema part_rows;
+      Relation.make lineorder_schema lineorder_rows;
+    ]

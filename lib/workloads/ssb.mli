@@ -1,0 +1,34 @@
+(** Scaled-down Star Schema Benchmark generator (Appendix C): a
+    lineorder fact table with date, customer, supplier and part
+    dimensions. Domains follow SSB: 5 regions, 25 nations, 250 cities
+    (nation prefix + digit), categories [MFGR#xy] and brands
+    [MFGR#xyNN], years 1992-1998. *)
+
+module Database = Qp_relational.Database
+
+type config = {
+  customers : int;  (** >= 250 recommended so every city is populated *)
+  suppliers : int;
+  parts : int;
+  lineorders : int;
+}
+
+val default_config : config
+(** 300 customers, 80 suppliers, 150 parts, 2500 lineorders, one date
+    row per week over 1992-1998 (~365 rows). *)
+
+val tiny_config : config
+
+val generate : rng:Qp_util.Rng.t -> ?config:config -> unit -> Database.t
+
+val regions : string array
+val nations : (string * string) array
+
+val cities : string array
+(** All 250 SSB cities. *)
+
+val categories : string array
+(** The 25 [MFGR#xy] category strings. *)
+
+val years : int list
+(** 1992-1998. *)

@@ -1,0 +1,200 @@
+module Query = Qp_relational.Query
+module Expr = Qp_relational.Expr
+
+let c = Expr.col
+let s = Expr.str
+let i = Expr.int
+let field e name = Query.Field (e, name)
+let agg fn name = Query.Aggregate (fn, name)
+
+let join_date = Expr.(eq (c "lo_orderdate") (c "d_datekey"))
+let join_part = Expr.(eq (c "lo_partkey") (c "p_partkey"))
+let join_supp = Expr.(eq (c "lo_suppkey") (c "s_suppkey"))
+let join_cust = Expr.(eq (c "lo_custkey") (c "c_custkey"))
+
+let revenue_sum = agg (Query.Sum Expr.(c "lo_extendedprice" * c "lo_discount")) "revenue"
+
+(* Q1.x: revenue from discounted orders in a time window. *)
+let q1_1 year =
+  Query.make
+    ~name:(Printf.sprintf "Q1.1[%d]" year)
+    ~from:[ "lineorder"; "date" ]
+    ~where:
+      Expr.(
+        join_date && eq (c "d_year") (i year)
+        && Between (c "lo_discount", i 1, i 3)
+        && Cmp (Lt, c "lo_quantity", i 25))
+    [ revenue_sum ]
+
+let q1_2 year =
+  let yearmonth = (year * 100) + 1 in
+  Query.make
+    ~name:(Printf.sprintf "Q1.2[%d]" year)
+    ~from:[ "lineorder"; "date" ]
+    ~where:
+      Expr.(
+        join_date
+        && eq (c "d_yearmonthnum") (i yearmonth)
+        && Between (c "lo_discount", i 4, i 6)
+        && Between (c "lo_quantity", i 26, i 35))
+    [ revenue_sum ]
+
+let q1_3 year =
+  Query.make
+    ~name:(Printf.sprintf "Q1.3[%d]" year)
+    ~from:[ "lineorder"; "date" ]
+    ~where:
+      Expr.(
+        join_date && eq (c "d_year") (i year)
+        && eq (c "d_weeknuminyear") (i 6)
+        && Between (c "lo_discount", i 5, i 7)
+        && Between (c "lo_quantity", i 26, i 35))
+    [ revenue_sum ]
+
+(* Q2.x: revenue by brand over a part filter and supplier region. *)
+let q2 ~name ~part_filter region =
+  Query.make ~name
+    ~from:[ "lineorder"; "date"; "part"; "supplier" ]
+    ~where:
+      Expr.(
+        join_date && join_part && join_supp
+        && part_filter
+        && eq (c "s_region") (s region))
+    ~group_by:[ c "d_year"; c "p_brand" ]
+    [
+      agg (Query.Sum (c "lo_revenue")) "sum_revenue";
+      field (c "d_year") "d_year";
+      field (c "p_brand") "p_brand";
+    ]
+
+let q2_1 region =
+  q2
+    ~name:(Printf.sprintf "Q2.1[%s]" region)
+    ~part_filter:Expr.(eq (c "p_category") (s "MFGR#12"))
+    region
+
+let q2_2 region =
+  q2
+    ~name:(Printf.sprintf "Q2.2[%s]" region)
+    ~part_filter:(Expr.Between (c "p_brand", s "MFGR#2221", s "MFGR#2228"))
+    region
+
+let q2_3 region =
+  q2
+    ~name:(Printf.sprintf "Q2.3[%s]" region)
+    ~part_filter:Expr.(eq (c "p_brand") (s "MFGR#2221"))
+    region
+
+(* Q3.x: revenue by customer/supplier geography over a year window. *)
+let q3 ~name ~geo_filter ~group_c ~group_s ~time_filter () =
+  Query.make ~name
+    ~from:[ "lineorder"; "date"; "customer"; "supplier" ]
+    ~where:Expr.(join_date && join_cust && join_supp && geo_filter && time_filter)
+    ~group_by:[ c group_c; c group_s; c "d_year" ]
+    [
+      field (c group_c) group_c;
+      field (c group_s) group_s;
+      field (c "d_year") "d_year";
+      agg (Query.Sum (c "lo_revenue")) "sum_revenue";
+    ]
+
+let year_window = Expr.Between (c "d_year", i 1992, i 1997)
+
+let q3_1 region =
+  q3
+    ~name:(Printf.sprintf "Q3.1[%s]" region)
+    ~geo_filter:Expr.(eq (c "c_region") (s region) && eq (c "s_region") (s region))
+    ~group_c:"c_nation" ~group_s:"s_nation" ~time_filter:year_window ()
+
+let q3_2 nation =
+  q3
+    ~name:(Printf.sprintf "Q3.2[%s]" nation)
+    ~geo_filter:Expr.(eq (c "c_nation") (s nation) && eq (c "s_nation") (s nation))
+    ~group_c:"c_city" ~group_s:"s_city" ~time_filter:year_window ()
+
+let q3_3 city =
+  q3
+    ~name:(Printf.sprintf "Q3.3[%s]" (String.trim city))
+    ~geo_filter:Expr.(eq (c "c_city") (s city))
+    ~group_c:"c_city" ~group_s:"s_city" ~time_filter:year_window ()
+
+let q3_4 city =
+  q3
+    ~name:(Printf.sprintf "Q3.4[%s]" (String.trim city))
+    ~geo_filter:Expr.(eq (c "c_city") (s city))
+    ~group_c:"c_city" ~group_s:"s_city"
+    ~time_filter:Expr.(eq (c "d_yearmonthnum") (i 199712))
+    ()
+
+(* Q4.x: profit (revenue - supply cost) by geography and part. *)
+let profit_sum = agg (Query.Sum Expr.(c "lo_revenue" - c "lo_supplycost")) "profit"
+
+let q4_1 region =
+  Query.make
+    ~name:(Printf.sprintf "Q4.1[%s]" region)
+    ~from:[ "lineorder"; "date"; "customer"; "supplier" ]
+    ~where:
+      Expr.(
+        join_date && join_cust && join_supp
+        && eq (c "c_region") (s region)
+        && eq (c "s_region") (s region))
+    ~group_by:[ c "d_year"; c "c_nation" ]
+    [ field (c "d_year") "d_year"; field (c "c_nation") "c_nation"; profit_sum ]
+
+let q4_2 region =
+  Query.make
+    ~name:(Printf.sprintf "Q4.2[%s]" region)
+    ~from:[ "lineorder"; "date"; "customer"; "supplier"; "part" ]
+    ~where:
+      Expr.(
+        join_date && join_cust && join_supp && join_part
+        && eq (c "c_region") (s region)
+        && Between (c "d_year", i 1997, i 1998))
+    ~group_by:[ c "d_year"; c "s_nation"; c "p_category" ]
+    [
+      field (c "d_year") "d_year";
+      field (c "s_nation") "s_nation";
+      field (c "p_category") "p_category";
+      profit_sum;
+    ]
+
+let q4_3 ~region ~nation =
+  Query.make
+    ~name:(Printf.sprintf "Q4.3[%s/%s]" region nation)
+    ~from:[ "lineorder"; "date"; "customer"; "supplier"; "part" ]
+    ~where:
+      Expr.(
+        join_date && join_cust && join_supp && join_part
+        && eq (c "c_region") (s region)
+        && eq (c "s_nation") (s nation)
+        && Cmp (Ge, c "d_year", i 1997))
+    ~group_by:[ c "d_year"; c "s_city"; c "p_brand" ]
+    [
+      field (c "d_year") "d_year";
+      field (c "s_city") "s_city";
+      field (c "p_brand") "p_brand";
+      profit_sum;
+    ]
+
+let workload () =
+  let regions = Array.to_list Ssb.regions in
+  let nations = List.map fst (Array.to_list Ssb.nations) in
+  let cities = Array.to_list Ssb.cities in
+  List.concat
+    [
+      List.map q1_1 Ssb.years;
+      List.map q1_2 Ssb.years;
+      List.map q1_3 Ssb.years;
+      List.map q2_1 regions;
+      List.map q2_2 regions;
+      List.map q2_3 regions;
+      List.map q3_1 regions;
+      List.map q3_2 nations;
+      List.map q3_3 cities;
+      List.map q3_4 cities;
+      List.map q4_1 regions;
+      List.map q4_2 regions;
+      List.concat_map
+        (fun region -> List.map (fun nation -> q4_3 ~region ~nation) nations)
+        regions;
+    ]

@@ -1,0 +1,258 @@
+module Database = Qp_relational.Database
+module Relation = Qp_relational.Relation
+module Schema = Qp_relational.Schema
+module Value = Qp_relational.Value
+module Rng = Qp_util.Rng
+
+type config = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+  mean_lineitems_per_order : int;
+  partsupp_per_part : int;
+}
+
+let default_config =
+  {
+    suppliers = 25;
+    parts = 600;
+    customers = 100;
+    orders = 600;
+    mean_lineitems_per_order = 3;
+    partsupp_per_part = 4;
+  }
+
+let tiny_config =
+  {
+    suppliers = 5;
+    parts = 30;
+    customers = 20;
+    orders = 60;
+    mean_lineitems_per_order = 2;
+    partsupp_per_part = 2;
+  }
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [|
+    ("ALGERIA", "AFRICA"); ("ETHIOPIA", "AFRICA"); ("KENYA", "AFRICA");
+    ("MOROCCO", "AFRICA"); ("MOZAMBIQUE", "AFRICA");
+    ("ARGENTINA", "AMERICA"); ("BRAZIL", "AMERICA"); ("CANADA", "AMERICA");
+    ("PERU", "AMERICA"); ("UNITED STATES", "AMERICA");
+    ("CHINA", "ASIA"); ("INDIA", "ASIA"); ("INDONESIA", "ASIA");
+    ("JAPAN", "ASIA"); ("VIETNAM", "ASIA");
+    ("FRANCE", "EUROPE"); ("GERMANY", "EUROPE"); ("ROMANIA", "EUROPE");
+    ("RUSSIA", "EUROPE"); ("UNITED KINGDOM", "EUROPE");
+    ("EGYPT", "MIDDLE EAST"); ("IRAN", "MIDDLE EAST"); ("IRAQ", "MIDDLE EAST");
+    ("JORDAN", "MIDDLE EAST"); ("SAUDI ARABIA", "MIDDLE EAST");
+  |]
+
+let type_syllable1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syllable2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syllable3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let part_types =
+  Array.concat
+    (List.concat_map
+       (fun s1 ->
+         List.map
+           (fun s2 ->
+             Array.map (fun s3 -> Printf.sprintf "%s %s %s" s1 s2 s3) type_syllable3)
+           (Array.to_list type_syllable2))
+       (Array.to_list type_syllable1))
+
+let container_syllable1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let container_syllable2 =
+  [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let containers =
+  Array.concat
+    (List.map
+       (fun s1 -> Array.map (fun s2 -> s1 ^ " " ^ s2) container_syllable2)
+       (Array.to_list container_syllable1))
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let date ~year ~month ~day = (year * 10_000) + (month * 100) + day
+
+(* Dates only ever face order comparisons and year windows, so derived
+   dates may simply add day offsets to the YYYYMMDD integer: the result
+   can be an invalid calendar date, but ordering within and across years
+   is preserved, which is all the workload predicates observe. *)
+let random_date rng ~year_lo ~year_hi =
+  date
+    ~year:(Rng.int_in rng year_lo year_hi)
+    ~month:(Rng.int_in rng 1 12)
+    ~day:(Rng.int_in rng 1 28)
+
+let schema name attrs = Schema.make ~name ~attrs
+
+let region_schema =
+  schema "region" [ ("r_regionkey", Schema.T_int); ("r_name", Schema.T_string) ]
+
+let nation_schema =
+  schema "nation"
+    [ ("n_nationkey", Schema.T_int); ("n_name", Schema.T_string);
+      ("n_regionkey", Schema.T_int) ]
+
+let supplier_schema =
+  schema "supplier"
+    [ ("s_suppkey", Schema.T_int); ("s_name", Schema.T_string);
+      ("s_nationkey", Schema.T_int); ("s_acctbal", Schema.T_int) ]
+
+let part_schema =
+  schema "part"
+    [ ("p_partkey", Schema.T_int); ("p_name", Schema.T_string);
+      ("p_mfgr", Schema.T_string); ("p_brand", Schema.T_string);
+      ("p_type", Schema.T_string); ("p_size", Schema.T_int);
+      ("p_container", Schema.T_string); ("p_retailprice", Schema.T_int) ]
+
+let partsupp_schema =
+  schema "partsupp"
+    [ ("ps_partkey", Schema.T_int); ("ps_suppkey", Schema.T_int);
+      ("ps_supplycost", Schema.T_int); ("ps_availqty", Schema.T_int) ]
+
+let customer_schema =
+  schema "customer"
+    [ ("c_custkey", Schema.T_int); ("c_name", Schema.T_string);
+      ("c_nationkey", Schema.T_int); ("c_mktsegment", Schema.T_string) ]
+
+let orders_schema =
+  schema "orders"
+    [ ("o_orderkey", Schema.T_int); ("o_custkey", Schema.T_int);
+      ("o_orderstatus", Schema.T_string); ("o_totalprice", Schema.T_int);
+      ("o_orderdate", Schema.T_int); ("o_orderpriority", Schema.T_string) ]
+
+let lineitem_schema =
+  schema "lineitem"
+    [ ("l_orderkey", Schema.T_int); ("l_partkey", Schema.T_int);
+      ("l_suppkey", Schema.T_int); ("l_linenumber", Schema.T_int);
+      ("l_quantity", Schema.T_int); ("l_extendedprice", Schema.T_int);
+      ("l_discount", Schema.T_int); ("l_tax", Schema.T_int);
+      ("l_returnflag", Schema.T_string); ("l_linestatus", Schema.T_string);
+      ("l_shipdate", Schema.T_int); ("l_commitdate", Schema.T_int);
+      ("l_receiptdate", Schema.T_int); ("l_shipmode", Schema.T_string) ]
+
+let generate ~rng ?(config = default_config) () =
+  let r = Rng.split rng "tpch" in
+  let region_rows =
+    Array.to_list
+      (Array.mapi (fun i name -> [| Value.Int i; Value.Str name |]) regions)
+  in
+  let region_index name =
+    let found = ref 0 in
+    Array.iteri (fun i n -> if n = name then found := i) regions;
+    !found
+  in
+  let nation_rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (name, region) ->
+           [| Value.Int i; Value.Str name; Value.Int (region_index region) |])
+         nations)
+  in
+  let supplier_rows =
+    List.init config.suppliers (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Str (Printf.sprintf "Supplier#%03d" (i + 1));
+          Value.Int (Rng.int r (Array.length nations));
+          Value.Int (Rng.int_in r (-99_999) 999_999);
+        |])
+  in
+  let part_rows =
+    List.init config.parts (fun i ->
+        let brand =
+          Printf.sprintf "Brand#%d%d" (Rng.int_in r 1 5) (Rng.int_in r 1 5)
+        in
+        [|
+          Value.Int (i + 1);
+          Value.Str (Printf.sprintf "part %d" (i + 1));
+          Value.Str (Printf.sprintf "Manufacturer#%d" (Rng.int_in r 1 5));
+          Value.Str brand;
+          Value.Str (Rng.pick r part_types);
+          Value.Int (Rng.int_in r 1 50);
+          Value.Str (Rng.pick r containers);
+          Value.Int (Rng.int_in r 90_000 200_000);
+        |])
+  in
+  let partsupp_rows =
+    List.concat_map
+      (fun pk ->
+        let supps =
+          Rng.sample_without_replacement r
+            (min config.partsupp_per_part config.suppliers)
+            config.suppliers
+        in
+        List.map
+          (fun sk ->
+            [|
+              Value.Int (pk + 1); Value.Int (sk + 1);
+              Value.Int (Rng.int_in r 100 100_000);
+              Value.Int (Rng.int_in r 1 9_999);
+            |])
+          supps)
+      (List.init config.parts Fun.id)
+  in
+  let customer_rows =
+    List.init config.customers (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Str (Printf.sprintf "Customer#%05d" (i + 1));
+          Value.Int (Rng.int r (Array.length nations));
+          Value.Str (Rng.pick r segments);
+        |])
+  in
+  let orders_rows = ref [] and lineitem_rows = ref [] in
+  for ok = 1 to config.orders do
+    let orderdate = random_date r ~year_lo:1992 ~year_hi:1998 in
+    orders_rows :=
+      [|
+        Value.Int ok;
+        Value.Int (Rng.int_in r 1 config.customers);
+        Value.Str (Rng.pick r [| "O"; "F"; "P" |]);
+        Value.Int (Rng.int_in r 100_000 50_000_000);
+        Value.Int orderdate;
+        Value.Str (Rng.pick r priorities);
+      |]
+      :: !orders_rows;
+    let n_items = 1 + Rng.int r (2 * config.mean_lineitems_per_order) in
+    for ln = 1 to n_items do
+      let shipdate = orderdate + Rng.int_in r 1 60 in
+      let commitdate = shipdate + Rng.int_in r (-30) 30 in
+      let receiptdate = shipdate + Rng.int_in r 1 30 in
+      lineitem_rows :=
+        [|
+          Value.Int ok;
+          Value.Int (Rng.int_in r 1 config.parts);
+          Value.Int (Rng.int_in r 1 config.suppliers);
+          Value.Int ln;
+          Value.Int (Rng.int_in r 1 50);
+          Value.Int (Rng.int_in r 90_000 10_000_000);
+          Value.Int (Rng.int_in r 0 10);
+          Value.Int (Rng.int_in r 0 8);
+          Value.Str (Rng.pick r [| "R"; "A"; "N" |]);
+          Value.Str (Rng.pick r [| "O"; "F" |]);
+          Value.Int shipdate;
+          Value.Int commitdate;
+          Value.Int receiptdate;
+          Value.Str (Rng.pick r ship_modes);
+        |]
+        :: !lineitem_rows
+    done
+  done;
+  Database.make
+    [
+      Relation.make region_schema region_rows;
+      Relation.make nation_schema nation_rows;
+      Relation.make supplier_schema supplier_rows;
+      Relation.make part_schema part_rows;
+      Relation.make partsupp_schema partsupp_rows;
+      Relation.make customer_schema customer_rows;
+      Relation.make orders_schema (List.rev !orders_rows);
+      Relation.make lineitem_schema (List.rev !lineitem_rows);
+    ]

@@ -1,0 +1,135 @@
+module Query = Qp_relational.Query
+module Expr = Qp_relational.Expr
+
+let c = Expr.col
+let s = Expr.str
+let i = Expr.int
+let field e name = Query.Field (e, name)
+let agg fn name = Query.Aggregate (fn, name)
+
+let years = [ 1993; 1994; 1995; 1996; 1997 ]
+
+let year_start y = Tpch.date ~year:y ~month:1 ~day:1
+let year_end y = Tpch.date ~year:y ~month:12 ~day:31
+
+let q1 year =
+  Query.make
+    ~name:(Printf.sprintf "Q1[%d]" year)
+    ~from:[ "lineitem" ]
+    ~where:(Expr.Cmp (Expr.Le, c "l_shipdate", i (year_end year)))
+    ~group_by:[ c "l_returnflag"; c "l_linestatus" ]
+    [
+      field (c "l_returnflag") "l_returnflag";
+      field (c "l_linestatus") "l_linestatus";
+      agg (Query.Sum (c "l_quantity")) "sum_qty";
+      agg (Query.Sum (c "l_extendedprice")) "sum_base_price";
+      agg (Query.Sum Expr.(c "l_extendedprice" * c "l_discount")) "sum_disc";
+      agg (Query.Avg (c "l_quantity")) "avg_qty";
+      agg (Query.Avg (c "l_extendedprice")) "avg_price";
+      agg Query.Count_star "count_order";
+    ]
+
+let q2 ~region ~type_suffix tag =
+  Query.make
+    ~name:(Printf.sprintf "Q2[%s]" tag)
+    ~from:[ "region"; "nation"; "supplier"; "partsupp"; "part" ]
+    ~where:
+      Expr.(
+        eq (c "r_name") (s region)
+        && eq (c "n_regionkey") (c "r_regionkey")
+        && eq (c "s_nationkey") (c "n_nationkey")
+        && eq (c "ps_suppkey") (c "s_suppkey")
+        && eq (c "p_partkey") (c "ps_partkey")
+        && Like (c "p_type", "%" ^ type_suffix))
+    [
+      field (c "s_name") "s_name";
+      field (c "n_name") "n_name";
+      field (c "p_partkey") "p_partkey";
+      field (c "ps_supplycost") "ps_supplycost";
+    ]
+
+let q4 year =
+  Query.make
+    ~name:(Printf.sprintf "Q4[%d]" year)
+    ~from:[ "orders"; "lineitem" ]
+    ~where:
+      Expr.(
+        eq (c "l_orderkey") (c "o_orderkey")
+        && Between (c "o_orderdate", i (year_start year), i (year_end year))
+        && Cmp (Lt, c "l_commitdate", c "l_receiptdate"))
+    ~group_by:[ c "o_orderpriority" ]
+    [
+      field (c "o_orderpriority") "o_orderpriority";
+      agg Query.Count_star "order_count";
+    ]
+
+let q6 year =
+  Query.make
+    ~name:(Printf.sprintf "Q6[%d]" year)
+    ~from:[ "lineitem" ]
+    ~where:
+      Expr.(
+        Between (c "l_shipdate", i (year_start year), i (year_end year))
+        && Between (c "l_discount", i 4, i 6)
+        && Cmp (Lt, c "l_quantity", i 24))
+    [ agg (Query.Sum Expr.(c "l_extendedprice" * c "l_discount")) "revenue" ]
+
+let q12 year =
+  Query.make
+    ~name:(Printf.sprintf "Q12[%d]" year)
+    ~from:[ "orders"; "lineitem" ]
+    ~where:
+      Expr.(
+        eq (c "l_orderkey") (c "o_orderkey")
+        && In_list (c "l_shipmode", [ Qp_relational.Value.Str "MAIL";
+                                      Qp_relational.Value.Str "SHIP" ])
+        && Between (c "l_receiptdate", i (year_start year), i (year_end year)))
+    ~group_by:[ c "l_shipmode" ]
+    [ field (c "l_shipmode") "l_shipmode"; agg Query.Count_star "line_count" ]
+
+let q16 p_type =
+  Query.make
+    ~name:(Printf.sprintf "Q16[%s]" p_type)
+    ~from:[ "part"; "partsupp" ]
+    ~where:
+      Expr.(
+        eq (c "ps_partkey") (c "p_partkey")
+        && eq (c "p_type") (s p_type)
+        && In_list
+             ( c "p_size",
+               List.map (fun x -> Qp_relational.Value.Int x)
+                 [ 1; 4; 9; 14; 19; 23; 28; 32; 36; 41; 45; 49 ] ))
+    ~group_by:[ c "p_brand"; c "p_size" ]
+    [
+      field (c "p_brand") "p_brand";
+      field (c "p_size") "p_size";
+      agg (Query.Count_distinct (c "ps_suppkey")) "supplier_cnt";
+    ]
+
+let q17 container =
+  Query.make
+    ~name:(Printf.sprintf "Q17[%s]" container)
+    ~from:[ "part"; "lineitem" ]
+    ~where:
+      Expr.(
+        eq (c "l_partkey") (c "p_partkey")
+        && eq (c "p_brand") (s "Brand#23")
+        && eq (c "p_container") (s container))
+    [ agg (Query.Avg (c "l_extendedprice")) "avg_yearly" ]
+
+let workload () =
+  List.concat
+    [
+      List.map q1 years;
+      List.map q4 years;
+      List.map q6 years;
+      List.map q12 years;
+      List.map
+        (fun region -> q2 ~region ~type_suffix:"BRASS" region)
+        (Array.to_list Tpch.regions);
+      List.map
+        (fun metal -> q2 ~region:"EUROPE" ~type_suffix:metal metal)
+        [ "BRASS"; "TIN"; "COPPER"; "STEEL"; "NICKEL" ];
+      List.map q16 (Array.to_list Tpch.part_types);
+      List.map q17 (Array.to_list Tpch.containers);
+    ]

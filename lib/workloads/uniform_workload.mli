@@ -1,0 +1,19 @@
+(** The uniform query workload (§6.2): selection/projection queries with
+    (approximately) equal selectivity, so that every conflict set has
+    about the same size and hyperedges overlap heavily — the structural
+    opposite of the skewed workload. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+
+val workload :
+  rng:Qp_util.Rng.t ->
+  ?selectivity:float ->
+  ?m:int ->
+  Database.t ->
+  Query.t list
+(** [workload ~rng db] draws [m] (default 1000) queries. Each scans one
+    relation, projects a random non-empty subset of its columns, and
+    keeps a contiguous window of rows covering [selectivity] (default
+    0.4) of the table, selected through a [BETWEEN] predicate on an
+    integer column. Relations without an integer column are skipped. *)

@@ -1,0 +1,62 @@
+module Hypergraph = Qp_core.Hypergraph
+module Rng = Qp_util.Rng
+module Dist = Qp_util.Dist
+
+type dtilde = D_uniform | D_binomial
+
+type model =
+  | Uniform_val of float
+  | Zipf_val of float
+  | Scaled_exp of float
+  | Scaled_normal of float
+  | Additive of { k : int; dtilde : dtilde }
+
+let describe = function
+  | Uniform_val k -> Printf.sprintf "uniform[1,%g]" k
+  | Zipf_val a -> Printf.sprintf "zipf(a=%g)" a
+  | Scaled_exp k -> Printf.sprintf "exp(beta=|e|^%g)" k
+  | Scaled_normal k -> Printf.sprintf "normal(mu=|e|^%g,s2=10)" k
+  | Additive { k; dtilde } ->
+      Printf.sprintf "additive(k=%d,D~=%s)" k
+        (match dtilde with D_uniform -> "uniform" | D_binomial -> "binomial")
+
+let edge_size (e : Hypergraph.edge) = Array.length e.items
+
+let draw ~rng model h =
+  let edges = Hypergraph.edges h in
+  match model with
+  | Uniform_val k ->
+      Array.map (fun _ -> Dist.uniform rng ~lo:1.0 ~hi:(Float.max 1.0 k)) edges
+  | Zipf_val a ->
+      Array.map (fun _ -> Float.of_int (Dist.zipf rng ~a ~n:1_000_000)) edges
+  | Scaled_exp k ->
+      Array.map
+        (fun e ->
+          let s = edge_size e in
+          if s = 0 then 0.0
+          else Dist.exponential rng ~mean:(Float.of_int s ** k))
+        edges
+  | Scaled_normal k ->
+      Array.map
+        (fun e ->
+          let s = edge_size e in
+          if s = 0 then 0.0
+          else Dist.normal_pos rng ~mu:(Float.of_int s ** k) ~sigma:(sqrt 10.0))
+        edges
+  | Additive { k; dtilde } ->
+      let item_price = Array.make (Hypergraph.n_items h) 0.0 in
+      for j = 0 to Hypergraph.n_items h - 1 do
+        let level =
+          match dtilde with
+          | D_uniform -> Rng.int_in rng 1 (max 1 k)
+          | D_binomial -> max 1 (Dist.binomial rng ~n:(max 1 k) ~p:0.5)
+        in
+        item_price.(j) <-
+          Dist.uniform rng ~lo:(Float.of_int level) ~hi:(Float.of_int (level + 1))
+      done;
+      Array.map
+        (fun (e : Hypergraph.edge) ->
+          Array.fold_left (fun acc j -> acc +. item_price.(j)) 0.0 e.items)
+        edges
+
+let apply ~rng model h = Hypergraph.with_valuations h (draw ~rng model h)

@@ -1,0 +1,31 @@
+(** Synthetic generator for the [world] dataset (§6.2): three tables —
+    Country, City, CountryLanguage — shaped like the MySQL sample
+    database the paper uses, at a configurable scale.
+
+    Generation is deterministic in the seed. A handful of rows are
+    pinned so that the constants appearing in the paper's query
+    templates (Table 7) always hit data: country codes [USA] and [GRC],
+    region [Caribbean], languages [English]/[Greek]/[Spanish] (English
+    at >= 50% for the USA). *)
+
+module Database = Qp_relational.Database
+
+type config = {
+  countries : int;  (** >= 8 *)
+  cities_per_country : int;  (** mean; actual counts vary per country *)
+  languages_per_country : int;  (** mean *)
+}
+
+val default_config : config
+(** 280 countries, ~6 cities and ~3 languages per country — roughly
+    5000 tuples, matching the paper's description of the dataset. *)
+
+val tiny_config : config
+(** 30 countries — for fast unit tests. *)
+
+val generate : rng:Qp_util.Rng.t -> ?config:config -> unit -> Database.t
+
+val continents : string array
+val country_codes : Database.t -> string list
+val language_names : Database.t -> string list
+(** Active domains used to expand the query templates. *)

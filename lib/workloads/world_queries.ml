@@ -1,0 +1,258 @@
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+module Expr = Qp_relational.Expr
+
+let c = Expr.col
+let s = Expr.str
+let i = Expr.int
+let field ?name e = Query.Field (e, match name with Some n -> n | None -> Expr.to_sql e)
+let agg ?name fn = Query.Aggregate (fn, Option.value name ~default:"agg")
+
+let make = Query.make
+
+(* Q1: select count(Name) from Country where Continent = <continent> *)
+let q1 ?(continent = "Asia") tag =
+  make ~name:(Printf.sprintf "Q1[%s]" tag)
+    ~where:Expr.(eq (c "Continent") (s continent))
+    ~from:[ "Country" ]
+    [ agg ~name:"count(Name)" (Query.Count (c "Name")) ]
+
+let q2 =
+  make ~name:"Q2" ~from:[ "Country" ]
+    [ agg ~name:"count(distinct Continent)" (Query.Count_distinct (c "Continent")) ]
+
+let q3 =
+  make ~name:"Q3" ~from:[ "Country" ]
+    [ agg ~name:"avg(Population)" (Query.Avg (c "Population")) ]
+
+let q4 =
+  make ~name:"Q4" ~from:[ "Country" ]
+    [ agg ~name:"max(Population)" (Query.Max (c "Population")) ]
+
+let q5 =
+  make ~name:"Q5" ~from:[ "Country" ]
+    [ agg ~name:"min(LifeExpectancy)" (Query.Min (c "LifeExpectancy")) ]
+
+let q6 =
+  make ~name:"Q6" ~from:[ "Country" ]
+    ~where:(Expr.Like (c "Name", "A%"))
+    [ agg ~name:"count(Name)" (Query.Count (c "Name")) ]
+
+let q7 =
+  make ~name:"Q7" ~from:[ "Country" ] ~group_by:[ c "Region" ]
+    [ field (c "Region"); agg ~name:"max(SurfaceArea)" (Query.Max (c "SurfaceArea")) ]
+
+let q8 =
+  make ~name:"Q8" ~from:[ "Country" ] ~group_by:[ c "Continent" ]
+    [ field (c "Continent"); agg ~name:"max(Population)" (Query.Max (c "Population")) ]
+
+let q9 =
+  make ~name:"Q9" ~from:[ "Country" ] ~group_by:[ c "Continent" ]
+    [ field (c "Continent"); agg ~name:"count(Code)" (Query.Count (c "Code")) ]
+
+let star db from name = Query.star db (make ~name ~from [ field (i 1) ])
+
+let q10 db =
+  let q = make ~name:"Q10" ~from:[ "Country" ] [ field (i 1) ] in
+  make ~name:"Q10" ~from:[ "Country" ] (Query.star db q)
+
+let q11 =
+  make ~name:"Q11" ~from:[ "Country" ]
+    ~where:(Expr.Like (c "Name", "A%"))
+    [ field (c "Name") ]
+
+let q12 db ?(continent = "Europe") tag =
+  make
+    ~name:(Printf.sprintf "Q12[%s]" tag)
+    ~from:[ "Country" ]
+    ~where:
+      Expr.(
+        eq (c "Continent") (s continent)
+        && Cmp (Gt, c "Population", i 5_000_000))
+    (star db [ "Country" ] "Q12")
+
+let q13 db =
+  make ~name:"Q13" ~from:[ "Country" ]
+    ~where:Expr.(eq (c "Region") (s "Caribbean"))
+    (star db [ "Country" ] "Q13")
+
+let q14 =
+  make ~name:"Q14" ~from:[ "Country" ]
+    ~where:Expr.(eq (c "Region") (s "Caribbean"))
+    [ field (c "Name") ]
+
+let q15 =
+  make ~name:"Q15" ~from:[ "Country" ]
+    ~where:(Expr.Between (c "Population", i 10_000_000, i 20_000_000))
+    [ field (c "Name") ]
+
+let q16 db =
+  make ~name:"Q16" ~from:[ "Country" ] ~limit:2
+    ~where:Expr.(eq (c "Continent") (s "Europe"))
+    (star db [ "Country" ] "Q16")
+
+let q17 ?(code = "USA") tag =
+  make
+    ~name:(Printf.sprintf "Q17[%s]" tag)
+    ~from:[ "Country" ]
+    ~where:Expr.(eq (c "Code") (s code))
+    [ field (c "Population") ]
+
+let q18 =
+  make ~name:"Q18" ~from:[ "Country" ] [ field (c "GovernmentForm") ]
+
+let q19 =
+  make ~name:"Q19" ~from:[ "Country" ] ~distinct:true
+    [ field (c "GovernmentForm") ]
+
+let q20 db =
+  make ~name:"Q20" ~from:[ "City" ]
+    ~where:
+      Expr.(
+        Cmp (Ge, c "Population", i 1_000_000) && eq (c "CountryCode") (s "USA"))
+    (star db [ "City" ] "Q20")
+
+let q21 =
+  make ~name:"Q21" ~from:[ "CountryLanguage" ] ~distinct:true
+    ~where:Expr.(eq (c "CountryCode") (s "USA"))
+    [ field (c "Language") ]
+
+let q22 db =
+  make ~name:"Q22" ~from:[ "CountryLanguage" ]
+    ~where:Expr.(eq (c "IsOfficial") (s "T"))
+    (star db [ "CountryLanguage" ] "Q22")
+
+let q23 =
+  make ~name:"Q23" ~from:[ "CountryLanguage" ] ~group_by:[ c "Language" ]
+    [ field (c "Language");
+      agg ~name:"count(CountryCode)" (Query.Count (c "CountryCode")) ]
+
+let q24 =
+  make ~name:"Q24" ~from:[ "CountryLanguage" ]
+    ~where:Expr.(eq (c "CountryCode") (s "USA"))
+    [ agg ~name:"count(Language)" (Query.Count (c "Language")) ]
+
+let q25 =
+  make ~name:"Q25" ~from:[ "City" ] ~group_by:[ c "CountryCode" ]
+    [ field (c "CountryCode");
+      agg ~name:"sum(Population)" (Query.Sum (c "Population")) ]
+
+let q26 =
+  make ~name:"Q26" ~from:[ "City" ] ~group_by:[ c "CountryCode" ]
+    [ field (c "CountryCode"); agg ~name:"count(ID)" (Query.Count (c "ID")) ]
+
+let q27 db ?(code = "GRC") tag =
+  make
+    ~name:(Printf.sprintf "Q27[%s]" tag)
+    ~from:[ "City" ]
+    ~where:Expr.(eq (c "CountryCode") (s code))
+    (star db [ "City" ] "Q27")
+
+let q28 =
+  make ~name:"Q28" ~from:[ "City" ] ~distinct:true
+    ~where:
+      Expr.(
+        eq (c "CountryCode") (s "USA") && Cmp (Gt, c "Population", i 10_000_000))
+    [ field ~name:"1" (i 1) ]
+
+let q29 ?(language = "Greek") tag =
+  make
+    ~name:(Printf.sprintf "Q29[%s]" tag)
+    ~from:[ "Country"; "CountryLanguage" ]
+    ~where:Expr.(eq (c "Code") (c "CountryCode") && eq (c "Language") (s language))
+    [ field (c ~table:"Country" "Name") ]
+
+let q30 ?(language = "English") tag =
+  make
+    ~name:(Printf.sprintf "Q30[%s]" tag)
+    ~from:[ "Country C"; "CountryLanguage L" ]
+    ~where:
+      Expr.(
+        eq (c ~table:"C" "Code") (c ~table:"L" "CountryCode")
+        && eq (c ~table:"L" "Language") (s language)
+        && Cmp (Ge, c ~table:"L" "Percentage", i 50))
+    [ field (c ~table:"C" "Name") ]
+
+let q31 ?(code = "USA") tag =
+  make
+    ~name:(Printf.sprintf "Q31[%s]" tag)
+    ~from:[ "Country C"; "City T" ]
+    ~where:
+      Expr.(
+        eq (c ~table:"C" "Code") (s code)
+        && eq (c ~table:"C" "Capital") (c ~table:"T" "ID"))
+    [ field (c ~table:"T" "District") ]
+
+let q32 db =
+  let q =
+    make ~name:"Q32" ~from:[ "Country C"; "CountryLanguage L" ] [ field (i 1) ]
+  in
+  make ~name:"Q32" ~from:[ "Country C"; "CountryLanguage L" ]
+    ~where:
+      Expr.(
+        eq (c ~table:"C" "Code") (c ~table:"L" "CountryCode")
+        && eq (c ~table:"L" "Language") (s "Spanish"))
+    (Query.star db q)
+
+let q33 =
+  make ~name:"Q33" ~from:[ "Country"; "CountryLanguage" ]
+    ~where:Expr.(eq (c "Code") (c "CountryCode"))
+    [ field (c ~table:"Country" "Name"); field (c "Language") ]
+
+let q34 db =
+  let q =
+    make ~name:"Q34" ~from:[ "Country"; "CountryLanguage" ] [ field (i 1) ]
+  in
+  make ~name:"Q34" ~from:[ "Country"; "CountryLanguage" ]
+    ~where:Expr.(eq (c "Code") (c "CountryCode"))
+    (Query.star db q)
+
+let base_templates db =
+  [
+    q1 "Asia"; q2; q3; q4; q5; q6; q7; q8; q9; q10 db; q11;
+    q12 db "Europe"; q13 db; q14; q15; q16 db; q17 "USA"; q18; q19; q20 db;
+    q21; q22 db; q23; q24; q25; q26; q27 db "GRC"; q28; q29 "Greek";
+    q30 "English"; q31 "USA"; q32 db; q33; q34 db;
+  ]
+
+let workload db =
+  let codes = World.country_codes db in
+  let langs = World.language_names db in
+  let continents = Array.to_list World.continents in
+  let expansions =
+    List.concat
+      [
+        (* per-country expansions of Q17, Q27, Q31 (the base constants
+           are already in the template list) *)
+        List.concat_map
+          (fun code ->
+            let per_code =
+              (if code = "USA" then [] else [ q17 ~code code ])
+              @ (if code = "GRC" then [] else [ q27 db ~code code ])
+              @ if code = "USA" then [] else [ q31 ~code code ]
+            in
+            per_code)
+          codes;
+        (* per-continent expansions of Q1, Q12 *)
+        List.concat_map
+          (fun continent ->
+            if continent = "Asia" then []
+            else [ q1 ~continent continent ])
+          continents;
+        List.concat_map
+          (fun continent ->
+            if continent = "Europe" then []
+            else [ q12 db ~continent continent ])
+          continents;
+        (* per-language expansions of Q29, Q30 *)
+        List.concat_map
+          (fun language ->
+            if language = "Greek" then [] else [ q29 ~language language ])
+          langs;
+        List.concat_map
+          (fun language ->
+            if language = "English" then [] else [ q30 ~language language ])
+          langs;
+      ]
+  in
+  base_templates db @ expansions

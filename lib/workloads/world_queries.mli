@@ -1,0 +1,14 @@
+(** The skewed query workload: the 34 templates of Table 7 (Appendix B)
+    over the [world] dataset, expanded per Appendix B by substituting
+    the predicate constant of Q17/Q27/Q31 with every country code, of
+    Q1/Q12 with every continent, and of Q29/Q30 with every language —
+    yielding ~986 queries at the paper's scale. *)
+
+module Database = Qp_relational.Database
+module Query = Qp_relational.Query
+
+val base_templates : Database.t -> Query.t list
+(** Q1-Q34 with the constants of Table 7. *)
+
+val workload : Database.t -> Query.t list
+(** The full expanded skewed workload. The original 34 come first. *)

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "qpricing"
+    [
+      Test_util.suite;
+      Test_lp.suite;
+      Test_value.suite;
+      Test_like.suite;
+      Test_relational.suite;
+      Test_eval.suite;
+      Test_agg_state.suite;
+      Test_delta_eval.suite;
+      Test_hypergraph.suite;
+      Test_pricing.suite;
+      Test_algorithms.suite;
+      Test_bounds.suite;
+      Test_market.suite;
+      Test_workloads.suite;
+      Test_experiments.suite;
+      Test_online.suite;
+      Test_capped.suite;
+      Test_expr.suite;
+      Test_sql.suite;
+      Test_eval_reference.suite;
+      Test_history.suite;
+      Test_misc.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the shared aggregate accumulators: outputs, empty-input
+   semantics, and the non-mutating delta view against a rebuild. *)
+
+module Agg_state = Qp_relational.Agg_state
+module Value = Qp_relational.Value
+
+let kinds =
+  [|
+    Agg_state.K_count_star; Agg_state.K_count; Agg_state.K_count_distinct;
+    Agg_state.K_sum; Agg_state.K_avg; Agg_state.K_min; Agg_state.K_max;
+  |]
+
+(* one argument value broadcast to every aggregate slot *)
+let row v = Array.make (Array.length kinds) v
+
+let i x = Value.Int x
+
+let acc_of rows =
+  let acc = Agg_state.create kinds in
+  List.iter (fun r -> Agg_state.add acc r) rows;
+  acc
+
+let check_values msg expected actual =
+  Array.iteri
+    (fun idx e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s[%d]: %s = %s" msg idx (Value.to_string e)
+           (Value.to_string actual.(idx)))
+        true
+        (Value.equal e actual.(idx)))
+    expected
+
+let test_output_basic () =
+  let acc = acc_of [ row (i 2); row (i 5); row (i 5) ] in
+  check_values "basic"
+    [| i 3; i 3; i 2; i 12; Value.ratio 12 3; i 2; i 5 |]
+    (Agg_state.output acc)
+
+let test_output_nulls () =
+  let acc = acc_of [ row (i 4); row Value.Null ] in
+  check_values "nulls skipped"
+    [| i 2; i 1; i 1; i 4; i 4; i 4; i 4 |]
+    (Agg_state.output acc)
+
+let test_output_all_null () =
+  let acc = acc_of [ row Value.Null ] in
+  check_values "all null"
+    [| i 1; i 0; i 0; Value.Null; Value.Null; Value.Null; Value.Null |]
+    (Agg_state.output acc)
+
+let test_empty_output () =
+  check_values "empty"
+    [| i 0; i 0; i 0; Value.Null; Value.Null; Value.Null; Value.Null |]
+    (Agg_state.empty_output kinds)
+
+let test_delta_view_equals_rebuild () =
+  let rand = Random.State.make [| 5 |] in
+  for _ = 1 to 500 do
+    let base =
+      List.init
+        (1 + Random.State.int rand 8)
+        (fun _ ->
+          if Random.State.int rand 10 = 0 then row Value.Null
+          else row (i (Random.State.int rand 6)))
+    in
+    let acc = acc_of base in
+    (* removals must come from the accumulated multiset *)
+    let n_rem = Random.State.int rand (List.length base + 1) in
+    let removed = List.filteri (fun idx _ -> idx < n_rem) base in
+    let kept = List.filteri (fun idx _ -> idx >= n_rem) base in
+    let added =
+      List.init (Random.State.int rand 4) (fun _ -> row (i (Random.State.int rand 6)))
+    in
+    let view = Agg_state.output_with_delta acc ~removed ~added in
+    let rebuilt = kept @ added in
+    match (view, rebuilt) with
+    | None, [] -> ()
+    | None, _ :: _ -> Alcotest.fail "view empty but rebuild non-empty"
+    | Some _, [] -> Alcotest.fail "view non-empty but rebuild empty"
+    | Some v, rows -> check_values "delta view" (Agg_state.output (acc_of rows)) v
+  done
+
+let test_delta_view_does_not_mutate () =
+  let acc = acc_of [ row (i 1); row (i 2) ] in
+  let before = Agg_state.output acc in
+  ignore (Agg_state.output_with_delta acc ~removed:[ row (i 1) ] ~added:[ row (i 9) ]);
+  check_values "unchanged" before (Agg_state.output acc)
+
+let test_min_rescan_path () =
+  (* removing the unique minimum forces the rescan branch *)
+  let acc = acc_of [ row (i 1); row (i 5); row (i 7) ] in
+  match Agg_state.output_with_delta acc ~removed:[ row (i 1) ] ~added:[] with
+  | Some v ->
+      Alcotest.(check bool) "new min 5" true (Value.equal v.(5) (i 5));
+      Alcotest.(check bool) "max stays 7" true (Value.equal v.(6) (i 7))
+  | None -> Alcotest.fail "unexpected empty"
+
+let test_rows_counter () =
+  let acc = acc_of [ row (i 1); row (i 2); row (i 3) ] in
+  Alcotest.(check int) "rows" 3 (Agg_state.rows acc)
+
+let test_kind_of_agg () =
+  let open Qp_relational in
+  Alcotest.(check bool) "count_star" true
+    (Agg_state.kind_of_agg Query.Count_star = Agg_state.K_count_star);
+  Alcotest.(check bool) "avg" true
+    (Agg_state.kind_of_agg (Query.Avg (Expr.int 1)) = Agg_state.K_avg)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "agg-state",
+    [
+      t "output basic" test_output_basic;
+      t "output with nulls" test_output_nulls;
+      t "output all-null column" test_output_all_null;
+      t "empty-input output" test_empty_output;
+      t "delta view equals rebuild (500 random)" test_delta_view_equals_rebuild;
+      t "delta view does not mutate" test_delta_view_does_not_mutate;
+      t "min removal rescan" test_min_rescan_path;
+      t "rows counter" test_rows_counter;
+      t "kind_of_agg" test_kind_of_agg;
+    ] )

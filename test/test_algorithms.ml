@@ -1,0 +1,279 @@
+(* Tests for the six pricing algorithms: exact optimality of the sweep
+   algorithms against brute force, structural guarantees of layering,
+   LP algorithms' must-sell/validity properties, and the theoretical
+   behaviors on the lemma instances. *)
+
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module Ubp = Qp_core.Ubp
+module Uip = Qp_core.Uip
+module Lpip = Qp_core.Lpip
+module Cip = Qp_core.Cip
+module Layering = Qp_core.Layering
+module Xos = Qp_core.Xos
+module LB = Qp_core.Lower_bounds
+module Algorithms = Qp_core.Algorithms
+
+let random_h ?(max_n = 8) ?(max_m = 10) rand =
+  let n = 1 + Random.State.int rand max_n in
+  let m = 1 + Random.State.int rand max_m in
+  let specs =
+    Array.init m (fun i ->
+        let size = Random.State.int rand (n + 1) in
+        let items = Array.init size (fun _ -> Random.State.int rand n) in
+        ( Printf.sprintf "e%d" i,
+          items,
+          Float.of_int (1 + Random.State.int rand 30) ))
+  in
+  H.create ~n_items:n specs
+
+(* Brute force over all candidate uniform prices (any optimum is at a
+   valuation). *)
+let brute_ubp h =
+  Array.fold_left
+    (fun best (e : H.edge) ->
+      Float.max best (P.revenue (P.Uniform_bundle e.valuation) h))
+    0.0 (H.edges h)
+
+let brute_uip h =
+  Array.fold_left
+    (fun best (e : H.edge) ->
+      if e.items = [||] then best
+      else
+        let w = e.valuation /. Float.of_int (Array.length e.items) in
+        Float.max best (P.revenue (P.Item (Array.make (H.n_items h) w)) h))
+    0.0 (H.edges h)
+
+let test_ubp_optimal_property () =
+  let rand = Random.State.make [| 1 |] in
+  for _ = 1 to 300 do
+    let h = random_h rand in
+    let _, revenue = Ubp.optimal_price h in
+    Alcotest.(check (float 1e-6)) "matches brute force" (brute_ubp h) revenue;
+    Alcotest.(check (float 1e-6)) "pricing evaluates to it" revenue
+      (P.revenue (Ubp.solve h) h)
+  done
+
+let test_uip_optimal_property () =
+  let rand = Random.State.make [| 2 |] in
+  for _ = 1 to 300 do
+    let h = random_h rand in
+    let _, revenue = Uip.optimal_weight h in
+    Alcotest.(check (float 1e-6)) "matches brute force" (brute_uip h) revenue
+  done
+
+let test_ubp_ties () =
+  let h =
+    H.create ~n_items:1
+      [| ("a", [| 0 |], 5.0); ("b", [| 0 |], 5.0); ("c", [| 0 |], 3.0) |]
+  in
+  let price, revenue = Ubp.optimal_price h in
+  Alcotest.(check (float 1e-9)) "price 5" 5.0 price;
+  Alcotest.(check (float 1e-9)) "revenue 10" 10.0 revenue
+
+let test_ubp_empty () =
+  let h = H.create ~n_items:0 [||] in
+  let _, revenue = Ubp.optimal_price h in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 revenue
+
+let test_uip_skips_empty_edges () =
+  let h = H.create ~n_items:2 [| ("e", [||], 100.0); ("a", [| 0 |], 2.0) |] in
+  let w, revenue = Uip.optimal_weight h in
+  Alcotest.(check (float 1e-9)) "w" 2.0 w;
+  Alcotest.(check (float 1e-9)) "revenue" 2.0 revenue
+
+(* Layering structural guarantees. *)
+let test_layering_layers_structure () =
+  let rand = Random.State.make [| 3 |] in
+  for _ = 1 to 150 do
+    let h = random_h rand in
+    let layers = Layering.layers h in
+    (* layers partition the non-empty edges *)
+    let ids = List.concat_map (List.map (fun (e : H.edge) -> e.id)) layers in
+    let non_empty =
+      Array.to_list (H.edges h)
+      |> List.filter_map (fun (e : H.edge) ->
+             if e.items = [||] then None else Some e.id)
+    in
+    Alcotest.(check (list int)) "partition" (List.sort compare non_empty)
+      (List.sort compare ids);
+    (* every edge in a layer owns a unique item within the layer *)
+    List.iter
+      (fun layer ->
+        List.iter
+          (fun (e : H.edge) ->
+            let unique =
+              Array.exists
+                (fun j ->
+                  List.for_all
+                    (fun (e' : H.edge) ->
+                      e'.id = e.id || not (Array.exists (( = ) j) e'.items))
+                    layer)
+                e.items
+            in
+            Alcotest.(check bool) "unique item exists" true unique)
+          layer)
+      layers
+  done
+
+let test_layering_extracts_best_layer () =
+  let rand = Random.State.make [| 4 |] in
+  for _ = 1 to 150 do
+    let h = random_h rand in
+    let layers = Layering.layers h in
+    let best_layer_value =
+      List.fold_left
+        (fun acc layer ->
+          Float.max acc
+            (List.fold_left (fun a (e : H.edge) -> a +. e.valuation) 0.0 layer))
+        0.0 layers
+    in
+    let revenue = P.revenue (Layering.solve h) h in
+    Alcotest.(check bool) "revenue >= best layer value" true
+      (revenue >= best_layer_value -. 1e-6)
+  done
+
+(* LP-based algorithms: validity and revenue sanity on random instances. *)
+let test_lp_algorithms_validity () =
+  let rand = Random.State.make [| 5 |] in
+  for _ = 1 to 60 do
+    let h = random_h ~max_n:6 ~max_m:8 rand in
+    List.iter
+      (fun solve ->
+        let p = solve h in
+        Alcotest.(check bool) "valid" true (P.is_valid p h);
+        let revenue = P.revenue p h in
+        Alcotest.(check bool) "0 <= revenue <= sum v" true
+          (revenue >= -1e-9 && revenue <= H.sum_valuations h +. 1e-6))
+      [ Ubp.solve; Uip.solve; Lpip.solve; Cip.solve; Layering.solve; Xos.solve ]
+  done
+
+let test_lpip_dominates_trivial () =
+  (* On a single-edge instance LPIP extracts the full valuation. *)
+  let h = H.create ~n_items:3 [| ("a", [| 0; 1 |], 7.0) |] in
+  Alcotest.(check (float 1e-6)) "full extraction" 7.0
+    (P.revenue (Lpip.solve h) h)
+
+let test_lpip_candidate_cap () =
+  let rand = Random.State.make [| 6 |] in
+  let h = random_h ~max_n:6 ~max_m:10 rand in
+  let full = P.revenue (Lpip.solve h) h in
+  let capped =
+    P.revenue
+      (Lpip.solve ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000 } h)
+      h
+  in
+  Alcotest.(check bool) "capped <= full" true (capped <= full +. 1e-6);
+  let _, lps =
+    Lpip.solve_with_trace
+      ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000 } h
+  in
+  Alcotest.(check bool) "at most 2 LPs" true (lps <= 2)
+
+let test_cip_grid () =
+  let grid = Cip.capacity_grid ~epsilon:1.0 ~max_degree:8 in
+  Alcotest.(check bool) "starts at 1" true (List.hd grid = 1.0);
+  Alcotest.(check bool) "ends at B" true
+    (List.rev grid |> List.hd = 8.0);
+  Alcotest.(check bool) "monotone" true
+    (List.sort compare grid = grid);
+  Alcotest.(check (list (float 1e-9))) "empty grid for degree 0" []
+    (Cip.capacity_grid ~epsilon:0.5 ~max_degree:0)
+
+let test_xos_combine () =
+  let p = Xos.combine [ P.Item [| 1.0 |]; P.Item [| 2.0 |] ] in
+  (match p with
+  | P.Xos [ _; _ ] -> ()
+  | _ -> Alcotest.fail "expected 2-component XOS");
+  (match Xos.combine [ P.Uniform_bundle 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uniform component rejected");
+  match Xos.combine [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty combination rejected"
+
+let test_xos_at_least_components () =
+  (* XOS price is the max of components, which can over- or under-sell;
+     but its price per edge is >= each component's price. *)
+  let rand = Random.State.make [| 7 |] in
+  for _ = 1 to 100 do
+    let h = random_h rand in
+    let w1 = Array.init (H.n_items h) (fun _ -> Float.of_int (Random.State.int rand 5)) in
+    let w2 = Array.init (H.n_items h) (fun _ -> Float.of_int (Random.State.int rand 5)) in
+    let xos = Xos.combine [ P.Item w1; P.Item w2 ] in
+    Array.iter
+      (fun (e : H.edge) ->
+        let px = P.price xos e in
+        Alcotest.(check bool) "max dominates" true
+          (px >= P.price (P.Item w1) e -. 1e-9
+          && px >= P.price (P.Item w2) e -. 1e-9))
+      (H.edges h)
+  done
+
+(* Lemma instances behave as the theory predicts. *)
+let test_lemma2_behavior () =
+  let h = LB.lemma2 ~m:64 in
+  Alcotest.(check (float 1e-6)) "item pricing extracts H_m"
+    (LB.lemma2_optimal ~m:64)
+    (P.revenue (Lpip.solve h) h);
+  Alcotest.(check bool) "ubp O(1)" true (P.revenue (Ubp.solve h) h <= 1.0 +. 1e-9)
+
+let test_lemma3_behavior () =
+  let h = LB.lemma3 ~n:32 in
+  Alcotest.(check (float 1e-6)) "ubp extracts everything"
+    (LB.lemma3_optimal ~n:32)
+    (P.revenue (Ubp.solve h) h);
+  (* any item pricing is O(n): check our item algorithms stay below 2n *)
+  List.iter
+    (fun solve ->
+      Alcotest.(check bool) "item pricing O(n)" true
+        (P.revenue (solve h) h <= 2.0 *. 32.0))
+    [ Uip.solve; Lpip.solve; Layering.solve ]
+
+let test_lemma4_behavior () =
+  let h = LB.lemma4 ~levels:3 in
+  let opt = LB.lemma4_optimal ~levels:3 in
+  List.iter
+    (fun solve ->
+      let r = P.revenue (solve h) h in
+      Alcotest.(check bool) "strictly below OPT" true (r < opt))
+    [ Ubp.solve; Uip.solve; Lpip.solve; Layering.solve ]
+
+let test_lemma_sizes () =
+  Alcotest.(check int) "lemma2 m" 10 (H.m (LB.lemma2 ~m:10));
+  Alcotest.(check int) "lemma4 items" 8 (H.n_items (LB.lemma4 ~levels:3));
+  (* lemma3: m = sum of ceil(n/i) *)
+  let n = 8 in
+  let expected = List.init n (fun i -> (n + i) / (i + 1)) |> List.fold_left ( + ) 0 in
+  Alcotest.(check int) "lemma3 m" expected (H.m (LB.lemma3 ~n))
+
+let test_registry () =
+  Alcotest.(check int) "six algorithms" 6 (List.length (Algorithms.all ()));
+  Alcotest.(check string) "find lpip" "LPIP" (Algorithms.find "LPIP").Algorithms.label;
+  match Algorithms.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "algorithms",
+    [
+      t "UBP optimal (300 random, brute force)" test_ubp_optimal_property;
+      t "UIP optimal (300 random, brute force)" test_uip_optimal_property;
+      t "UBP ties" test_ubp_ties;
+      t "UBP empty instance" test_ubp_empty;
+      t "UIP skips empty edges" test_uip_skips_empty_edges;
+      t "layering: layers are minimal covers" test_layering_layers_structure;
+      t "layering: revenue >= best layer" test_layering_extracts_best_layer;
+      t "all algorithms valid on random instances" test_lp_algorithms_validity;
+      t "LPIP full extraction on single edge" test_lpip_dominates_trivial;
+      t "LPIP candidate cap" test_lpip_candidate_cap;
+      t "CIP capacity grid" test_cip_grid;
+      t "XOS combine" test_xos_combine;
+      t "XOS dominates components" test_xos_at_least_components;
+      t "lemma 2 behavior" test_lemma2_behavior;
+      t "lemma 3 behavior" test_lemma3_behavior;
+      t "lemma 4 behavior" test_lemma4_behavior;
+      t "lemma instance sizes" test_lemma_sizes;
+      t "algorithm registry" test_registry;
+    ] )

@@ -1,0 +1,139 @@
+(* Tests for the revenue upper bounds and the shared must-sell LP. *)
+
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module Bounds = Qp_core.Bounds
+module Class_lp = Qp_core.Class_lp
+module Refine = Qp_core.Refine
+
+let random_h rand =
+  let n = 1 + Random.State.int rand 8 in
+  let m = 1 + Random.State.int rand 10 in
+  let specs =
+    Array.init m (fun i ->
+        let size = Random.State.int rand (n + 1) in
+        let items = Array.init size (fun _ -> Random.State.int rand n) in
+        ( Printf.sprintf "e%d" i,
+          items,
+          Float.of_int (1 + Random.State.int rand 30) ))
+  in
+  H.create ~n_items:n specs
+
+let test_sum_valuations () =
+  let h = H.create ~n_items:1 [| ("a", [| 0 |], 2.0); ("b", [| 0 |], 3.0) |] in
+  Alcotest.(check (float 1e-9)) "sum" 5.0 (Bounds.sum_valuations h)
+
+let test_bound_below_sum () =
+  let rand = Random.State.make [| 11 |] in
+  for _ = 1 to 100 do
+    let h = random_h rand in
+    let bound = Bounds.subadditive_bound h in
+    Alcotest.(check bool) "bound <= sum" true
+      (bound <= Bounds.sum_valuations h +. 1e-6);
+    Alcotest.(check bool) "bound >= 0" true (bound >= -1e-9)
+  done
+
+let test_duplicate_bundle_cap () =
+  (* Two identical bundles with values 1 and 10: a single set-function
+     price caps the pair's revenue at max(2*1, 10) = 10 < 11. *)
+  let h =
+    H.create ~n_items:2 [| ("a", [| 0; 1 |], 1.0); ("b", [| 0; 1 |], 10.0) |]
+  in
+  let bound = Bounds.subadditive_bound h in
+  Alcotest.(check bool) "cap binds" true (bound <= 10.0 +. 1e-6);
+  Alcotest.(check bool) "cap not too tight" true (bound >= 10.0 -. 1e-6)
+
+let test_bound_empty () =
+  Alcotest.(check (float 1e-9)) "empty" 0.0
+    (Bounds.subadditive_bound (H.create ~n_items:0 [||]))
+
+let test_bound_loose_when_no_structure () =
+  (* Disjoint singleton bundles admit no cheap covers and no duplicate
+     groups: the bound degenerates to the sum of valuations. *)
+  let h =
+    H.create ~n_items:3
+      [| ("a", [| 0 |], 2.0); ("b", [| 1 |], 5.0); ("c", [| 2 |], 1.0) |]
+  in
+  Alcotest.(check (float 1e-6)) "sum" 8.0 (Bounds.subadditive_bound h)
+
+let test_bound_documented_caveat () =
+  (* The paper's cover-LP is a heuristic estimate, not a sound upper
+     bound: a high-value bundle covered by cheap bundles gets capped
+     even though a subadditive pricing can still extract its full
+     value by pricing the (unsold) cover members high. This test pins
+     that known behavior so a future change is a conscious decision. *)
+  let h =
+    H.create ~n_items:2
+      [| ("big", [| 0; 1 |], 10.0); ("l", [| 0 |], 1.0); ("r", [| 1 |], 2.0) |]
+  in
+  let bound = Bounds.subadditive_bound h in
+  Alcotest.(check bool) "cover cap engaged" true (bound < 13.0 -. 1e-6)
+
+(* --- must-sell LP --- *)
+
+let all_ids h = List.init (H.m h) Fun.id
+
+let test_must_sell_sells () =
+  let rand = Random.State.make [| 13 |] in
+  for _ = 1 to 150 do
+    let h = random_h rand in
+    (* pick a random subset that must sell *)
+    let ids = List.filter (fun _ -> Random.State.bool rand) (all_ids h) in
+    match Class_lp.solve_must_sell h ~edge_ids:ids with
+    | None -> Alcotest.fail "LP should always solve"
+    | Some w ->
+        let p = P.Item w in
+        Alcotest.(check bool) "valid weights" true (P.is_valid p h);
+        List.iter
+          (fun id ->
+            Alcotest.(check bool) "must-sell edge sells" true
+              (P.sells p (H.edge h id)))
+          ids
+  done
+
+let test_collapse_equivalent () =
+  let rand = Random.State.make [| 14 |] in
+  for _ = 1 to 80 do
+    let h = random_h rand in
+    let ids = all_ids h in
+    let rev collapse =
+      match Class_lp.solve_must_sell ~collapse h ~edge_ids:ids with
+      | Some w ->
+          (* objective = total price of the must-sell set *)
+          List.fold_left
+            (fun acc id -> acc +. P.price (P.Item w) (H.edge h id))
+            0.0 ids
+      | None -> Alcotest.fail "LP failed"
+    in
+    Alcotest.(check (float 1e-5)) "same optimal objective" (rev false) (rev true)
+  done
+
+let test_refine_keeps_sold_set () =
+  let rand = Random.State.make [| 15 |] in
+  for _ = 1 to 80 do
+    let h = random_h rand in
+    let ubp = Qp_core.Ubp.solve h in
+    let refined = Refine.refine_ubp h in
+    Alcotest.(check bool) "valid" true (P.is_valid refined h);
+    (* every edge UBP sold (with a non-empty bundle or not) must still
+       sell under the refined item pricing *)
+    List.iter
+      (fun (e : H.edge) ->
+        Alcotest.(check bool) "still sold" true (P.sells refined e))
+      (P.sold_edges ubp h)
+  done
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "bounds",
+    [
+      t "sum of valuations" test_sum_valuations;
+      t "subadditive bound below sum" test_bound_below_sum;
+      t "duplicate-bundle cap" test_duplicate_bundle_cap;
+      t "empty instance" test_bound_empty;
+      t "bound loose without structure" test_bound_loose_when_no_structure;
+      t "documented cover-LP caveat" test_bound_documented_caveat;
+      t "must-sell LP sells its set (150 random)" test_must_sell_sells;
+      t "class collapsing is exact (80 random)" test_collapse_equivalent;
+      t "UBP refinement keeps the sold set" test_refine_keeps_sold_set;
+    ] )

@@ -1,0 +1,134 @@
+(* Direct tests for the expression language: SQL printing, column
+   collection, compilation metadata, and NULL semantics. *)
+
+open Fixtures
+module E = Qp_relational.Expr
+module Value = Qp_relational.Value
+
+let env = [| ("u", users_schema); ("o", orders_schema) |]
+
+let eval_on expr row_u row_o =
+  let compiled = E.compile env expr in
+  compiled.E.eval [| row_u; row_o |]
+
+let abe = user 1 "Abe" "m" 18
+let book = order 10 1 100 "book"
+
+let test_to_sql () =
+  Alcotest.(check string) "cmp" "age >= 21"
+    (E.to_sql (E.Cmp (E.Ge, E.col "age", E.int 21)));
+  Alcotest.(check string) "qualified" "u.age"
+    (E.to_sql (E.col ~table:"u" "age"));
+  Alcotest.(check string) "between" "age BETWEEN 1 AND 2"
+    (E.to_sql (E.Between (E.col "age", E.int 1, E.int 2)));
+  Alcotest.(check string) "in" "age IN (1, 2)"
+    (E.to_sql (E.In_list (E.col "age", [ Value.Int 1; Value.Int 2 ])));
+  Alcotest.(check string) "like" "name LIKE 'A%'"
+    (E.to_sql (E.Like (E.col "name", "A%")));
+  Alcotest.(check string) "bool" "((a = 1 AND b = 2) OR NOT (c = 3))"
+    (E.to_sql
+       E.(eq (col "a") (int 1) && eq (col "b") (int 2)
+          || Not (eq (col "c") (int 3))));
+  Alcotest.(check string) "arith" "((age * 2) - 1)"
+    (E.to_sql E.(col "age" * int 2 - int 1));
+  Alcotest.(check string) "string const" "name = 'x'"
+    (E.to_sql (E.eq (E.col "name") (E.str "x")))
+
+let test_columns () =
+  let e =
+    E.(eq (col "a") (col ~table:"t" "b") && Between (col "c", int 1, col "d"))
+  in
+  Alcotest.(check (list string)) "columns in order"
+    [ "a"; "b"; "c"; "d" ]
+    (List.map (fun c -> c.E.column) (E.columns e))
+
+let test_conj () =
+  Alcotest.(check bool) "empty" true (E.conj [] = None);
+  match E.conj [ E.int 1; E.int 2; E.int 3 ] with
+  | Some (E.And (E.And (E.Const _, E.Const _), E.Const _)) -> ()
+  | _ -> Alcotest.fail "left fold shape"
+
+let test_compile_tables () =
+  let check_tables expr expected =
+    let compiled = E.compile env expr in
+    Alcotest.(check (list int)) (E.to_sql expr) expected compiled.E.tables
+  in
+  check_tables (E.int 1) [];
+  check_tables (E.col "age") [ 0 ];
+  check_tables (E.col "amount") [ 1 ];
+  check_tables E.(eq (col "age") (col "amount")) [ 0; 1 ];
+  check_tables E.(eq (col ~table:"u" "uid") (col ~table:"o" "uid")) [ 0; 1 ]
+
+let test_compile_alias_resolution () =
+  (* "uid" alone is ambiguous across u and o *)
+  (match E.compile env (E.col "uid") with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "mentions ambiguity" true
+        (Astring_contains.contains msg "ambiguous")
+  | _ -> Alcotest.fail "expected ambiguity");
+  match E.compile env (E.col "nope") with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "mentions unresolved" true
+        (Astring_contains.contains msg "unresolved")
+  | _ -> Alcotest.fail "expected unresolved"
+
+let test_null_semantics () =
+  let null_row = [| Value.Null; Value.Null; Value.Null; Value.Null |] in
+  let as_bool v = E.is_true v in
+  Alcotest.(check bool) "cmp null false" false
+    (as_bool (eval_on (E.Cmp (E.Le, E.col "age", E.int 100)) null_row book));
+  Alcotest.(check bool) "between null false" false
+    (as_bool (eval_on (E.Between (E.col "age", E.int 0, E.int 100)) null_row book));
+  Alcotest.(check bool) "in null false" false
+    (as_bool (eval_on (E.In_list (E.col "age", [ Value.Null ])) null_row book));
+  Alcotest.(check bool) "like null false" false
+    (as_bool (eval_on (E.Like (E.col "name", "%")) null_row book));
+  Alcotest.(check bool) "not(null-cmp) true" true
+    (as_bool
+       (eval_on (E.Not (E.Cmp (E.Eq, E.col "age", E.int 1))) null_row book));
+  (match eval_on E.(col "age" + int 1) null_row book with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "arith null: %s" (Value.to_string v))
+
+let test_arith_eval () =
+  (* "uid" alone would be ambiguous (both schemas have it) *)
+  let v = eval_on E.(col "age" * int 3 - col ~table:"u" "uid") abe book in
+  Alcotest.(check bool) "18*3-1" true (Value.equal v (Value.Int 53));
+  (* string operand -> Null *)
+  match eval_on E.(col "name" + int 1) abe book with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "string arith: %s" (Value.to_string v)
+
+let test_is_true () =
+  Alcotest.(check bool) "0 false" false (E.is_true (Value.Int 0));
+  Alcotest.(check bool) "null false" false (E.is_true Value.Null);
+  Alcotest.(check bool) "1 true" true (E.is_true (Value.Int 1));
+  Alcotest.(check bool) "str true" true (E.is_true (Value.Str ""))
+
+let test_predicate_eval () =
+  let check expr expected =
+    Alcotest.(check bool) (E.to_sql expr) expected
+      (E.is_true (eval_on expr abe book))
+  in
+  check E.(eq (col "gender") (str "m")) true;
+  check E.(eq (col "gender") (str "f")) false;
+  check (E.Cmp (E.Lt, E.col "age", E.int 19)) true;
+  check (E.Between (E.col "amount", E.int 100, E.int 100)) true;
+  check (E.In_list (E.col "item", [ Value.Str "book"; Value.Str "desk" ])) true;
+  check (E.Like (E.col "name", "_be")) true;
+  check E.(eq (col ~table:"u" "uid") (col ~table:"o" "uid")) true
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "expr",
+    [
+      t "sql printing" test_to_sql;
+      t "column collection" test_columns;
+      t "conjunction builder" test_conj;
+      t "compilation table tracking" test_compile_tables;
+      t "alias resolution errors" test_compile_alias_resolution;
+      t "null semantics" test_null_semantics;
+      t "arithmetic evaluation" test_arith_eval;
+      t "is_true" test_is_true;
+      t "predicate evaluation" test_predicate_eval;
+    ] )

@@ -1,0 +1,104 @@
+(* Tests for history-aware (marginal) pricing: the Upadhyaya-style
+   refund folded into the charge. *)
+
+open Fixtures
+module Broker = Qp_market.Broker
+module P = Qp_core.Pricing
+
+let queries =
+  let q name where select = Query.make ~name ~from:[ "Users" ] ~where select in
+  [
+    q "females"
+      Expr.(eq (col "gender") (str "f"))
+      [ Query.Field (Expr.col "name", "n"); Query.Field (Expr.col "age", "a") ];
+    q "young"
+      (Expr.Cmp (Expr.Lt, Expr.col "age", Expr.int 23))
+      [ Query.Field (Expr.col "name", "n"); Query.Field (Expr.col "age", "a") ];
+    q "all" (Expr.Cmp (Expr.Ge, Expr.col "age", Expr.int 0))
+      [ Query.Field (Expr.col "name", "n"); Query.Field (Expr.col "age", "a") ];
+  ]
+
+let make_broker () =
+  let broker = Broker.create ~seed:3 ~support_size:80 db in
+  List.iter (fun q -> Broker.add_buyer broker ~valuation:50.0 q) queries;
+  Broker.build broker;
+  let _ = Broker.price broker ~algorithm:"lpip" in
+  broker
+
+let buy broker account q =
+  match Broker.purchase_as broker ~account ~budget:1e9 q with
+  | `Sold (price, _) -> price
+  | `Declined _ -> Alcotest.fail "unlimited budget cannot decline"
+
+let test_marginal_never_exceeds_standalone () =
+  let broker = make_broker () in
+  let q1 = List.nth queries 0 and q2 = List.nth queries 1 in
+  let standalone_q2 = Broker.quote broker q2 in
+  let _ = buy broker "alice" q1 in
+  let marginal_q2 = buy broker "alice" q2 in
+  Alcotest.(check bool) "subadditive discount" true
+    (marginal_q2 <= standalone_q2 +. 1e-9)
+
+let test_repeat_purchase_free () =
+  let broker = make_broker () in
+  let q1 = List.nth queries 0 in
+  let first = buy broker "bob" q1 in
+  let again = buy broker "bob" q1 in
+  Alcotest.(check bool) "first may cost" true (first >= 0.0);
+  Alcotest.(check (float 1e-9)) "re-buying is free" 0.0 again
+
+let test_total_never_exceeds_union_price () =
+  let broker = make_broker () in
+  List.iter (fun q -> ignore (buy broker "carol" q)) queries;
+  let pricing = Broker.active_pricing broker in
+  let union_price =
+    P.price_items pricing (Broker.account_history broker "carol")
+  in
+  Alcotest.(check (float 1e-6)) "pays exactly the union price" union_price
+    (Broker.account_spent broker "carol")
+
+let test_accounts_isolated () =
+  let broker = make_broker () in
+  let q1 = List.nth queries 0 in
+  let p_dave = buy broker "dave" q1 in
+  let p_erin = buy broker "erin" q1 in
+  Alcotest.(check (float 1e-9)) "fresh accounts pay the same" p_dave p_erin;
+  Alcotest.(check int) "unknown account empty" 0
+    (Array.length (Broker.account_history broker "nobody"));
+  Alcotest.(check (float 1e-9)) "unknown account spent" 0.0
+    (Broker.account_spent broker "nobody")
+
+let test_budget_declines_marginal () =
+  let broker = make_broker () in
+  let q = List.hd queries in
+  let quote = Broker.quote broker q in
+  Alcotest.(check bool) "query has a positive price" true (quote > 0.0);
+  (match Broker.purchase_as broker ~account:"frank" ~budget:(quote /. 2.0) q with
+  | `Declined price -> Alcotest.(check (float 1e-9)) "declined at marginal" quote price
+  | `Sold _ -> Alcotest.fail "should decline");
+  Alcotest.(check (float 1e-9)) "nothing recorded" 0.0
+    (Broker.account_spent broker "frank")
+
+let test_uniform_bundle_marginal_degenerates () =
+  (* A uniform bundle price charges f(∅) = P as well, so the marginal
+     against an empty history is 0 — pinned here as documented
+     behavior: history-aware pricing is meant for item-like families. *)
+  let broker = make_broker () in
+  Broker.set_pricing broker (P.Uniform_bundle 5.0);
+  match Broker.purchase_as broker ~account:"gina" ~budget:0.0 (List.hd queries) with
+  | `Sold (price, _) -> Alcotest.(check (float 1e-9)) "zero marginal" 0.0 price
+  | `Declined _ -> Alcotest.fail "zero marginal should sell"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "history-pricing",
+    [
+      t "marginal <= standalone (refund effect)"
+        test_marginal_never_exceeds_standalone;
+      t "re-buying is free" test_repeat_purchase_free;
+      t "total spent = union price" test_total_never_exceeds_union_price;
+      t "accounts are isolated" test_accounts_isolated;
+      t "budget declines on marginal price" test_budget_declines_marginal;
+      t "uniform-bundle marginal degenerates (documented)"
+        test_uniform_bundle_marginal_degenerates;
+    ] )

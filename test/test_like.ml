@@ -1,0 +1,70 @@
+(* Tests for the SQL LIKE matcher, including a property test against a
+   straightforward exponential-time reference implementation. *)
+
+module Like = Qp_relational.Like
+
+let m pattern s = Like.matches ~pattern s
+
+let test_literal () =
+  Alcotest.(check bool) "exact" true (m "abc" "abc");
+  Alcotest.(check bool) "mismatch" false (m "abc" "abd");
+  Alcotest.(check bool) "shorter" false (m "abc" "ab");
+  Alcotest.(check bool) "longer" false (m "ab" "abc");
+  Alcotest.(check bool) "empty/empty" true (m "" "")
+
+let test_percent () =
+  Alcotest.(check bool) "prefix" true (m "A%" "Abe");
+  Alcotest.(check bool) "prefix exact" true (m "A%" "A");
+  Alcotest.(check bool) "prefix miss" false (m "A%" "Bab");
+  Alcotest.(check bool) "suffix" true (m "%ing" "string");
+  Alcotest.(check bool) "middle" true (m "a%c" "abbbc");
+  Alcotest.(check bool) "middle empty" true (m "a%c" "ac");
+  Alcotest.(check bool) "double" true (m "%ss%" "mississippi");
+  Alcotest.(check bool) "only percent" true (m "%" "");
+  Alcotest.(check bool) "only percent nonempty" true (m "%" "anything");
+  Alcotest.(check bool) "percent run" true (m "%%%" "x")
+
+let test_underscore () =
+  Alcotest.(check bool) "one char" true (m "_" "x");
+  Alcotest.(check bool) "not empty" false (m "_" "");
+  Alcotest.(check bool) "not two" false (m "_" "xy");
+  Alcotest.(check bool) "mixed" true (m "a_c" "abc");
+  Alcotest.(check bool) "with percent" true (m "_%_" "ab")
+
+let test_case_sensitive () =
+  Alcotest.(check bool) "case matters" false (m "a%" "Abc")
+
+(* Reference: naive recursion (exponential but fine at tiny sizes). *)
+let rec reference p s pi si =
+  if pi = String.length p then si = String.length s
+  else
+    match p.[pi] with
+    | '%' ->
+        let rec try_skip k =
+          k <= String.length s
+          && (reference p s (pi + 1) k || try_skip (k + 1))
+        in
+        try_skip si
+    | '_' -> si < String.length s && reference p s (pi + 1) (si + 1)
+    | c -> si < String.length s && s.[si] = c && reference p s (pi + 1) (si + 1)
+
+let prop_matches_reference =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 8))
+        (string_size ~gen:(oneofl [ 'a'; 'b' ]) (int_range 0 10)))
+  in
+  QCheck2.Test.make ~name:"matches naive reference" ~count:2000 gen
+    (fun (pattern, s) -> m pattern s = reference pattern s 0 0)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "like",
+    [
+      t "literal" test_literal;
+      t "percent" test_percent;
+      t "underscore" test_underscore;
+      t "case sensitive" test_case_sensitive;
+      QCheck_alcotest.to_alcotest prop_matches_reference;
+    ] )

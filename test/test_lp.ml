@@ -1,0 +1,226 @@
+(* Tests for the simplex solver and the LP builder, including a
+   duality-based property test: on random feasible bounded instances the
+   reported optimum must satisfy primal feasibility, dual feasibility
+   and strong duality — which pins the solver to the true optimum. *)
+
+module Simplex = Qp_lp.Simplex
+module Lp = Qp_lp.Lp
+
+let solve_xy c rows =
+  match Simplex.solve ~c ~rows () with
+  | Simplex.Optimal s -> s
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let test_textbook () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> (4, 0), obj 12 *)
+  let s = solve_xy [| 3.; 2. |] [| ([| 1.; 1. |], 4.); ([| 1.; 3. |], 6.) |] in
+  checkf "objective" 12.0 s.objective;
+  checkf "x" 4.0 s.primal.(0);
+  checkf "y" 0.0 s.primal.(1)
+
+let test_degenerate_ok () =
+  (* Multiple redundant constraints through one vertex. *)
+  let s =
+    solve_xy [| 1.; 1. |]
+      [|
+        ([| 1.; 0. |], 1.); ([| 0.; 1. |], 1.); ([| 1.; 1. |], 2.);
+        ([| 2.; 2. |], 4.); ([| 1.; 1. |], 2.);
+      |]
+  in
+  checkf "objective" 2.0 s.objective
+
+let test_zero_objective () =
+  let s = solve_xy [| 0.; 0. |] [| ([| 1.; 1. |], 4.) |] in
+  checkf "objective" 0.0 s.objective
+
+let test_unbounded () =
+  match Simplex.solve ~c:[| 1.; 0. |] ~rows:[| ([| 0.; 1. |], 4.) |] () with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_infeasible () =
+  (* x <= -1 with x >= 0 *)
+  match Simplex.solve ~c:[| 1. |] ~rows:[| ([| 1. |], -1.) |] () with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_negative_rhs_feasible () =
+  (* -x <= -2 (x >= 2), minimize x via max -x -> x = 2 *)
+  let s = solve_xy [| -1. |] [| ([| -1. |], -2.); ([| 1. |], 10.) |] in
+  checkf "objective" (-2.0) s.objective;
+  checkf "x" 2.0 s.primal.(0)
+
+let test_duals_textbook () =
+  let s = solve_xy [| 3.; 2. |] [| ([| 1.; 1. |], 4.); ([| 1.; 3. |], 6.) |] in
+  (* only the first constraint binds at (4,0): y = (3, 0) *)
+  checkf "dual0" 3.0 s.dual.(0);
+  checkf "dual1" 0.0 s.dual.(1)
+
+let test_empty_rows_bounded_by_nothing () =
+  match Simplex.solve ~c:[| 0.0 |] ~rows:[||] () with
+  | Simplex.Optimal s -> checkf "objective" 0.0 s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Random instance generator guaranteeing feasibility (x = 0) and
+   boundedness (every variable with positive objective coefficient
+   appears with a positive coefficient in some row). *)
+let random_instance rand =
+  let nvars = 1 + Random.State.int rand 6 in
+  let nrows = 1 + Random.State.int rand 8 in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 9)) in
+  let rows =
+    Array.init nrows (fun _ ->
+        ( Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 5)),
+          Float.of_int (1 + Random.State.int rand 50) ))
+  in
+  (* ensure boundedness *)
+  Array.iteri
+    (fun j cj ->
+      if cj > 0.0 then
+        let covered =
+          Array.exists (fun (a, _) -> a.(j) > 0.0) rows
+        in
+        if not covered then (fst rows.(0)).(j) <- 1.0)
+    c;
+  (c, rows)
+
+let test_duality_property () =
+  let rand = Random.State.make [| 2024 |] in
+  for _ = 1 to 300 do
+    let c, rows = random_instance rand in
+    match Simplex.solve ~c ~rows () with
+    | Simplex.Optimal { objective; primal; dual } ->
+        (* primal feasibility *)
+        Array.iter
+          (fun x -> Alcotest.(check bool) "x >= 0" true (x >= -1e-7))
+          primal;
+        Array.iter
+          (fun (a, b) ->
+            let lhs = ref 0.0 in
+            Array.iteri (fun j aj -> lhs := !lhs +. (aj *. primal.(j))) a;
+            Alcotest.(check bool) "Ax <= b" true (!lhs <= b +. 1e-6))
+          rows;
+        (* dual feasibility: y >= 0 and A^T y >= c *)
+        Array.iter
+          (fun y -> Alcotest.(check bool) "y >= 0" true (y >= -1e-7))
+          dual;
+        Array.iteri
+          (fun j cj ->
+            let col = ref 0.0 in
+            Array.iteri
+              (fun i (a, _) -> col := !col +. (a.(j) *. dual.(i)))
+              rows;
+            Alcotest.(check bool) "A'y >= c" true (!col >= cj -. 1e-6))
+          c;
+        (* strong duality: b . y = objective *)
+        let by = ref 0.0 in
+        Array.iteri (fun i (_, b) -> by := !by +. (b *. dual.(i))) rows;
+        Alcotest.(check bool) "strong duality" true
+          (Float.abs (!by -. objective) < 1e-5 *. Float.max 1.0 (Float.abs objective))
+    | Simplex.Unbounded -> Alcotest.fail "bounded instance reported unbounded"
+    | Simplex.Infeasible -> Alcotest.fail "feasible instance reported infeasible"
+  done
+
+(* --- Lp builder --- *)
+
+let test_lp_minimize () =
+  let p = Lp.create ~minimize:true () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:1.0 () in
+  let _ = Lp.add_ge p [ (1.0, x); (2.0, y) ] 4.0 in
+  let _ = Lp.add_ge p [ (3.0, x); (1.0, y) ] 6.0 in
+  match Lp.solve p with
+  | Ok s ->
+      checkf "objective" 2.8 (Lp.objective_value s);
+      checkf "x" 1.6 (Lp.value s x);
+      checkf "y" 1.2 (Lp.value s y)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+let test_lp_eq_constraint () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:1.0 () in
+  let _ = Lp.add_eq p [ (1.0, x); (1.0, y) ] 5.0 in
+  let _ = Lp.add_le p [ (1.0, x) ] 2.0 in
+  match Lp.solve p with
+  | Ok s ->
+      checkf "objective" 5.0 (Lp.objective_value s);
+      Alcotest.(check bool) "x <= 2" true (Lp.value s x <= 2.0 +. 1e-7)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let _ = Lp.add_le p [ (1.0, x) ] 1.0 in
+  let _ = Lp.add_ge p [ (1.0, x) ] 2.0 in
+  match Lp.solve p with
+  | Error Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_lp_unbounded () =
+  let p = Lp.create () in
+  let _x = Lp.add_var p ~obj:1.0 () in
+  match Lp.solve p with
+  | Error Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_lp_repeated_terms () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  (* x + x <= 4 -> x <= 2 *)
+  let _ = Lp.add_le p [ (1.0, x); (1.0, x) ] 4.0 in
+  match Lp.solve p with
+  | Ok s -> checkf "x" 2.0 (Lp.value s x)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+let test_lp_dual_sign_ge () =
+  let p = Lp.create ~minimize:true () in
+  let x = Lp.add_var p ~obj:2.0 () in
+  let c1 = Lp.add_ge p [ (1.0, x) ] 3.0 in
+  match Lp.solve p with
+  | Ok s ->
+      checkf "objective" 6.0 (Lp.objective_value s);
+      (* shadow price of the >= constraint in a min problem is +2 *)
+      checkf "dual" 2.0 (Lp.dual s c1)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+let test_lp_counts () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let _ = Lp.add_le p [ (1.0, x) ] 1.0 in
+  Alcotest.(check int) "vars" 1 (Lp.var_count p);
+  Alcotest.(check int) "constrs" 1 (Lp.constr_count p)
+
+let test_pivot_budget () =
+  (* max x + y with x <= 1, y <= 1 needs one pivot per variable. *)
+  let c = [| 1.0; 1.0 |] in
+  let rows = [| ([| 1.0; 0.0 |], 1.0); ([| 0.0; 1.0 |], 1.0) |] in
+  match Simplex.solve ~max_pivots:1 ~c ~rows () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected pivot budget failure"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "lp",
+    [
+      t "textbook optimum" test_textbook;
+      t "degenerate constraints" test_degenerate_ok;
+      t "zero objective" test_zero_objective;
+      t "unbounded" test_unbounded;
+      t "infeasible" test_infeasible;
+      t "negative rhs feasible (phase 1)" test_negative_rhs_feasible;
+      t "duals on textbook instance" test_duals_textbook;
+      t "no rows" test_empty_rows_bounded_by_nothing;
+      t "duality property on 300 random LPs" test_duality_property;
+      t "builder: minimize with >=" test_lp_minimize;
+      t "builder: equality constraint" test_lp_eq_constraint;
+      t "builder: infeasible" test_lp_infeasible;
+      t "builder: unbounded" test_lp_unbounded;
+      t "builder: repeated terms summed" test_lp_repeated_terms;
+      t "builder: dual sign for >= in min" test_lp_dual_sign_ge;
+      t "builder: counts" test_lp_counts;
+      t "pivot budget enforced" test_pivot_budget;
+    ] )

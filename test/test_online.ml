@@ -1,0 +1,238 @@
+(* Tests for the online pricing extension: environment accounting,
+   policy invariants (always arbitrage-free), convergence of the bandit
+   policies, and the unique-item support construction. *)
+
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module Online = Qp_online
+module Rng = Qp_util.Rng
+module Arbitrage = Qp_market.Arbitrage
+
+(* One item, one buyer at valuation 10: the ideal price is obvious. *)
+let single_buyer =
+  H.create ~n_items:1 [| ("b", [| 0 |], 10.0) |]
+
+let two_buyers =
+  H.create ~n_items:2 [| ("cheap", [| 0 |], 2.0); ("rich", [| 1 |], 50.0) |]
+
+(* --- price grid --- *)
+
+let test_grid () =
+  let g = Online.Price_grid.make ~epsilon:0.5 ~lo:1.0 ~hi:10.0 () in
+  Alcotest.(check bool) "starts at lo" true (g.(0) = 1.0);
+  Alcotest.(check bool) "ends at hi" true (g.(Array.length g - 1) = 10.0);
+  Alcotest.(check bool) "sorted" true
+    (Array.to_list g = List.sort compare (Array.to_list g));
+  (match Online.Price_grid.make ~lo:0.0 ~hi:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lo must be positive");
+  let single = Online.Price_grid.make ~lo:5.0 ~hi:5.0 () in
+  Alcotest.(check int) "degenerate grid" 1 (Array.length single)
+
+(* --- environment --- *)
+
+let test_environment_accounting () =
+  let env = Online.Environment.create ~rng:(Rng.create 1) single_buyer in
+  let buyer = Online.Environment.next_buyer env in
+  Alcotest.(check bool) "sale at valuation" true
+    (Online.Environment.transact env buyer ~price:10.0);
+  Alcotest.(check bool) "no sale above" false
+    (Online.Environment.transact env buyer ~price:10.5);
+  Alcotest.(check int) "rounds" 2 (Online.Environment.rounds_played env);
+  Alcotest.(check (float 1e-9)) "collected" 10.0
+    (Online.Environment.revenue_collected env)
+
+let test_environment_round_robin () =
+  let env =
+    Online.Environment.create ~arrival:Online.Environment.Round_robin
+      ~rng:(Rng.create 1) two_buyers
+  in
+  let names = ref [] in
+  for _ = 1 to 4 do
+    let b = Online.Environment.next_buyer env in
+    names := b.H.name :: !names;
+    ignore (Online.Environment.transact env b ~price:1.0)
+  done;
+  Alcotest.(check (list string)) "cycle"
+    [ "cheap"; "rich"; "cheap"; "rich" ]
+    (List.rev !names)
+
+let test_offline_benchmark () =
+  let env = Online.Environment.create ~rng:(Rng.create 1) two_buyers in
+  (* best uniform price is 50 (sells 1) vs 2 (sells both, 4): 50 wins;
+     per-round = 50 / 2 buyers = 25 *)
+  Alcotest.(check (float 1e-9)) "benchmark" 25.0
+    (Online.Environment.offline_benchmark env Qp_core.Ubp.solve)
+
+(* --- policies --- *)
+
+let drive ~rounds h policy =
+  Online.Simulate.run ~rng:(Rng.create 7) ~rounds h policy
+
+let test_fixed_policy () =
+  let t = drive ~rounds:100 single_buyer (Online.Policy.fixed "f" (P.Uniform_bundle 10.0)) in
+  Alcotest.(check (float 1e-9)) "collects v every round" 1000.0 t.Online.Simulate.collected
+
+let test_ucb_converges_single_buyer () =
+  let grid = Online.Price_grid.make ~epsilon:0.25 ~lo:1.0 ~hi:10.0 () in
+  let t = drive ~rounds:4000 single_buyer (Online.Ucb_price.create ~grid ()) in
+  (* The best grid arm is exactly 10 (hi = the valuation); UCB must end
+     well above the uniform-exploration average. *)
+  Alcotest.(check bool) "average revenue > 7" true (t.Online.Simulate.per_round > 7.0)
+
+let test_exp3_learns () =
+  let grid = Online.Price_grid.make ~epsilon:0.25 ~lo:1.0 ~hi:10.0 () in
+  let t =
+    drive ~rounds:6000 single_buyer
+      (Online.Exp3_price.create ~rng:(Rng.create 3) ~grid ())
+  in
+  Alcotest.(check bool) "average revenue > 5" true (t.Online.Simulate.per_round > 5.0)
+
+let test_mw_adapts_upward () =
+  (* Valuation far above the initial price: MW walks the price up, then
+     oscillates around the valuation selling roughly every other round,
+     so the long-run average approaches v/2 from below. *)
+  let t =
+    drive ~rounds:4000 single_buyer
+      (Online.Mw_item.create ~n_items:1 ~initial:0.5 ())
+  in
+  Alcotest.(check bool) "walked up" true (t.Online.Simulate.per_round > 3.5)
+
+let test_ogd_adapts_downward () =
+  (* Initial price far above the valuation: OGD must come down (the
+     1/sqrt t schedule makes the descent from 100 take ~500 rounds at
+     step 2) and then trade near the valuation. *)
+  let t =
+    drive ~rounds:8000 single_buyer
+      (Online.Ogd_item.create ~step:2.0 ~n_items:1 ~initial:100.0 ())
+  in
+  Alcotest.(check bool) "recovers sales" true (t.Online.Simulate.per_round > 2.0)
+
+let test_policies_always_arbitrage_free () =
+  let rng = Rng.create 5 in
+  let h = two_buyers in
+  let grid = Online.Price_grid.make ~lo:1.0 ~hi:50.0 () in
+  List.iter
+    (fun policy ->
+      let env = Online.Environment.create ~rng:(Rng.split rng "env") h in
+      for _ = 1 to 200 do
+        (* audit the live pricing every round *)
+        (match
+           Arbitrage.check_random ~rng:(Rng.split rng "audit") ~n_items:2
+             ~trials:20
+             (policy.Online.Policy.current ())
+         with
+        | None -> ()
+        | Some v ->
+            Alcotest.failf "%s violated: %s" policy.Online.Policy.name
+              (Format.asprintf "%a" Arbitrage.pp_violation v));
+        let b = Online.Environment.next_buyer env in
+        let price = Online.Policy.quote policy b.H.items in
+        let sold = Online.Environment.transact env b ~price in
+        policy.Online.Policy.observe ~items:b.H.items ~price ~sold
+      done)
+    [
+      Online.Ucb_price.create ~grid ();
+      Online.Exp3_price.create ~rng:(Rng.split rng "exp3") ~grid ();
+      Online.Mw_item.create ~n_items:2 ~initial:1.0 ();
+      Online.Ogd_item.create ~n_items:2 ~initial:1.0 ();
+    ]
+
+let test_simulate_deterministic () =
+  let grid = Online.Price_grid.make ~lo:1.0 ~hi:10.0 () in
+  let go () =
+    (drive ~rounds:500 two_buyers (Online.Ucb_price.create ~grid ()))
+      .Online.Simulate.collected
+  in
+  Alcotest.(check (float 1e-9)) "same revenue" (go ()) (go ())
+
+let test_simulate_checkpoints () =
+  let t =
+    Online.Simulate.run ~checkpoint_every:100 ~rng:(Rng.create 1) ~rounds:300
+      single_buyer
+      (Online.Policy.fixed "f" (P.Uniform_bundle 1.0))
+  in
+  Alcotest.(check int) "three checkpoints" 3
+    (List.length t.Online.Simulate.checkpoints);
+  let last_round, last_cum = List.nth t.Online.Simulate.checkpoints 2 in
+  Alcotest.(check int) "last at the end" 300 last_round;
+  Alcotest.(check (float 1e-9)) "cumulative" 300.0 last_cum
+
+(* --- unique-item support --- *)
+
+let test_unique_support_point_queries () =
+  let module R = Qp_relational in
+  let db = Fixtures.db in
+  (* four point queries reading disjoint cells: full coverage expected *)
+  let queries =
+    List.map
+      (fun uid ->
+        R.Query.make
+          ~name:(Printf.sprintf "age-of-%d" uid)
+          ~from:[ "Users" ]
+          ~where:R.Expr.(eq (col "uid") (int uid))
+          [ R.Query.Field (R.Expr.col "age", "age") ])
+      [ 1; 2; 3; 4 ]
+  in
+  let result =
+    Qp_market.Support_opt.construct ~rng:(Rng.create 9) db queries
+  in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (Qp_market.Support_opt.coverage result);
+  (* verify the defining property directly *)
+  let preps = List.map (R.Delta_eval.prepare db) queries in
+  Array.iter
+    (fun (qi, si) ->
+      let d = result.Qp_market.Support_opt.deltas.(si) in
+      List.iteri
+        (fun j prep ->
+          Alcotest.(check bool)
+            (Printf.sprintf "delta %d vs query %d" si j)
+            (j = qi)
+            (R.Delta_eval.differs prep d))
+        preps)
+    result.Qp_market.Support_opt.dedicated
+
+let test_unique_support_blocked_by_select_star () =
+  let module R = Qp_relational in
+  let db = Fixtures.db in
+  let star =
+    R.Query.make ~name:"star" ~from:[ "Users" ]
+      [ R.Query.Field (R.Expr.col "uid", "uid");
+        R.Query.Field (R.Expr.col "name", "name");
+        R.Query.Field (R.Expr.col "gender", "gender");
+        R.Query.Field (R.Expr.col "age", "age") ]
+  in
+  let point =
+    R.Query.make ~name:"point" ~from:[ "Users" ]
+      ~where:R.Expr.(eq (col "uid") (int 1))
+      [ R.Query.Field (R.Expr.col "age", "age") ]
+  in
+  let result =
+    Qp_market.Support_opt.construct ~rng:(Rng.create 9) db [ star; point ]
+  in
+  (* any delta the point query sees, the star query sees too *)
+  Alcotest.(check bool) "point query unserved" true
+    (List.mem 1 result.Qp_market.Support_opt.unserved)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "online",
+    [
+      t "price grid" test_grid;
+      t "environment accounting" test_environment_accounting;
+      t "round-robin arrivals" test_environment_round_robin;
+      t "offline benchmark" test_offline_benchmark;
+      t "fixed policy" test_fixed_policy;
+      t "UCB converges (single buyer)" test_ucb_converges_single_buyer;
+      t "EXP3 learns" test_exp3_learns;
+      t "MW walks prices up" test_mw_adapts_upward;
+      t "OGD walks prices down" test_ogd_adapts_downward;
+      t "policies stay arbitrage-free" test_policies_always_arbitrage_free;
+      t "simulation deterministic" test_simulate_deterministic;
+      t "simulation checkpoints" test_simulate_checkpoints;
+      t "unique support: point queries fully covered"
+        test_unique_support_point_queries;
+      t "unique support: blocked by select-star"
+        test_unique_support_blocked_by_select_star;
+    ] )

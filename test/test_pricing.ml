@@ -1,0 +1,143 @@
+(* Tests for pricing functions, revenue accounting, and the arbitrage
+   checker. *)
+
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module Arbitrage = Qp_market.Arbitrage
+module Rng = Qp_util.Rng
+
+let h =
+  H.create ~n_items:4
+    [|
+      ("a", [| 0; 1 |], 5.0); ("b", [| 1; 2 |], 3.0); ("c", [| 0; 1; 2; 3 |], 10.0);
+      ("empty", [||], 2.0);
+    |]
+
+let e i = H.edge h i
+
+let test_uniform_prices () =
+  let p = P.Uniform_bundle 4.0 in
+  Alcotest.(check (float 1e-9)) "edge price" 4.0 (P.price p (e 0));
+  Alcotest.(check (float 1e-9)) "empty bundle also pays" 4.0 (P.price p (e 3));
+  Alcotest.(check bool) "a sells" true (P.sells p (e 0));
+  Alcotest.(check bool) "b declines" false (P.sells p (e 1));
+  (* sold: a (4) + c (4); b and empty decline *)
+  Alcotest.(check (float 1e-9)) "revenue" 8.0 (P.revenue p h)
+
+let test_item_prices () =
+  let p = P.Item [| 1.0; 2.0; 0.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "a" 3.0 (P.price p (e 0));
+  Alcotest.(check (float 1e-9)) "b" 2.0 (P.price p (e 1));
+  Alcotest.(check (float 1e-9)) "c" 7.0 (P.price p (e 2));
+  Alcotest.(check (float 1e-9)) "empty is free" 0.0 (P.price p (e 3));
+  Alcotest.(check (float 1e-9)) "revenue" 12.0 (P.revenue p h);
+  Alcotest.(check int) "all sold" 4 (List.length (P.sold_edges p h))
+
+let test_xos_prices () =
+  let p = P.Xos [ [| 1.0; 1.0; 1.0; 1.0 |]; [| 3.0; 0.0; 0.0; 0.0 |] ] in
+  Alcotest.(check (float 1e-9)) "max of components" 3.0 (P.price p (e 0));
+  Alcotest.(check (float 1e-9)) "c prices at 4" 4.0 (P.price p (e 2))
+
+let test_sells_tolerance () =
+  (* LP-tight price: sell despite float dust *)
+  let p = P.Item [| 2.5 +. 1e-13; 2.5; 0.0; 0.0 |] in
+  Alcotest.(check bool) "tolerant" true (P.sells p (e 0))
+
+let test_price_items () =
+  let p = P.Item [| 1.0; 2.0; 4.0; 8.0 |] in
+  Alcotest.(check (float 1e-9)) "ad-hoc bundle" 9.0 (P.price_items p [| 0; 3 |]);
+  Alcotest.(check (float 1e-9)) "uniform any bundle" 7.0
+    (P.price_items (P.Uniform_bundle 7.0) [||])
+
+let test_is_valid () =
+  Alcotest.(check bool) "uniform ok" true (P.is_valid (P.Uniform_bundle 1.0) h);
+  Alcotest.(check bool) "uniform neg" false (P.is_valid (P.Uniform_bundle (-1.0)) h);
+  Alcotest.(check bool) "item ok" true (P.is_valid (P.Item (Array.make 4 0.0)) h);
+  Alcotest.(check bool) "item wrong arity" false (P.is_valid (P.Item [| 0.0 |]) h);
+  Alcotest.(check bool) "item negative" false
+    (P.is_valid (P.Item [| -0.1; 0.0; 0.0; 0.0 |]) h);
+  Alcotest.(check bool) "xos empty" false (P.is_valid (P.Xos []) h)
+
+let test_describe () =
+  Alcotest.(check bool) "uniform described" true
+    (String.length (P.describe (P.Uniform_bundle 2.0)) > 0);
+  Alcotest.(check string) "item described" "item-pricing"
+    (P.describe (P.Item [||]))
+
+(* --- arbitrage checker --- *)
+
+let test_families_arbitrage_free () =
+  let rng = Rng.create 99 in
+  List.iter
+    (fun p ->
+      (match Arbitrage.check_edges p h with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "edge violation: %s"
+            (Format.asprintf "%a" Arbitrage.pp_violation v));
+      match Arbitrage.check_random ~rng ~n_items:4 ~trials:500 p with
+      | None -> ()
+      | Some _ -> Alcotest.fail "random violation in a valid family")
+    [
+      P.Uniform_bundle 3.0;
+      P.Item [| 1.0; 0.5; 2.0; 0.0 |];
+      P.Xos [ [| 1.0; 0.0; 0.0; 0.0 |]; [| 0.0; 1.0; 1.0; 0.0 |] ];
+    ]
+
+let test_checker_detects_non_monotone () =
+  (* A negative weight breaks monotonicity: adding the item lowers the
+     price. The checker must find a witness. *)
+  let bad = P.Item [| 5.0; -3.0; 0.0; 0.0 |] in
+  let rng = Rng.create 4 in
+  match Arbitrage.check_random ~rng ~n_items:4 ~trials:2000 bad with
+  | Some (Arbitrage.Not_monotone _) -> ()
+  | Some (Arbitrage.Not_subadditive _) ->
+      Alcotest.fail "expected a monotonicity witness"
+  | None -> Alcotest.fail "checker missed the violation"
+
+let test_checker_witness_printing () =
+  let v =
+    Arbitrage.Not_monotone { small = [| 1 |]; large = [| 1; 2 |] }
+  in
+  Alcotest.(check bool) "prints" true
+    (String.length (Format.asprintf "%a" Arbitrage.pp_violation v) > 0)
+
+(* Property: all three families pass the random checker on random
+   instances. (Theorem 1 direction: monotone subadditive f is
+   arbitrage-free; our families are all monotone subadditive.) *)
+let test_random_instances_arbitrage_free () =
+  let rand = Random.State.make [| 123 |] in
+  let rng = Rng.create 321 in
+  for _ = 1 to 50 do
+    let n = 2 + Random.State.int rand 8 in
+    let item_w = Array.init n (fun _ -> Float.of_int (Random.State.int rand 10)) in
+    let item_w2 = Array.init n (fun _ -> Float.of_int (Random.State.int rand 10)) in
+    List.iter
+      (fun p ->
+        match Arbitrage.check_random ~rng ~n_items:n ~trials:200 p with
+        | None -> ()
+        | Some v ->
+            Alcotest.failf "violation: %s" (Format.asprintf "%a" Arbitrage.pp_violation v))
+      [
+        P.Uniform_bundle (Float.of_int (Random.State.int rand 10));
+        P.Item item_w;
+        P.Xos [ item_w; item_w2 ];
+      ]
+  done
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "pricing",
+    [
+      t "uniform bundle prices" test_uniform_prices;
+      t "item prices" test_item_prices;
+      t "xos prices" test_xos_prices;
+      t "sell tolerance" test_sells_tolerance;
+      t "price arbitrary bundles" test_price_items;
+      t "validity checks" test_is_valid;
+      t "describe" test_describe;
+      t "families pass arbitrage checks" test_families_arbitrage_free;
+      t "checker detects violations" test_checker_detects_non_monotone;
+      t "violation printing" test_checker_witness_printing;
+      t "random instances arbitrage-free" test_random_instances_arbitrage_free;
+    ] )

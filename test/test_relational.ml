@@ -1,0 +1,120 @@
+(* Tests for schemas, relations, databases and deltas. *)
+
+open Fixtures
+module Delta = Qp_relational.Delta
+
+let test_schema_basics () =
+  Alcotest.(check string) "name" "Users" (Schema.name users_schema);
+  Alcotest.(check int) "arity" 4 (Schema.arity users_schema);
+  Alcotest.(check int) "index case-insensitive" 1
+    (Schema.index_of users_schema "NAME");
+  Alcotest.(check string) "attr name" "gender" (Schema.attr_name users_schema 2);
+  Alcotest.check_raises "unknown attr" Not_found (fun () ->
+      ignore (Schema.index_of users_schema "nope"))
+
+let test_schema_duplicate_attr () =
+  match
+    Schema.make ~name:"X" ~attrs:[ ("a", Schema.T_int); ("A", Schema.T_int) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-attribute rejection"
+
+let test_schema_equal () =
+  Alcotest.(check bool) "equal" true (Schema.equal users_schema users_schema);
+  Alcotest.(check bool) "not equal" false
+    (Schema.equal users_schema orders_schema)
+
+let test_relation_checks () =
+  (match Relation.make users_schema [ [| Value.Int 1 |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity check");
+  match
+    Relation.make users_schema
+      [ [| Value.Str "x"; Value.Str "n"; Value.Str "m"; Value.Int 1 |] ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type check"
+
+let test_relation_null_allowed () =
+  let r =
+    Relation.make users_schema
+      [ [| Value.Null; Value.Null; Value.Null; Value.Null |] ]
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality r)
+
+let test_relation_access () =
+  let r = Database.relation db "users" in
+  Alcotest.(check int) "rows" 4 (Relation.cardinality r);
+  Alcotest.(check bool) "get" true
+    (Value.equal (Relation.get r 1 "name") (Value.Str "Alice"))
+
+let test_relation_replace_drop () =
+  let r = Database.relation db "Users" in
+  let r2 = Relation.replace_tuple r 0 (user 1 "Abe" "m" 19) in
+  Alcotest.(check bool) "replaced" true
+    (Value.equal (Relation.get r2 0 "age") (Value.Int 19));
+  Alcotest.(check bool) "original untouched" true
+    (Value.equal (Relation.get r 0 "age") (Value.Int 18));
+  let r3 = Relation.drop_tuple r 1 in
+  Alcotest.(check int) "dropped" 3 (Relation.cardinality r3);
+  Alcotest.(check bool) "shifted" true
+    (Value.equal (Relation.get r3 1 "name") (Value.Str "Bob"))
+
+let test_database () =
+  Alcotest.(check (list string)) "names" [ "Users"; "Orders" ] (Database.names db);
+  Alcotest.(check int) "total rows" 9 (Database.total_rows db);
+  Alcotest.(check bool) "missing" true (Database.relation_opt db "nope" = None);
+  match Database.make [ Database.relation db "Users"; Database.relation db "users" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate relation"
+
+let test_delta_cell_change () =
+  let d = Delta.Cell_change { relation = "Users"; row = 1; col = 3; value = Value.Int 30 } in
+  let db' = Delta.apply db d in
+  Alcotest.(check bool) "changed" true
+    (Value.equal (Relation.get (Database.relation db' "Users") 1 "age") (Value.Int 30));
+  Alcotest.(check bool) "base unchanged" true
+    (Value.equal (Relation.get (Database.relation db "Users") 1 "age") (Value.Int 20));
+  let old_t, new_t = Delta.changed_tuple db d in
+  Alcotest.(check bool) "old" true (Value.equal old_t.(3) (Value.Int 20));
+  (match new_t with
+  | Some t -> Alcotest.(check bool) "new" true (Value.equal t.(3) (Value.Int 30))
+  | None -> Alcotest.fail "expected new tuple")
+
+let test_delta_row_drop () =
+  let d = Delta.Row_drop { relation = "Orders"; row = 0 } in
+  let db' = Delta.apply db d in
+  Alcotest.(check int) "one fewer" 4
+    (Relation.cardinality (Database.relation db' "Orders"));
+  let _, new_t = Delta.changed_tuple db d in
+  Alcotest.(check bool) "no new tuple" true (new_t = None)
+
+let test_delta_noop () =
+  let noop = Delta.Cell_change { relation = "Users"; row = 0; col = 3; value = Value.Int 18 } in
+  Alcotest.(check bool) "noop" true (Delta.is_noop db noop);
+  let real = Delta.Cell_change { relation = "Users"; row = 0; col = 3; value = Value.Int 19 } in
+  Alcotest.(check bool) "not noop" false (Delta.is_noop db real);
+  Alcotest.(check bool) "drop not noop" false
+    (Delta.is_noop db (Delta.Row_drop { relation = "Users"; row = 0 }))
+
+let test_delta_relation () =
+  Alcotest.(check string) "relation" "Users"
+    (Delta.relation (Delta.Row_drop { relation = "Users"; row = 0 }))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "relational",
+    [
+      t "schema basics" test_schema_basics;
+      t "schema duplicate attr rejected" test_schema_duplicate_attr;
+      t "schema equality" test_schema_equal;
+      t "relation arity/type checks" test_relation_checks;
+      t "relation null allowed" test_relation_null_allowed;
+      t "relation access" test_relation_access;
+      t "relation replace/drop functional" test_relation_replace_drop;
+      t "database basics" test_database;
+      t "delta cell change" test_delta_cell_change;
+      t "delta row drop" test_delta_row_drop;
+      t "delta noop detection" test_delta_noop;
+      t "delta relation" test_delta_relation;
+    ] )

@@ -1,0 +1,233 @@
+(* Tests for qp_util: rng, distributions, stats, histogram, text tables. *)
+
+module Rng = Qp_util.Rng
+module Dist = Qp_util.Dist
+module Stats = Qp_util.Stats
+module Histogram = Qp_util.Histogram
+module Text_table = Qp_util.Text_table
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let da = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" false (da = db)
+
+let test_rng_split_independent_of_draws () =
+  let a = Rng.create 7 in
+  let b = Rng.create 7 in
+  ignore (Rng.int a 100);
+  ignore (Rng.int a 100);
+  (* splits depend on lineage only, not on how much was drawn *)
+  let sa = Rng.split a "x" and sb = Rng.split b "x" in
+  check Alcotest.int "split stable" (Rng.int sa 1000) (Rng.int sb 1000)
+
+let test_rng_split_labels_differ () =
+  let r = Rng.create 7 in
+  let a = Rng.split r "a" and b = Rng.split r "b" in
+  let da = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "labels matter" false (da = db)
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_pick () =
+  let r = Rng.create 3 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.exists (( = ) (Rng.pick r arr)) arr)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let r = Rng.create 5 in
+  for _ = 1 to 50 do
+    let k = Rng.int_in r 0 20 in
+    let s = Rng.sample_without_replacement r k 20 in
+    check Alcotest.int "size" k (List.length s);
+    check Alcotest.int "distinct" k (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 20))
+      s
+  done
+
+(* --- distributions --- *)
+
+let mean_of n f =
+  let r = Rng.create 9 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. f r
+  done;
+  !total /. Float.of_int n
+
+let test_uniform_mean () =
+  let m = mean_of 20_000 (fun r -> Dist.uniform r ~lo:1.0 ~hi:3.0) in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (m -. 2.0) < 0.05)
+
+let test_uniform_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Dist.uniform r ~lo:5.0 ~hi:6.0 in
+    Alcotest.(check bool) "bounds" true (x >= 5.0 && x <= 6.0)
+  done
+
+let test_exponential_mean () =
+  let m = mean_of 50_000 (fun r -> Dist.exponential r ~mean:4.0) in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (m -. 4.0) < 0.15)
+
+let test_exponential_positive () =
+  let r = Rng.create 2 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Dist.exponential r ~mean:0.5 > 0.0)
+  done
+
+let test_normal_moments () =
+  let m = mean_of 50_000 (fun r -> Dist.normal r ~mu:10.0 ~sigma:2.0) in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (m -. 10.0) < 0.1)
+
+let test_normal_pos () =
+  let r = Rng.create 2 in
+  for _ = 1 to 2000 do
+    Alcotest.(check bool) "non-negative" true
+      (Dist.normal_pos r ~mu:0.5 ~sigma:3.0 >= 0.0)
+  done
+
+let test_zipf_range_and_skew () =
+  let r = Rng.create 4 in
+  let ones = ref 0 and total = 5000 in
+  for _ = 1 to total do
+    let x = Dist.zipf r ~a:2.0 ~n:1000 in
+    Alcotest.(check bool) "range" true (x >= 1 && x <= 1000);
+    if x = 1 then incr ones
+  done;
+  (* For a = 2 the mass at 1 is 1/zeta(2) ~ 0.61. *)
+  Alcotest.(check bool) "head heavy" true
+    (Float.of_int !ones /. Float.of_int total > 0.5)
+
+let test_binomial_moments () =
+  let m = mean_of 20_000 (fun r -> Float.of_int (Dist.binomial r ~n:20 ~p:0.5)) in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (m -. 10.0) < 0.15)
+
+let test_binomial_bounds () =
+  let r = Rng.create 2 in
+  for _ = 1 to 500 do
+    let x = Dist.binomial r ~n:7 ~p:0.3 in
+    Alcotest.(check bool) "bounds" true (x >= 0 && x <= 7)
+  done
+
+(* --- stats --- *)
+
+let test_stats_mean () = checkf "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+let test_stats_mean_empty () = checkf "empty" 0.0 (Stats.mean [||])
+
+let test_stats_stddev () =
+  checkf "stddev" (sqrt 1.25) (Stats.stddev [| 1.; 2.; 3.; 4. |])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  checkf "p0" 10.0 (Stats.percentile xs 0.0);
+  checkf "p100" 40.0 (Stats.percentile xs 100.0);
+  checkf "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_minmax () =
+  checkf "min" 1.0 (Stats.minimum [| 3.; 1.; 2. |]);
+  checkf "max" 3.0 (Stats.maximum [| 3.; 1.; 2. |]);
+  checkf "sum" 6.0 (Stats.sum [| 3.; 1.; 2. |])
+
+(* --- histogram --- *)
+
+let test_histogram_counts () =
+  let h = Histogram.create ~buckets:2 [| 0; 0; 1; 9 |] in
+  check Alcotest.int "buckets" 2 (Histogram.bucket_count h);
+  let _, _, c0 = Histogram.bucket h 0 and _, _, c1 = Histogram.bucket h 1 in
+  check Alcotest.int "total preserved" 4 (c0 + c1)
+
+let test_histogram_empty () =
+  let h = Histogram.create [||] in
+  let total = ref 0 in
+  for i = 0 to Histogram.bucket_count h - 1 do
+    let _, _, c = Histogram.bucket h i in
+    total := !total + c
+  done;
+  check Alcotest.int "empty" 0 !total
+
+let test_histogram_render () =
+  let h = Histogram.create ~buckets:3 [| 1; 2; 3; 100 |] in
+  let s = Histogram.render h in
+  Alcotest.(check bool) "mentions counts" true
+    (String.length s > 0 && String.contains s '#')
+
+(* --- text table --- *)
+
+let test_table_render () =
+  let s =
+    Text_table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "lines" 5 (List.length lines);
+  (* header + rule + 2 rows + trailing newline *)
+  Alcotest.(check bool) "pads short rows" true
+    (String.length (List.nth lines 2) >= 3)
+
+let test_table_csv () =
+  let s = Text_table.render_csv ~header:[ "a" ] [ [ "x,y" ]; [ "q\"u" ] ] in
+  Alcotest.(check bool) "quotes comma" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.length = 4
+    && String.sub s 0 1 = "a")
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "util",
+    [
+      t "rng deterministic" test_rng_deterministic;
+      t "rng seed matters" test_rng_seed_matters;
+      t "rng split independent of draws" test_rng_split_independent_of_draws;
+      t "rng split labels differ" test_rng_split_labels_differ;
+      t "rng int_in bounds" test_rng_int_in_bounds;
+      t "rng pick" test_rng_pick;
+      t "rng shuffle permutation" test_rng_shuffle_permutation;
+      t "rng sample without replacement" test_sample_without_replacement;
+      t "uniform mean" test_uniform_mean;
+      t "uniform bounds" test_uniform_bounds;
+      t "exponential mean" test_exponential_mean;
+      t "exponential positive" test_exponential_positive;
+      t "normal moments" test_normal_moments;
+      t "normal_pos non-negative" test_normal_pos;
+      t "zipf range and skew" test_zipf_range_and_skew;
+      t "binomial moments" test_binomial_moments;
+      t "binomial bounds" test_binomial_bounds;
+      t "stats mean" test_stats_mean;
+      t "stats mean empty" test_stats_mean_empty;
+      t "stats stddev" test_stats_stddev;
+      t "stats percentile" test_stats_percentile;
+      t "stats min/max/sum" test_stats_minmax;
+      t "histogram counts" test_histogram_counts;
+      t "histogram empty" test_histogram_empty;
+      t "histogram render" test_histogram_render;
+      t "table render" test_table_render;
+      t "table csv" test_table_csv;
+    ] )

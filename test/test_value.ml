@@ -1,0 +1,96 @@
+(* Tests for exact values: rationals, ordering, equality. *)
+
+module Value = Qp_relational.Value
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_ratio_normalizes () =
+  Alcotest.check v "6/4 = 3/2" (Value.Ratio (3, 2)) (Value.ratio 6 4);
+  Alcotest.check v "4/2 = 2" (Value.Int 2) (Value.ratio 4 2);
+  Alcotest.check v "0/5 = 0" (Value.Int 0) (Value.ratio 0 5);
+  Alcotest.check v "-6/4 = -3/2" (Value.Ratio (-3, 2)) (Value.ratio (-6) 4);
+  Alcotest.check v "6/-4 = -3/2" (Value.Ratio (-3, 2)) (Value.ratio 6 (-4))
+
+let test_compare_numeric () =
+  Alcotest.(check bool) "1/2 < 1" true
+    (Value.compare (Value.ratio 1 2) (Value.Int 1) < 0);
+  Alcotest.(check bool) "3/2 > 1" true
+    (Value.compare (Value.ratio 3 2) (Value.Int 1) > 0);
+  Alcotest.(check bool) "2/4 = 1/2" true
+    (Value.equal (Value.ratio 2 4) (Value.ratio 1 2));
+  Alcotest.(check bool) "-1 < 1/2" true
+    (Value.compare (Value.Int (-1)) (Value.ratio 1 2) < 0)
+
+let test_compare_across_kinds () =
+  Alcotest.(check bool) "null < int" true
+    (Value.compare Value.Null (Value.Int (-100)) < 0);
+  Alcotest.(check bool) "int < str" true
+    (Value.compare (Value.Int max_int) (Value.Str "") < 0);
+  Alcotest.(check bool) "str order" true
+    (Value.compare (Value.Str "a") (Value.Str "b") < 0)
+
+let test_accessors () =
+  Alcotest.(check (option int)) "as_int" (Some 3) (Value.as_int (Value.Int 3));
+  Alcotest.(check (option int)) "as_int str" None (Value.as_int (Value.Str "x"));
+  Alcotest.(check (option string)) "as_string" (Some "x")
+    (Value.as_string (Value.Str "x"))
+
+let test_pp () =
+  Alcotest.(check string) "int" "3" (Value.to_string (Value.Int 3));
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "ratio" "3/2" (Value.to_string (Value.ratio 3 2))
+
+(* qcheck: total order laws on a generator of values *)
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map2
+          (fun n d -> Value.ratio n (if d = 0 then 1 else d))
+          (int_range (-100) 100) (int_range (-20) 20);
+        map (fun s -> Value.Str s) (string_size (int_range 0 6));
+      ])
+
+let prop_antisym =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0) || (c1 = 0 && c2 = 0))
+
+let prop_transitive =
+  QCheck2.Test.make ~name:"compare transitive" ~count:500
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0
+      | _ -> false)
+
+let prop_ratio_consistent =
+  QCheck2.Test.make ~name:"ratio ordering matches floats" ~count:500
+    QCheck2.Gen.(
+      quad (int_range (-50) 50) (int_range 1 20) (int_range (-50) 50)
+        (int_range 1 20))
+    (fun (p, q, r, s) ->
+      let cmp = Value.compare (Value.ratio p q) (Value.ratio r s) in
+      let f = compare (Float.of_int p /. Float.of_int q)
+                (Float.of_int r /. Float.of_int s) in
+      (* floats are exact at these magnitudes *)
+      cmp = f)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "value",
+    [
+      t "ratio normalizes" test_ratio_normalizes;
+      t "numeric comparison" test_compare_numeric;
+      t "cross-kind ordering" test_compare_across_kinds;
+      t "accessors" test_accessors;
+      t "pretty printing" test_pp;
+      QCheck_alcotest.to_alcotest prop_antisym;
+      QCheck_alcotest.to_alcotest prop_transitive;
+      QCheck_alcotest.to_alcotest prop_ratio_consistent;
+    ] )
