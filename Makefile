@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean
+.PHONY: all build test bench bench-full bench-json examples clean
 
 all: build
 
@@ -17,6 +17,10 @@ bench:
 # Closer-to-paper settings: 5 runs per cell, finer LP grids. Slow.
 bench-full:
 	QP_BENCH_PROFILE=full dune exec bench/main.exe
+
+# Time the parallel layer (jobs=1 vs jobs=N) and write BENCH_parallel.json.
+bench-json:
+	dune exec bench/main.exe -- parallel
 
 examples:
 	dune exec examples/quickstart.exe

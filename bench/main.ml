@@ -2,8 +2,13 @@
    (via Qp_experiments.Registry) and finishes with bechamel
    micro-benchmarks of the core primitives.
 
-   Usage: main.exe [EXPERIMENT-IDS...]
-   With no arguments every experiment runs, in the paper's order.
+   Usage: main.exe [--jobs N] [micro] [parallel] [EXPERIMENT-IDS...]
+   With no arguments every experiment runs, in the paper's order,
+   followed by the micro-benchmarks. "micro" and "parallel" are
+   pseudo-ids that can be mixed freely with experiment ids: "micro"
+   appends the bechamel micro-benchmarks, "parallel" times the worker
+   pool at jobs=1 vs jobs=N and writes BENCH_parallel.json.
+   --jobs N sets QP_JOBS for the whole process.
    QP_BENCH_PROFILE=full switches to the slower, closer-to-paper
    settings (5 runs, finer LP grids). *)
 
@@ -106,14 +111,100 @@ let microbenchmarks ctx =
         results)
     tests
 
+(* --- parallel-layer benchmark --------------------------------------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+let parallel_bench ctx =
+  let module Runner = Qp_experiments.Runner in
+  let jobs_n = max 2 (Qp_util.Parallel.default_jobs ()) in
+  let profile = Context.profile ctx in
+  let inst = Context.instance ctx "skewed" in
+  let h =
+    V.apply ~rng:(Rng.create 1) (V.Uniform_val 100.0) inst.WI.hypergraph
+  in
+  ignore (H.classes h);
+  let lpip jobs () =
+    ignore
+      (Qp_core.Lpip.solve_with_trace
+         ~options:
+           { (Runner.lpip_options profile) with Qp_core.Lpip.jobs = Some jobs }
+         h)
+  in
+  let cip jobs () =
+    ignore
+      (Qp_core.Cip.solve_with_trace
+         ~options:
+           { (Runner.cip_options profile) with
+             Qp_core.Cip.jobs = Some jobs;
+             time_budget = None;
+           }
+         h)
+  in
+  let capped jobs () = ignore (Qp_core.Capped.optimal ~jobs h) in
+  let cell jobs () =
+    ignore
+      (Runner.run_cell ~jobs ~n_runs:4 ~profile ~seed:7 (V.Uniform_val 100.0)
+         inst)
+  in
+  print_newline ();
+  print_endline "==================================================";
+  Printf.printf "== parallel layer: jobs=1 vs jobs=%d\n" jobs_n;
+  print_endline "==================================================";
+  let results =
+    List.map
+      (fun (name, f) ->
+        let t1 = time (f 1) in
+        let tn = time (f jobs_n) in
+        Printf.printf "  %-12s jobs=1 %8.3fs   jobs=%d %8.3fs   speedup %.2fx\n%!"
+          name t1 jobs_n tn
+          (t1 /. Float.max 1e-9 tn);
+        (name, t1, tn))
+      [ ("lpip", lpip); ("cip", cip); ("capped", capped); ("runner-cell", cell) ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"algorithms\": [" jobs_n;
+  List.iteri
+    (fun i (name, t1, tn) ->
+      Printf.fprintf oc
+        "%s\n    { \"name\": %S, \"seconds_jobs_1\": %.6f, \
+         \"seconds_jobs_n\": %.6f, \"speedup\": %.3f }"
+        (if i = 0 then "" else ",")
+        name t1 tn
+        (t1 /. Float.max 1e-9 tn))
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n%!"
+
 let () =
-  let ids = List.tl (Array.to_list Sys.argv) in
+  let rec parse jobs ids = function
+    | [] -> (jobs, List.rev ids)
+    | "--jobs" :: n :: rest -> parse (Some n) ids rest
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        parse (Some (String.sub arg 7 (String.length arg - 7))) ids rest
+    | arg :: rest -> parse jobs (arg :: ids) rest
+  in
+  let jobs, ids = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  (match jobs with
+  | None -> ()
+  | Some n -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> Unix.putenv "QP_JOBS" (string_of_int j)
+      | Some _ | None ->
+          Printf.eprintf "bad --jobs value %S (want a positive integer)\n" n;
+          exit 2));
+  (* "micro" and "parallel" are pseudo-ids, usable alongside real ones. *)
+  let micro = List.mem "micro" ids in
+  let par = List.mem "parallel" ids in
+  let exp_ids = List.filter (fun id -> id <> "micro" && id <> "parallel") ids in
   let ctx = Context.create () in
   let t0 = Unix.gettimeofday () in
-  (match ids with
-  | [ "micro" ] -> ()
-  | _ -> run_experiments ctx ids);
-  (match ids with
-  | [] | [ "micro" ] -> microbenchmarks ctx
-  | _ -> ());
+  if exp_ids <> [] || ids = [] then run_experiments ctx exp_ids;
+  if par then parallel_bench ctx;
+  if micro || ids = [] then microbenchmarks ctx;
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

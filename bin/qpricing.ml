@@ -43,6 +43,20 @@ let profile_arg =
   Arg.(value & opt (enum [ ("quick", Runner.Quick); ("full", Runner.Full) ]) Runner.Quick
        & info [ "profile" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker-pool size for the parallel solvers (sets QP_JOBS; default: \
+     one less than the number of cores)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let set_jobs = function
+  | Some j when j >= 1 -> Unix.putenv "QP_JOBS" (string_of_int j)
+  | Some j ->
+      Printf.eprintf "--jobs must be >= 1 (got %d)\n" j;
+      exit 2
+  | None -> ()
+
 let model_arg =
   let parse s =
     match String.split_on_char ':' (String.lowercase_ascii s) with
@@ -124,7 +138,8 @@ let price_cmd =
     Arg.(value & opt (enum keys) "all"
          & info [ "algorithm"; "a" ] ~doc:"Algorithm key, or 'all'.")
   in
-  let run workload scale support seed model algorithm profile =
+  let run workload scale support seed model algorithm profile jobs =
+    set_jobs jobs;
     let inst = build_instance workload scale support seed in
     let h = V.apply ~rng:(Rng.create seed) model inst.WI.hypergraph in
     let total = Float.max 1e-9 (H.sum_valuations h) in
@@ -156,7 +171,7 @@ let price_cmd =
     (Cmd.info "price"
        ~doc:"Run pricing algorithms on a workload under a valuation model.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ model_arg $ algorithm_arg $ profile_arg)
+          $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg)
 
 (* --- quote: price raw SQL against a broker -------------------------- *)
 
@@ -223,7 +238,8 @@ let experiment_cmd =
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids profile seed =
+  let run ids profile seed jobs =
+    set_jobs jobs;
     let ctx = Context.create ~profile ~seed () in
     let entries =
       match ids with
@@ -247,7 +263,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (all, or by id).")
-    Term.(const run $ ids_arg $ profile_arg $ seed_arg)
+    Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg)
 
 (* --- demo ------------------------------------------------------------- *)
 

@@ -69,7 +69,14 @@ let subadditive_bound ?max_covers ?(max_pivots = 400_000) h =
       Array.init m (fun e ->
           Lp.add_var p ~obj:1.0 ()
           |> fun v ->
-          ignore (Lp.add_le p [ (1.0, v) ] (Hypergraph.edge h e).Hypergraph.valuation);
+          (* Empty bundles are free under any subadditive pricing
+             (f(∅) = 0), so their extractable revenue is 0, not v_e. *)
+          let edge = Hypergraph.edge h e in
+          let cap =
+            if Array.length edge.Hypergraph.items = 0 then 0.0
+            else edge.Hypergraph.valuation
+          in
+          ignore (Lp.add_le p [ (1.0, v) ] cap);
           v)
     in
     (* Sound constraint: buyers with identical bundles face one price,

@@ -5,7 +5,7 @@ let quantiles n xs =
   if len <= n then sorted
   else List.init n (fun i -> arr.(i * len / n)) @ [ arr.(len - 1) ]
 
-let optimal ?(cap_candidates = 32) h =
+let optimal ?(cap_candidates = 32) ?jobs h =
   let edges = Hypergraph.edges h in
   let sized =
     Array.to_list edges
@@ -29,16 +29,28 @@ let optimal ?(cap_candidates = 32) h =
             if price <= v +. 1e-12 then acc +. price else acc)
           0.0 sized
       in
+      (* Each worker sweeps the cap grid for one slope; merging the
+         per-slope winners in slope order with strict [>] reproduces the
+         sequential slope-then-cap iteration exactly. *)
+      let per_slope =
+        Qp_util.Parallel.map ?jobs
+          (fun w ->
+            let best = ref ((w, infinity), 0.0) in
+            List.iter
+              (fun cap ->
+                let r = revenue_of w cap in
+                let _, br = !best in
+                if r > br then best := ((w, cap), r))
+              caps;
+            !best)
+          (Array.of_list slopes)
+      in
       let best = ref ((0.0, 0.0), 0.0) in
-      List.iter
-        (fun w ->
-          List.iter
-            (fun cap ->
-              let r = revenue_of w cap in
-              let _, br = !best in
-              if r > br then best := ((w, cap), r))
-            caps)
-        slopes;
+      Array.iter
+        (fun (pair, r) ->
+          let _, br = !best in
+          if r > br then best := (pair, r))
+        per_slope;
       (* An infinite cap is just the uniform item pricing; report it as
          a finite number above every bundle price for a clean record. *)
       let (w, cap), r = !best in
@@ -48,6 +60,6 @@ let optimal ?(cap_candidates = 32) h =
       let cap = if cap = infinity then w *. Float.of_int max_size else cap in
       ((w, cap), r)
 
-let solve ?cap_candidates h =
-  let (weight, cap), _ = optimal ?cap_candidates h in
+let solve ?cap_candidates ?jobs h =
+  let (weight, cap), _ = optimal ?cap_candidates ?jobs h in
   Pricing.Capped_item { weight; cap }

@@ -15,8 +15,12 @@
     is evaluated exactly. By construction its revenue is at least that
     of the best pure uniform item pricing (cap = ∞ is in the grid). *)
 
-val solve : ?cap_candidates:int -> Hypergraph.t -> Pricing.t
-(** [cap_candidates] bounds the cap grid (default 32). *)
+val solve : ?cap_candidates:int -> ?jobs:int -> Hypergraph.t -> Pricing.t
+(** [cap_candidates] bounds the cap grid (default 32); [jobs] sizes the
+    worker pool for the slope sweep (default [QP_JOBS], see
+    {!Qp_util.Parallel}). *)
 
-val optimal : ?cap_candidates:int -> Hypergraph.t -> (float * float) * float
-(** [((weight, cap), revenue)] of the best pair found. *)
+val optimal :
+  ?cap_candidates:int -> ?jobs:int -> Hypergraph.t -> (float * float) * float
+(** [((weight, cap), revenue)] of the best pair found. Bit-identical at
+    any job count. *)

@@ -4,9 +4,11 @@ type options = {
   epsilon : float;
   max_pivots : int;
   time_budget : float option;
+  jobs : int option;
 }
 
-let default_options = { epsilon = 0.25; max_pivots = 200_000; time_budget = None }
+let default_options =
+  { epsilon = 0.25; max_pivots = 200_000; time_budget = None; jobs = None }
 
 let capacity_grid ~epsilon ~max_degree =
   assert (epsilon > 0.0);
@@ -55,30 +57,45 @@ let prices_for_capacity ~max_pivots h k =
   | exception Failure _ -> None
 
 let solve_with_trace ?(options = default_options) h =
-  let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
-  let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
-  let solved = ref 0 in
   let started = Unix.gettimeofday () in
   let in_budget () =
     match options.time_budget with
     | None -> true
     | Some budget -> Unix.gettimeofday () -. started < budget
   in
-  List.iter
-    (fun k ->
-      if not (in_budget ()) then ()
-      else
-      match prices_for_capacity ~max_pivots:options.max_pivots h k with
+  ignore (Hypergraph.classes h);
+  (* One welfare LP per capacity, solved by the worker pool. Workers
+     check the budget before starting a capacity (the sequential sweep's
+     skip-once-over-budget semantics); the merge runs in grid order so
+     ties keep the smallest capacity, as before. *)
+  let grid =
+    capacity_grid ~epsilon:options.epsilon ~max_degree:(Hypergraph.max_degree h)
+  in
+  let solutions =
+    Qp_util.Parallel.map ?jobs:options.jobs
+      (fun k ->
+        if not (in_budget ()) then None
+        else
+          match prices_for_capacity ~max_pivots:options.max_pivots h k with
+          | None -> None
+          | Some w ->
+              let pricing = Pricing.Item w in
+              Some (pricing, Pricing.revenue pricing h))
+      (Array.of_list grid)
+  in
+  let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
+  let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
+  let solved = ref 0 in
+  Array.iter
+    (function
       | None -> ()
-      | Some w ->
+      | Some (pricing, revenue) ->
           incr solved;
-          let pricing = Pricing.Item w in
-          let revenue = Pricing.revenue pricing h in
           if revenue > !best_revenue then begin
             best := pricing;
             best_revenue := revenue
           end)
-    (capacity_grid ~epsilon:options.epsilon ~max_degree:(Hypergraph.max_degree h));
+    solutions;
   (!best, !solved)
 
 let solve ?options h = fst (solve_with_trace ?options h)

@@ -19,10 +19,15 @@ type options = {
           remaining capacities are skipped — the paper applies exactly
           this mitigation ("we fix ε = 3 to limit the running time",
           §6.4) *)
+  jobs : int option;
+      (** worker-pool size for the capacity sweep; [None] defers to
+          {!Qp_util.Parallel.default_jobs} ([QP_JOBS]). Without a time
+          budget the output is bit-identical at any job count. *)
 }
 
 val default_options : options
-(** ε = 0.25, 200k pivots per LP, no time budget. *)
+(** ε = 0.25, 200k pivots per LP, no time budget, pool size from
+    [QP_JOBS]. *)
 
 val capacity_grid : epsilon:float -> max_degree:int -> float list
 (** [1, (1+ε), (1+ε)^2, ..., B] (deduplicated, always ends at [B]). *)

@@ -1,6 +1,10 @@
-type options = { max_candidates : int option; max_pivots : int }
+type options = {
+  max_candidates : int option;
+  max_pivots : int;
+  jobs : int option;
+}
 
-let default_options = { max_candidates = None; max_pivots = 200_000 }
+let default_options = { max_candidates = None; max_pivots = 200_000; jobs = None }
 
 (* Subsample n of the candidates (sorted by descending valuation):
    half taken geometrically from the top ranks — where the optimum
@@ -53,22 +57,39 @@ let solve_with_trace ?(options = default_options) h =
     | None -> candidates
     | Some n -> evenly_spaced n candidates
   in
+  (* Force the shared class cache before fanning out: workers would
+     otherwise race to fill it (harmless but redundant work). *)
+  ignore (Hypergraph.classes h);
+  (* One LP per candidate, embarrassingly parallel. Each worker also
+     evaluates its candidate's revenue; the index-ordered merge with a
+     strict [>] keeps the earliest (highest-valuation) candidate on
+     ties, exactly like the sequential sweep. *)
+  let solutions =
+    Qp_util.Parallel.map ?jobs:options.jobs
+      (fun (_, must_sell) ->
+        match
+          Class_lp.solve_must_sell ~max_pivots:options.max_pivots h
+            ~edge_ids:must_sell
+        with
+        | None -> None
+        | Some w ->
+            let pricing = Pricing.Item w in
+            Some (pricing, Pricing.revenue pricing h))
+      (Array.of_list candidates)
+  in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
   let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
   let solved = ref 0 in
-  List.iter
-    (fun (_, must_sell) ->
-      match Class_lp.solve_must_sell ~max_pivots:options.max_pivots h ~edge_ids:must_sell with
+  Array.iter
+    (function
       | None -> ()
-      | Some w ->
+      | Some (pricing, revenue) ->
           incr solved;
-          let pricing = Pricing.Item w in
-          let revenue = Pricing.revenue pricing h in
           if revenue > !best_revenue then begin
             best := pricing;
             best_revenue := revenue
           end)
-    candidates;
+    solutions;
   (!best, !solved)
 
 let solve ?options h = fst (solve_with_trace ?options h)

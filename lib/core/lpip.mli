@@ -12,10 +12,17 @@
     list evenly (by descending valuation) to bound running time, at the
     cost of the paper's exact sweep. *)
 
-type options = { max_candidates : int option; max_pivots : int }
+type options = {
+  max_candidates : int option;
+  max_pivots : int;
+  jobs : int option;
+      (** worker-pool size for the candidate sweep; [None] defers to
+          {!Qp_util.Parallel.default_jobs} ([QP_JOBS]). Output is
+          bit-identical at any job count. *)
+}
 
 val default_options : options
-(** No candidate cap, 200k pivots per LP. *)
+(** No candidate cap, 200k pivots per LP, pool size from [QP_JOBS]. *)
 
 val solve : ?options:options -> Hypergraph.t -> Pricing.t
 

@@ -7,9 +7,13 @@ type t =
 let additive_price w items =
   Array.fold_left (fun acc j -> acc +. w.(j)) 0.0 items
 
+(* Every family must satisfy f(∅) = 0: a query with an empty conflict
+   set reveals nothing, and subadditivity (hence arbitrage-freeness)
+   forces its price to 0. Item/Xos get this for free from the empty
+   sum; Uniform_bundle and Capped_item need the explicit guard. *)
 let price_items p items =
   match p with
-  | Uniform_bundle v -> v
+  | Uniform_bundle v -> if Array.length items = 0 then 0.0 else v
   | Item w -> additive_price w items
   | Xos ws ->
       List.fold_left (fun acc w -> Float.max acc (additive_price w items)) 0.0 ws

@@ -1,5 +1,12 @@
 let optimal_price h =
-  let vals = Hypergraph.valuations h in
+  (* Empty bundles are free under any arbitrage-free pricing (f(∅) = 0),
+     so they contribute no revenue at any price point. *)
+  let vals =
+    Array.of_list
+      (Array.to_list (Hypergraph.edges h)
+      |> List.filter_map (fun (e : Hypergraph.edge) ->
+             if Array.length e.items = 0 then None else Some e.valuation))
+  in
   Array.sort (fun a b -> compare b a) vals;
   let best_price = ref 0.0 and best_revenue = ref 0.0 in
   Array.iteri

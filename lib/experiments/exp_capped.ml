@@ -15,31 +15,35 @@ let run fmt ctx =
   let header =
     [ "workload / model"; "UIP"; "UBP"; "Capped"; "LPIP" ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun key ->
-      let inst = Context.instance ctx key in
-      List.iter
-        (fun model ->
-          let h =
-            V.apply ~rng:(Rng.create (Context.seed ctx)) model
-              inst.WI.hypergraph
-          in
-          let total = Float.max 1e-9 (H.sum_valuations h) in
-          let norm solve = P.revenue (solve h) h /. total in
-          rows :=
-            [
-              Printf.sprintf "%s / %s" key (V.describe model);
-              Printf.sprintf "%.3f" (norm Qp_core.Uip.solve);
-              Printf.sprintf "%.3f" (norm Qp_core.Ubp.solve);
-              Printf.sprintf "%.3f" (norm Qp_core.Capped.solve);
-              Printf.sprintf "%.3f"
-                (norm
-                   (Qp_core.Lpip.solve
-                      ~options:(Runner.lpip_options (Context.profile ctx))));
-            ]
-            :: !rows)
-        models)
-    WI.keys;
-  Format.fprintf fmt "%s@."
-    (Qp_util.Text_table.render ~header (List.rev !rows))
+  (* Instances are fetched sequentially (the context cache is not
+     thread-safe); the independent (workload, model) cells then fan out
+     on the worker pool. Each cell rebuilds its rng from the seed alone,
+     so rows are identical at any job count. *)
+  let tasks =
+    List.concat_map
+      (fun key ->
+        let inst = Context.instance ctx key in
+        List.map (fun model -> (key, inst, model)) models)
+      WI.keys
+  in
+  let rows =
+    Qp_util.Parallel.map_list
+      (fun (key, (inst : WI.t), model) ->
+        let h =
+          V.apply ~rng:(Rng.create (Context.seed ctx)) model inst.WI.hypergraph
+        in
+        let total = Float.max 1e-9 (H.sum_valuations h) in
+        let norm solve = P.revenue (solve h) h /. total in
+        [
+          Printf.sprintf "%s / %s" key (V.describe model);
+          Printf.sprintf "%.3f" (norm Qp_core.Uip.solve);
+          Printf.sprintf "%.3f" (norm Qp_core.Ubp.solve);
+          Printf.sprintf "%.3f" (norm Qp_core.Capped.solve);
+          Printf.sprintf "%.3f"
+            (norm
+               (Qp_core.Lpip.solve
+                  ~options:(Runner.lpip_options (Context.profile ctx))));
+        ])
+      tasks
+  in
+  Format.fprintf fmt "%s@." (Qp_util.Text_table.render ~header rows)

@@ -74,7 +74,8 @@ let run_cip_epsilon fmt ctx =
       let t0 = Unix.gettimeofday () in
       let pricing, lps =
         Qp_core.Cip.solve_with_trace
-          ~options:{ Qp_core.Cip.epsilon; max_pivots = 200_000; time_budget = Some 120.0 }
+          ~options:{ Qp_core.Cip.epsilon; max_pivots = 200_000;
+                     time_budget = Some 120.0; jobs = None }
           h
       in
       Format.fprintf fmt "  ε=%-5g  LPs=%-3d  revenue=%.3f  time=%.2fs@." epsilon
@@ -92,7 +93,8 @@ let run_lpip_candidates fmt ctx =
       let t0 = Unix.gettimeofday () in
       let pricing, lps =
         Qp_core.Lpip.solve_with_trace
-          ~options:{ Qp_core.Lpip.max_candidates = cap; max_pivots = 200_000 }
+          ~options:{ Qp_core.Lpip.max_candidates = cap; max_pivots = 200_000;
+                     jobs = None }
           h
       in
       Format.fprintf fmt "  cap=%-6s LPs=%-4d revenue=%.3f  time=%.2fs@."

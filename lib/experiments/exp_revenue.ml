@@ -23,8 +23,12 @@ let panel fmt ctx ~title ~workloads ~models =
   List.iter
     (fun key ->
       let inst = Context.instance ctx key in
+      (* One cell per model, fanned out on the worker pool. Each cell
+         derives all randomness from (seed, run) inside [run_cell], so
+         the table is independent of scheduling; nested parallelism
+         inside a cell degrades to the sequential path. *)
       let cells =
-        List.map
+        Qp_util.Parallel.map_list
           (fun model ->
             Runner.run_cell ~profile:(Context.profile ctx)
               ~seed:(Context.seed ctx) model inst)

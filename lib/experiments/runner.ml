@@ -16,17 +16,21 @@ let profile_of_env () =
 let runs = function Quick -> 1 | Full -> 5
 
 let lpip_options = function
-  | Quick -> { Qp_core.Lpip.max_candidates = Some 12; max_pivots = 60_000 }
-  | Full -> { Qp_core.Lpip.max_candidates = Some 48; max_pivots = 200_000 }
+  | Quick ->
+      { Qp_core.Lpip.max_candidates = Some 12; max_pivots = 60_000; jobs = None }
+  | Full ->
+      { Qp_core.Lpip.max_candidates = Some 48; max_pivots = 200_000; jobs = None }
 
 (* The paper itself relaxes CIP's ε (up to 3-4) on the big workloads to
    bound its runtime (§6.4); Quick does the same and additionally caps
    the pivots per welfare LP, skipping capacities whose LP runs over. *)
 let cip_options = function
   | Quick ->
-      { Qp_core.Cip.epsilon = 4.0; max_pivots = 30_000; time_budget = Some 25.0 }
+      { Qp_core.Cip.epsilon = 4.0; max_pivots = 30_000; time_budget = Some 25.0;
+        jobs = None }
   | Full ->
-      { Qp_core.Cip.epsilon = 0.5; max_pivots = 200_000; time_budget = Some 600.0 }
+      { Qp_core.Cip.epsilon = 0.5; max_pivots = 200_000; time_budget = Some 600.0;
+        jobs = None }
 
 let algorithms profile =
   Algorithms.all ~lpip_options:(lpip_options profile)
@@ -70,30 +74,42 @@ let run_once ~specs h =
       (spec.label, revenue, seconds))
     specs
 
-let run_cell ~profile ~seed model instance =
+let run_cell ?jobs ?n_runs ~profile ~seed model instance =
   let specs = algorithms profile in
-  let n_runs = runs profile in
+  let n_runs = Option.value n_runs ~default:(runs profile) in
   let rng = Rng.create seed in
+  (* Runs are independent tasks: each draws its valuations from an
+     [Rng.split] keyed by the run index, so the draw is a function of
+     (seed, run) alone and survives any scheduling order. The merge
+     below folds per-run results in run order, reproducing the
+     sequential loop's floating-point accumulation exactly. *)
+  let per_run =
+    Qp_util.Parallel.map ?jobs
+      (fun run ->
+        let h =
+          Valuations.apply
+            ~rng:(Rng.split rng (Printf.sprintf "val-%d" run))
+            model instance.Workload_instances.hypergraph
+        in
+        let total = Float.max 1e-9 (Hypergraph.sum_valuations h) in
+        (total, Bounds.subadditive_bound h /. total, run_once ~specs h))
+      (Array.init n_runs (fun i -> i + 1))
+  in
   let totals = Hashtbl.create 8 in
   let sum_vals = ref 0.0 and subadd = ref 0.0 in
-  for run = 1 to n_runs do
-    let h =
-      Valuations.apply
-        ~rng:(Rng.split rng (Printf.sprintf "val-%d" run))
-        model instance.Workload_instances.hypergraph
-    in
-    let total = Float.max 1e-9 (Hypergraph.sum_valuations h) in
-    sum_vals := !sum_vals +. total;
-    subadd := !subadd +. (Bounds.subadditive_bound h /. total);
-    List.iter
-      (fun (label, revenue, seconds) ->
-        let rev_n, sec, count =
-          Option.value (Hashtbl.find_opt totals label) ~default:(0.0, 0.0, 0)
-        in
-        Hashtbl.replace totals label
-          (rev_n +. (revenue /. total), sec +. seconds, count + 1))
-      (run_once ~specs h)
-  done;
+  Array.iter
+    (fun (total, bound_n, measurements) ->
+      sum_vals := !sum_vals +. total;
+      subadd := !subadd +. bound_n;
+      List.iter
+        (fun (label, revenue, seconds) ->
+          let rev_n, sec, count =
+            Option.value (Hashtbl.find_opt totals label) ~default:(0.0, 0.0, 0)
+          in
+          Hashtbl.replace totals label
+            (rev_n +. (revenue /. total), sec +. seconds, count + 1))
+        measurements)
+    per_run;
   let measurements =
     List.map
       (fun (spec : Algorithms.spec) ->

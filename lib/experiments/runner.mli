@@ -30,14 +30,19 @@ type cell = {
 }
 
 val run_cell :
+  ?jobs:int ->
+  ?n_runs:int ->
   profile:profile ->
   seed:int ->
   Qp_workloads.Valuations.model ->
   Workload_instances.t ->
   cell
 (** Draw valuations (averaging measurements over [runs profile]
-    independent draws), run every algorithm, and collect one plot
-    cell. *)
+    independent draws, or [n_runs] when given), run every algorithm, and
+    collect one plot cell. Runs execute on the {!Qp_util.Parallel}
+    worker pool ([jobs] overrides [QP_JOBS]); each run's valuation draw
+    is keyed by the run index, so the cell is bit-identical at any job
+    count. *)
 
 val cell_table : header_label:string -> cell list -> string
 (** Render cells as an aligned text table, one row per parameter value,

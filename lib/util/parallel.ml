@@ -1,0 +1,69 @@
+let default_jobs () =
+  let from_env =
+    match Sys.getenv_opt "QP_JOBS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | Some _ | None -> None)
+  in
+  match from_env with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* Workers mark their domain so nested maps fall back to the sequential
+   path instead of spawning a second generation of domains. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let resolve = function Some n -> max 1 n | None -> default_jobs ()
+
+let map ?jobs f xs =
+  let n = Array.length xs in
+  let jobs = min (resolve jobs) n in
+  if jobs <= 1 || Domain.DLS.get in_worker then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    (* Small chunks keep the pool busy when per-item cost is uneven
+       (LPIP candidates near the top of the valuation order solve much
+       smaller LPs than the bottom ones). *)
+    let chunk = max 1 (n / (4 * jobs)) in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failure <> None then continue := false
+        else
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f xs.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      done
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      work ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The caller is the pool's last worker; flag it too so [f] itself
+       cannot recursively fan out. *)
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker false)
+      (fun () -> work ());
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))
+
+let map_reduce ?jobs ~map:f ~merge ~init xs =
+  Array.fold_left merge init (map ?jobs f xs)

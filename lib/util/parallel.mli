@@ -1,0 +1,44 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    A fixed-size worker pool executes chunked index ranges of an array;
+    results are merged in index order, so the output (including every
+    floating-point accumulation an index-ordered merge performs) is
+    bit-identical to the sequential run regardless of how the scheduler
+    interleaves workers. All of the embarrassingly parallel sweeps in
+    this repository — one LP per LPIP candidate, one welfare LP per CIP
+    capacity, one draw per experiment run — go through this module.
+
+    Pool sizing: [jobs] arguments override everything; otherwise the
+    [QP_JOBS] environment variable; otherwise
+    [Domain.recommended_domain_count () - 1] (never below 1). With one
+    job the sequential code path runs — no domain is spawned.
+
+    Nested calls from inside a worker run sequentially, so composing
+    parallel layers (a parallel experiment cell whose algorithms are
+    themselves parallel) cannot oversubscribe the machine. *)
+
+val default_jobs : unit -> int
+(** [QP_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count () - 1], at least 1. Read on every
+    call, so [putenv] takes effect immediately. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] is [Array.map f xs] computed by the worker pool.
+    Ordering is preserved. If any application of [f] raises, the first
+    recorded exception is re-raised in the caller (with its backtrace)
+    after all workers have drained; remaining chunks are abandoned. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f l] via {!map}. *)
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  merge:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** [map_reduce ~map ~merge ~init xs] computes [map] in parallel, then
+    folds the results with [merge] sequentially in index order — the
+    merge sees results exactly as the sequential
+    [Array.fold_left (fun acc x -> merge acc (map x)) init xs] would. *)

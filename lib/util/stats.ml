@@ -4,6 +4,9 @@ let mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0 else sum xs /. Float.of_int n
 
+(* Sample (n-1) standard deviation: the experiment tables report it as
+   an error bar over a handful of runs, where the population divisor
+   would bias low. *)
 let stddev xs =
   let n = Array.length xs in
   if n < 2 then 0.0
@@ -11,7 +14,7 @@ let stddev xs =
     let m = mean xs in
     let var =
       Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
-      /. Float.of_int n
+      /. Float.of_int (n - 1)
     in
     sqrt var
 

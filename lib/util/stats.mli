@@ -4,7 +4,8 @@ val mean : float array -> float
 (** Arithmetic mean; 0 for the empty array. *)
 
 val stddev : float array -> float
-(** Population standard deviation; 0 for arrays shorter than 2. *)
+(** Sample standard deviation (n−1 divisor); 0 for arrays shorter
+    than 2. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation between

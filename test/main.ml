@@ -2,6 +2,7 @@ let () =
   Alcotest.run "qpricing"
     [
       Test_util.suite;
+      Test_parallel.suite;
       Test_lp.suite;
       Test_value.suite;
       Test_like.suite;

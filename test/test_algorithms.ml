@@ -82,6 +82,18 @@ let test_uip_skips_empty_edges () =
   Alcotest.(check (float 1e-9)) "w" 2.0 w;
   Alcotest.(check (float 1e-9)) "revenue" 2.0 revenue
 
+(* Regression: an empty bundle is free (f(∅) = 0), so its valuation must
+   not lure UBP into a high bundle price that sells to nobody real. The
+   seed code charged the empty-conflict-set buyer its full valuation and
+   reported price 100 / revenue 100 here. *)
+let test_ubp_ignores_empty_edges () =
+  let h = H.create ~n_items:2 [| ("empty", [||], 100.0); ("a", [| 0 |], 10.0) |] in
+  let price, revenue = Ubp.optimal_price h in
+  Alcotest.(check (float 1e-9)) "price from the real buyer" 10.0 price;
+  Alcotest.(check (float 1e-9)) "revenue from the real buyer" 10.0 revenue;
+  Alcotest.(check (float 1e-9)) "pricing evaluates to it" 10.0
+    (P.revenue (Ubp.solve h) h)
+
 (* Layering structural guarantees. *)
 let test_layering_layers_structure () =
   let rand = Random.State.make [| 3 |] in
@@ -160,13 +172,16 @@ let test_lpip_candidate_cap () =
   let full = P.revenue (Lpip.solve h) h in
   let capped =
     P.revenue
-      (Lpip.solve ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000 } h)
+      (Lpip.solve
+         ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000; jobs = None }
+         h)
       h
   in
   Alcotest.(check bool) "capped <= full" true (capped <= full +. 1e-6);
   let _, lps =
     Lpip.solve_with_trace
-      ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000 } h
+      ~options:{ Lpip.max_candidates = Some 2; max_pivots = 100_000; jobs = None }
+      h
   in
   Alcotest.(check bool) "at most 2 LPs" true (lps <= 2)
 
@@ -263,6 +278,7 @@ let suite =
       t "UBP ties" test_ubp_ties;
       t "UBP empty instance" test_ubp_empty;
       t "UIP skips empty edges" test_uip_skips_empty_edges;
+      t "UBP ignores empty edges (f(∅)=0)" test_ubp_ignores_empty_edges;
       t "layering: layers are minimal covers" test_layering_layers_structure;
       t "layering: revenue >= best layer" test_layering_extracts_best_layer;
       t "all algorithms valid on random instances" test_lp_algorithms_validity;

@@ -79,15 +79,22 @@ let test_budget_declines_marginal () =
   Alcotest.(check (float 1e-9)) "nothing recorded" 0.0
     (Broker.account_spent broker "frank")
 
-let test_uniform_bundle_marginal_degenerates () =
-  (* A uniform bundle price charges f(∅) = P as well, so the marginal
-     against an empty history is 0 — pinned here as documented
-     behavior: history-aware pricing is meant for item-like families. *)
+let test_uniform_bundle_marginal_first_purchase () =
+  (* Regression: with f(∅) = 0 (arbitrage-freeness demands it), the
+     marginal of a first purchase against an empty history is the full
+     standalone price. The seed had f(∅) = P, which degenerated every
+     first marginal to 0 — a free ride on uniform bundle pricing. *)
   let broker = make_broker () in
   Broker.set_pricing broker (P.Uniform_bundle 5.0);
-  match Broker.purchase_as broker ~account:"gina" ~budget:0.0 (List.hd queries) with
-  | `Sold (price, _) -> Alcotest.(check (float 1e-9)) "zero marginal" 0.0 price
-  | `Declined _ -> Alcotest.fail "zero marginal should sell"
+  let q = List.hd queries in
+  (match Broker.purchase_as broker ~account:"gina" ~budget:0.0 q with
+  | `Declined price ->
+      Alcotest.(check (float 1e-9)) "declined at the standalone price" 5.0 price
+  | `Sold _ -> Alcotest.fail "a first purchase is not free");
+  match Broker.purchase_as broker ~account:"gina" ~budget:10.0 q with
+  | `Sold (price, _) ->
+      Alcotest.(check (float 1e-9)) "pays the standalone price" 5.0 price
+  | `Declined _ -> Alcotest.fail "budget covers the price"
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
@@ -99,6 +106,6 @@ let suite =
       t "total spent = union price" test_total_never_exceeds_union_price;
       t "accounts are isolated" test_accounts_isolated;
       t "budget declines on marginal price" test_budget_declines_marginal;
-      t "uniform-bundle marginal degenerates (documented)"
-        test_uniform_bundle_marginal_degenerates;
+      t "uniform-bundle first marginal is the standalone price (regression)"
+        test_uniform_bundle_marginal_first_purchase;
     ] )

@@ -59,6 +59,35 @@ let test_duals_textbook () =
   checkf "dual0" 3.0 s.dual.(0);
   checkf "dual1" 0.0 s.dual.(1)
 
+(* Negative-rhs rows go through the negated-row / artificial-variable
+   path in phase 1, with a -1 slack coefficient. Hand-solved duals pin
+   the dual extraction on that path: the stored row is the negation of
+   the user's, and the -1 slack coefficient must cancel it exactly. *)
+let test_duals_negative_rhs () =
+  (* max -x - y  s.t.  -x - y <= -2 (x + y >= 2), x <= 5, y <= 5.
+     Optimum -2 anywhere on x + y = 2; LP dual: min -2a + 5b + 5c
+     s.t. -a + b >= -1, -a + c >= -1, y >= 0  ->  y = (1, 0, 0). *)
+  let s =
+    solve_xy [| -1.; -1. |]
+      [| ([| -1.; -1. |], -2.); ([| 1.; 0. |], 5.); ([| 0.; 1. |], 5.) |]
+  in
+  checkf "objective" (-2.0) s.objective;
+  checkf "dual of the negated row" 1.0 s.dual.(0);
+  checkf "dual of x cap" 0.0 s.dual.(1);
+  checkf "dual of y cap" 0.0 s.dual.(2);
+  (* strong duality on the original data: b . y = objective *)
+  checkf "b . y" (-2.0) ((-2.0 *. s.dual.(0)) +. (5.0 *. s.dual.(1)) +. (5.0 *. s.dual.(2)))
+
+let test_duals_pinned_variable () =
+  (* x <= 3 and -x <= -3 force x = 3. The dual set is { (1+t, t) };
+     check the certificates rather than one vertex. *)
+  let s = solve_xy [| 1. |] [| ([| 1. |], 3.); ([| -1. |], -3.) |] in
+  checkf "objective" 3.0 s.objective;
+  Alcotest.(check bool) "y >= 0" true
+    (s.dual.(0) >= -1e-9 && s.dual.(1) >= -1e-9);
+  checkf "dual feasibility binds" 1.0 (s.dual.(0) -. s.dual.(1));
+  checkf "strong duality" 3.0 ((3.0 *. s.dual.(0)) -. (3.0 *. s.dual.(1)))
+
 let test_empty_rows_bounded_by_nothing () =
   match Simplex.solve ~c:[| 0.0 |] ~rows:[||] () with
   | Simplex.Optimal s -> checkf "objective" 0.0 s.objective
@@ -87,41 +116,76 @@ let random_instance rand =
     c;
   (c, rows)
 
+(* The three optimality certificates: primal feasibility, dual
+   feasibility, strong duality. Together they pin the reported solution
+   to the true optimum of max c.x s.t. Ax <= b, x >= 0. *)
+let check_certificates c rows = function
+  | Simplex.Optimal { Simplex.objective; primal; dual } ->
+      (* primal feasibility *)
+      Array.iter
+        (fun x -> Alcotest.(check bool) "x >= 0" true (x >= -1e-7))
+        primal;
+      Array.iter
+        (fun (a, b) ->
+          let lhs = ref 0.0 in
+          Array.iteri (fun j aj -> lhs := !lhs +. (aj *. primal.(j))) a;
+          Alcotest.(check bool) "Ax <= b" true (!lhs <= b +. 1e-6))
+        rows;
+      (* dual feasibility: y >= 0 and A^T y >= c *)
+      Array.iter
+        (fun y -> Alcotest.(check bool) "y >= 0" true (y >= -1e-7))
+        dual;
+      Array.iteri
+        (fun j cj ->
+          let col = ref 0.0 in
+          Array.iteri
+            (fun i (a, _) -> col := !col +. (a.(j) *. dual.(i)))
+            rows;
+          Alcotest.(check bool) "A'y >= c" true (!col >= cj -. 1e-6))
+        c;
+      (* strong duality: b . y = objective *)
+      let by = ref 0.0 in
+      Array.iteri (fun i (_, b) -> by := !by +. (b *. dual.(i))) rows;
+      Alcotest.(check bool) "strong duality" true
+        (Float.abs (!by -. objective) < 1e-5 *. Float.max 1.0 (Float.abs objective))
+  | Simplex.Unbounded -> Alcotest.fail "bounded instance reported unbounded"
+  | Simplex.Infeasible -> Alcotest.fail "feasible instance reported infeasible"
+
 let test_duality_property () =
   let rand = Random.State.make [| 2024 |] in
   for _ = 1 to 300 do
     let c, rows = random_instance rand in
-    match Simplex.solve ~c ~rows () with
-    | Simplex.Optimal { objective; primal; dual } ->
-        (* primal feasibility *)
-        Array.iter
-          (fun x -> Alcotest.(check bool) "x >= 0" true (x >= -1e-7))
-          primal;
-        Array.iter
-          (fun (a, b) ->
-            let lhs = ref 0.0 in
-            Array.iteri (fun j aj -> lhs := !lhs +. (aj *. primal.(j))) a;
-            Alcotest.(check bool) "Ax <= b" true (!lhs <= b +. 1e-6))
-          rows;
-        (* dual feasibility: y >= 0 and A^T y >= c *)
-        Array.iter
-          (fun y -> Alcotest.(check bool) "y >= 0" true (y >= -1e-7))
-          dual;
-        Array.iteri
-          (fun j cj ->
-            let col = ref 0.0 in
-            Array.iteri
-              (fun i (a, _) -> col := !col +. (a.(j) *. dual.(i)))
-              rows;
-            Alcotest.(check bool) "A'y >= c" true (!col >= cj -. 1e-6))
-          c;
-        (* strong duality: b . y = objective *)
-        let by = ref 0.0 in
-        Array.iteri (fun i (_, b) -> by := !by +. (b *. dual.(i))) rows;
-        Alcotest.(check bool) "strong duality" true
-          (Float.abs (!by -. objective) < 1e-5 *. Float.max 1.0 (Float.abs objective))
-    | Simplex.Unbounded -> Alcotest.fail "bounded instance reported unbounded"
-    | Simplex.Infeasible -> Alcotest.fail "feasible instance reported infeasible"
+    check_certificates c rows (Simplex.solve ~c ~rows ())
+  done
+
+(* Mixed-sign generator: rows pass through a known feasible point x0, so
+   rhs values can be negative (exercising the negated-row phase-1 path)
+   while the instance stays feasible; an all-ones capacity row keeps it
+   bounded regardless of coefficient signs. *)
+let random_mixed_instance rand =
+  let nvars = 1 + Random.State.int rand 5 in
+  let nrows = 1 + Random.State.int rand 6 in
+  let x0 = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 4)) in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 9 - 3)) in
+  let rows =
+    Array.init (nrows + 1) (fun i ->
+        if i = nrows then (Array.make nvars 1.0, 100.0)
+        else begin
+          let a =
+            Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 7 - 3))
+          in
+          let ax = ref 0.0 in
+          Array.iteri (fun j aj -> ax := !ax +. (aj *. x0.(j))) a;
+          (a, !ax +. Float.of_int (Random.State.int rand 4))
+        end)
+  in
+  (c, rows)
+
+let test_duality_property_mixed_sign () =
+  let rand = Random.State.make [| 77 |] in
+  for _ = 1 to 300 do
+    let c, rows = random_mixed_instance rand in
+    check_certificates c rows (Simplex.solve ~c ~rows ())
   done
 
 (* --- Lp builder --- *)
@@ -213,8 +277,11 @@ let suite =
       t "infeasible" test_infeasible;
       t "negative rhs feasible (phase 1)" test_negative_rhs_feasible;
       t "duals on textbook instance" test_duals_textbook;
+      t "duals on negative-rhs rows" test_duals_negative_rhs;
+      t "duals on a pinned variable" test_duals_pinned_variable;
       t "no rows" test_empty_rows_bounded_by_nothing;
       t "duality property on 300 random LPs" test_duality_property;
+      t "duality property, mixed-sign rhs" test_duality_property_mixed_sign;
       t "builder: minimize with >=" test_lp_minimize;
       t "builder: equality constraint" test_lp_eq_constraint;
       t "builder: infeasible" test_lp_infeasible;

@@ -18,10 +18,10 @@ let e i = H.edge h i
 let test_uniform_prices () =
   let p = P.Uniform_bundle 4.0 in
   Alcotest.(check (float 1e-9)) "edge price" 4.0 (P.price p (e 0));
-  Alcotest.(check (float 1e-9)) "empty bundle also pays" 4.0 (P.price p (e 3));
+  Alcotest.(check (float 1e-9)) "empty bundle is free" 0.0 (P.price p (e 3));
   Alcotest.(check bool) "a sells" true (P.sells p (e 0));
   Alcotest.(check bool) "b declines" false (P.sells p (e 1));
-  (* sold: a (4) + c (4); b and empty decline *)
+  (* sold: a (4) + c (4) + empty (free); b declines *)
   Alcotest.(check (float 1e-9)) "revenue" 8.0 (P.revenue p h)
 
 let test_item_prices () =
@@ -46,8 +46,26 @@ let test_sells_tolerance () =
 let test_price_items () =
   let p = P.Item [| 1.0; 2.0; 4.0; 8.0 |] in
   Alcotest.(check (float 1e-9)) "ad-hoc bundle" 9.0 (P.price_items p [| 0; 3 |]);
-  Alcotest.(check (float 1e-9)) "uniform any bundle" 7.0
-    (P.price_items (P.Uniform_bundle 7.0) [||])
+  Alcotest.(check (float 1e-9)) "uniform non-empty bundle" 7.0
+    (P.price_items (P.Uniform_bundle 7.0) [| 1 |])
+
+(* Regression: f(∅) = 0 for every family. The seed code charged the
+   uniform bundle price for an empty conflict set, which both violates
+   subadditivity (f(∅ ∪ ∅) = f(∅) forces f(∅) = 0) and let spurious
+   revenue from unpriceable queries distort UBP's optimum. *)
+let test_empty_bundle_is_free () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        ("f(empty) = 0 for " ^ P.describe p)
+        0.0
+        (P.price_items p [||]))
+    [
+      P.Uniform_bundle 7.0;
+      P.Item [| 1.0; 2.0; 4.0; 8.0 |];
+      P.Xos [ [| 1.0; 1.0; 1.0; 1.0 |]; [| 3.0; 0.0; 0.0; 0.0 |] ];
+      P.Capped_item { weight = 2.0; cap = 5.0 };
+    ]
 
 let test_is_valid () =
   Alcotest.(check bool) "uniform ok" true (P.is_valid (P.Uniform_bundle 1.0) h);
@@ -134,6 +152,7 @@ let suite =
       t "xos prices" test_xos_prices;
       t "sell tolerance" test_sells_tolerance;
       t "price arbitrary bundles" test_price_items;
+      t "empty bundles are free (regression)" test_empty_bundle_is_free;
       t "validity checks" test_is_valid;
       t "describe" test_describe;
       t "families pass arbitrage checks" test_families_arbitrage_free;

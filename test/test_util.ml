@@ -143,14 +143,27 @@ let test_binomial_bounds () =
 let test_stats_mean () = checkf "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
 let test_stats_mean_empty () = checkf "empty" 0.0 (Stats.mean [||])
 
+(* Regression: stddev is the sample standard deviation (n-1 divisor),
+   not the population one (the seed divided by n, biasing the error
+   bars low over a handful of runs). *)
 let test_stats_stddev () =
-  checkf "stddev" (sqrt 1.25) (Stats.stddev [| 1.; 2.; 3.; 4. |])
+  checkf "stddev" (sqrt (5.0 /. 3.0)) (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  checkf "two points" (sqrt 2.0) (Stats.stddev [| 1.; 3. |]);
+  checkf "constant data" 0.0 (Stats.stddev [| 5.; 5.; 5. |])
+
+let test_stats_stddev_degenerate () =
+  (* fewer than two samples have no spread; must not divide by zero *)
+  checkf "empty" 0.0 (Stats.stddev [||]);
+  checkf "singleton" 0.0 (Stats.stddev [| 42.0 |])
 
 let test_stats_percentile () =
   let xs = [| 10.; 20.; 30.; 40. |] in
   checkf "p0" 10.0 (Stats.percentile xs 0.0);
   checkf "p100" 40.0 (Stats.percentile xs 100.0);
-  checkf "p50" 25.0 (Stats.percentile xs 50.0)
+  checkf "p50" 25.0 (Stats.percentile xs 50.0);
+  checkf "p25 interpolates" 17.5 (Stats.percentile xs 25.0);
+  checkf "singleton" 7.0 (Stats.percentile [| 7.0 |] 50.0);
+  checkf "unsorted input" 25.0 (Stats.percentile [| 40.; 10.; 30.; 20. |] 50.0)
 
 let test_stats_minmax () =
   checkf "min" 1.0 (Stats.minimum [| 3.; 1.; 2. |]);
@@ -222,7 +235,8 @@ let suite =
       t "binomial bounds" test_binomial_bounds;
       t "stats mean" test_stats_mean;
       t "stats mean empty" test_stats_mean_empty;
-      t "stats stddev" test_stats_stddev;
+      t "stats stddev (sample, regression)" test_stats_stddev;
+      t "stats stddev degenerate sizes" test_stats_stddev_degenerate;
       t "stats percentile" test_stats_percentile;
       t "stats min/max/sum" test_stats_minmax;
       t "histogram counts" test_histogram_counts;
