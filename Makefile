@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json examples clean
+.PHONY: all build test bench bench-full bench-json bench-conflict \
+        docs check-docs check examples clean
 
 all: build
 
@@ -9,6 +10,18 @@ build:
 
 test:
 	dune runtest
+
+# Build API documentation (odoc, when installed; a no-op alias otherwise).
+docs:
+	dune build @doc
+
+# Every exported value in the market and relational interfaces must
+# carry a doc comment.
+check-docs:
+	ocaml scripts/check_mli_docs.ml lib/market lib/relational
+
+# The full pre-merge gate: build, tests, doc coverage.
+check: build test check-docs
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:
@@ -21,6 +34,11 @@ bench-full:
 # Time the parallel layer (jobs=1 vs jobs=N) and write BENCH_parallel.json.
 bench-json:
 	dune exec bench/main.exe -- parallel
+
+# Time conflict-set construction (jobs=1 vs jobs=N), verify bit-identity
+# of the hypergraphs, and write BENCH_conflict.json.
+bench-conflict:
+	dune exec bench/main.exe -- conflict
 
 examples:
 	dune exec examples/quickstart.exe

@@ -2,13 +2,14 @@
    (via Qp_experiments.Registry) and finishes with bechamel
    micro-benchmarks of the core primitives.
 
-   Usage: main.exe [--jobs N] [micro] [parallel] [EXPERIMENT-IDS...]
+   Usage: main.exe [--jobs N] [micro] [parallel] [conflict] [EXPERIMENT-IDS...]
    With no arguments every experiment runs, in the paper's order,
-   followed by the micro-benchmarks. "micro" and "parallel" are
-   pseudo-ids that can be mixed freely with experiment ids: "micro"
+   followed by the micro-benchmarks. "micro", "parallel" and "conflict"
+   are pseudo-ids that can be mixed freely with experiment ids: "micro"
    appends the bechamel micro-benchmarks, "parallel" times the worker
-   pool at jobs=1 vs jobs=N and writes BENCH_parallel.json.
-   --jobs N sets QP_JOBS for the whole process.
+   pool at jobs=1 vs jobs=N and writes BENCH_parallel.json, "conflict"
+   times the parallel conflict-set construction per workload and writes
+   BENCH_conflict.json. --jobs N sets QP_JOBS for the whole process.
    QP_BENCH_PROFILE=full switches to the slower, closer-to-paper
    settings (5 runs, finer LP grids). *)
 
@@ -111,6 +112,84 @@ let microbenchmarks ctx =
         results)
     tests
 
+(* --- conflict-set construction benchmark ----------------------------- *)
+
+(* Times Conflict.hypergraph at jobs=1 vs jobs=N per workload, checks
+   the two builds are identical, and writes BENCH_conflict.json with
+   the full instrumentation record of the parallel build. *)
+let conflict_bench ctx =
+  let module C = Qp_market.Conflict in
+  let jobs_n = max 2 (Qp_util.Parallel.default_jobs ()) in
+  print_newline ();
+  print_endline "==================================================";
+  Printf.printf "== conflict-set construction: jobs=1 vs jobs=%d\n" jobs_n;
+  print_endline "==================================================";
+  let fingerprint h =
+    Array.map
+      (fun (e : H.edge) -> (e.H.name, e.H.items, e.H.valuation))
+      (H.edges h)
+  in
+  let results =
+    List.map
+      (fun key ->
+        let inst = Context.instance ctx key in
+        let valued = List.map (fun q -> (q, 1.0)) inst.WI.queries in
+        let h1, s1 =
+          C.hypergraph ~jobs:1 inst.WI.db valued inst.WI.deltas
+        in
+        let hn, sn =
+          C.hypergraph ~jobs:jobs_n inst.WI.db valued inst.WI.deltas
+        in
+        if fingerprint h1 <> fingerprint hn then begin
+          Printf.eprintf "BUG: %s hypergraph differs at jobs=%d\n" key jobs_n;
+          exit 1
+        end;
+        Printf.printf
+          "  %-8s jobs=1 %8.3fs   jobs=%d %8.3fs   speedup %.2fx   \
+           (%d queries, |S|=%d, %d fallback)\n%!"
+          key s1.C.elapsed jobs_n sn.C.elapsed
+          (s1.C.elapsed /. Float.max 1e-9 sn.C.elapsed)
+          sn.C.queries sn.C.support sn.C.fallback_queries;
+        (key, s1, sn))
+      WI.keys
+  in
+  let oc = open_out "BENCH_conflict.json" in
+  let float_array a =
+    String.concat ", "
+      (Array.to_list (Array.map (Printf.sprintf "%.6f") a))
+  in
+  Printf.fprintf oc "{\n  \"jobs_n\": %d,\n  \"workloads\": [" jobs_n;
+  List.iteri
+    (fun i (key, (s1 : C.stats), (sn : C.stats)) ->
+      Printf.fprintf oc
+        "%s\n    { \"workload\": %S, \"queries\": %d, \"support\": %d,\n\
+        \      \"fallback_queries\": %d,\n\
+        \      \"strategies\": { %s },\n\
+        \      \"seconds_jobs_1\": %.6f, \"seconds_jobs_n\": %.6f,\n\
+        \      \"speedup\": %.3f, \"jobs_used\": %d,\n\
+        \      \"worker_busy_seconds\": [%s],\n\
+        \      \"query_seconds_mean\": %.6f, \"query_seconds_max\": %.6f }"
+        (if i = 0 then "" else ",")
+        key sn.C.queries sn.C.support sn.C.fallback_queries
+        (String.concat ", "
+           (List.map
+              (fun (name, n) -> Printf.sprintf "%S: %d" name n)
+              sn.C.strategies))
+        s1.C.elapsed sn.C.elapsed
+        (s1.C.elapsed /. Float.max 1e-9 sn.C.elapsed)
+        sn.C.jobs
+        (float_array sn.C.worker_busy)
+        (if sn.C.queries = 0 then 0.0
+         else
+           Array.fold_left ( +. ) 0.0 sn.C.query_seconds
+           /. Float.of_int sn.C.queries)
+        (Array.fold_left Float.max 0.0 sn.C.query_seconds))
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Qp_experiments.Exp_runtime.build_breakdown Format.std_formatter ctx;
+  Printf.printf "  wrote BENCH_conflict.json\n%!"
+
 (* --- parallel-layer benchmark --------------------------------------- *)
 
 let time f =
@@ -198,13 +277,20 @@ let () =
       | Some _ | None ->
           Printf.eprintf "bad --jobs value %S (want a positive integer)\n" n;
           exit 2));
-  (* "micro" and "parallel" are pseudo-ids, usable alongside real ones. *)
+  (* "micro", "parallel" and "conflict" are pseudo-ids, usable
+     alongside real ones. *)
   let micro = List.mem "micro" ids in
   let par = List.mem "parallel" ids in
-  let exp_ids = List.filter (fun id -> id <> "micro" && id <> "parallel") ids in
+  let conflict = List.mem "conflict" ids in
+  let exp_ids =
+    List.filter
+      (fun id -> id <> "micro" && id <> "parallel" && id <> "conflict")
+      ids
+  in
   let ctx = Context.create () in
   let t0 = Unix.gettimeofday () in
   if exp_ids <> [] || ids = [] then run_experiments ctx exp_ids;
+  if conflict then conflict_bench ctx;
   if par then parallel_bench ctx;
   if micro || ids = [] then microbenchmarks ctx;
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -107,7 +107,8 @@ let list_cmd =
 (* --- inspect ---------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run workload scale support seed =
+  let run workload scale support seed jobs =
+    set_jobs jobs;
     let inst = build_instance workload scale support seed in
     let h = inst.WI.hypergraph in
     Printf.printf "%s\n" inst.WI.label;
@@ -117,9 +118,8 @@ let inspect_cmd =
     Printf.printf "  max edge size k = %d\n" (H.max_edge_size h);
     Printf.printf "  avg edge size   = %.2f\n" (H.avg_edge_size h);
     Printf.printf "  classes         = %d\n" (H.classes h).H.n_classes;
-    Printf.printf "  build time      = %.2fs (%d fallback queries)\n"
-      inst.WI.build_stats.Qp_market.Conflict.elapsed
-      inst.WI.build_stats.Qp_market.Conflict.fallback_queries;
+    print_endline "  conflict-set construction:";
+    Format.printf "%a" Qp_market.Conflict.pp_stats inst.WI.build_stats;
     let sizes = Array.map (fun (e : H.edge) -> Array.length e.items) (H.edges h) in
     print_endline "  hyperedge size distribution (log counts):";
     print_string
@@ -128,7 +128,8 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Build a workload's pricing instance and print it.")
-    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg)
+    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
+          $ jobs_arg)
 
 (* --- price ------------------------------------------------------------ *)
 

@@ -11,6 +11,12 @@
     XOS is omitted as in the paper (§6.4: it is derived from LPIP and
     CIP). Valuations are uniform[1,100]. *)
 
+val build_breakdown : Format.formatter -> Context.t -> unit
+(** "Where the time goes": one row per cached workload instance with
+    the conflict-set construction instrumentation ({!Qp_market.Conflict.stats})
+    — build seconds, pool size, delta-eval vs fallback counts, mean
+    per-query cost. Printed after Table 4 and by the conflict bench. *)
+
 val run_table4 : Format.formatter -> Context.t -> unit
 val run_table5 : Format.formatter -> Context.t -> unit
 val run_table6 : Format.formatter -> Context.t -> unit

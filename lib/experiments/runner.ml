@@ -49,6 +49,7 @@ type cell = {
   sum_valuations : float;
   subadditive : float;
   measurements : measurement list;
+  build : Qp_market.Conflict.stats;
 }
 
 (* XOS-LPIP+CIP combines the two vectors the run just computed, so it
@@ -135,6 +136,7 @@ let run_cell ?jobs ?n_runs ~profile ~seed model instance =
     sum_valuations = !sum_vals /. Float.of_int n_runs;
     subadditive = Float.max best_measured (!subadd /. Float.of_int n_runs);
     measurements;
+    build = instance.Workload_instances.build_stats;
   }
 
 let cell_table ~header_label cells =

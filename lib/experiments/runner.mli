@@ -27,6 +27,10 @@ type cell = {
   sum_valuations : float;
   subadditive : float;  (** normalized subadditive upper bound *)
   measurements : measurement list;
+  build : Qp_market.Conflict.stats;
+      (** instrumentation of the instance's conflict-set construction,
+          carried along so reports can show build cost next to solve
+          cost *)
 }
 
 val run_cell :

@@ -14,6 +14,7 @@ type violation =
       (** the union priced strictly above the sum of its parts *)
 
 val pp_violation : Format.formatter -> violation -> unit
+(** Human-readable rendering of a violation witness. *)
 
 val check_edges : Qp_core.Pricing.t -> Qp_core.Hypergraph.t -> violation option
 (** Exhaustive pairwise check over the instance's hyperedges:

@@ -70,12 +70,12 @@ let add_buyer t ~valuation q =
 
 let buyers t = List.rev t.buyers
 
-let build ?on_progress t =
+let build ?on_progress ?jobs t =
   match t.built with
   | Some _ -> ()
   | None ->
       let h, stats =
-        Conflict.hypergraph ?on_progress t.db (buyers t) (support t)
+        Conflict.hypergraph ?on_progress ?jobs t.db (buyers t) (support t)
       in
       t.built <- Some { hypergraph = h; stats }
 

@@ -33,16 +33,24 @@ val create :
     ({!Support.generate_query_aware}), otherwise uniform. *)
 
 val database : t -> Database.t
+(** The seller's instance [D]. *)
 
 val support : t -> Delta.t array
 (** Forces the sampling if it has not happened yet. *)
 
 val add_buyer : t -> valuation:float -> Query.t -> unit
-val buyers : t -> (Query.t * float) list
+(** Register one buyer query with its (non-negative) valuation;
+    invalidates any previous {!build} and pricing. *)
 
-val build : ?on_progress:(done_:int -> total:int -> unit) -> t -> unit
-(** Computes every buyer's conflict set; idempotent until the buyer list
-    changes. *)
+val buyers : t -> (Query.t * float) list
+(** Registered buyers, in registration order. *)
+
+val build :
+  ?on_progress:(done_:int -> total:int -> unit) -> ?jobs:int -> t -> unit
+(** Computes every buyer's conflict set on the {!Qp_util.Parallel} pool
+    ([jobs] overrides [QP_JOBS]; the result is identical at any job
+    count); idempotent until the buyer list changes. [on_progress] fires
+    monotonically from the merge side (see {!Conflict.hypergraph}). *)
 
 val hypergraph : t -> Qp_core.Hypergraph.t
 (** Requires {!build}. *)
@@ -105,3 +113,5 @@ val account_history : t -> string -> int array
     unknown accounts). *)
 
 val account_spent : t -> string -> float
+(** Total the account has paid across its purchases (0 for unknown
+    accounts). *)

@@ -7,6 +7,10 @@ type stats = {
   queries : int;
   support : int;
   fallback_queries : int;
+  strategies : (string * int) list;
+  jobs : int;
+  query_seconds : float array;
+  worker_busy : float array;
   elapsed : float;
 }
 
@@ -20,32 +24,82 @@ let conflict_set_prepared prep deltas =
 let conflict_set db q deltas =
   conflict_set_prepared (Delta_eval.prepare db q) deltas
 
-let hypergraph ?on_progress db valued_queries deltas =
+(* One task per (query, delta-array) row. Each task prepares its own
+   query, so no Delta_eval state is shared across domains; [db] and
+   [deltas] are only read. The task's return value is a pure function
+   of (db, query, deltas) — scheduling cannot influence it. *)
+let build_row db deltas (q, valuation) =
   let t0 = Unix.gettimeofday () in
-  let total = List.length valued_queries in
-  let fallbacks = ref 0 in
+  let prep = Delta_eval.prepare db q in
+  let items = conflict_set_prepared prep deltas in
+  ( (q.Query.name, items, valuation),
+    Delta_eval.strategy_name prep,
+    Unix.gettimeofday () -. t0 )
+
+let hypergraph ?on_progress ?jobs db valued_queries deltas =
+  let t0 = Unix.gettimeofday () in
+  let rows = Array.of_list valued_queries in
+  let total = Array.length rows in
+  let results, pool =
+    Qp_util.Parallel.map_stats ?jobs (build_row db deltas) rows
+  in
+  (* Sequential index-ordered merge: specs come out in workload order
+     whatever the scheduling, so the hypergraph is bit-identical to the
+     jobs=1 build. Progress fires only here, on the merge side, which
+     keeps [done_] monotone under any worker interleaving. *)
+  let by_strategy = Hashtbl.create 4 in
+  let query_seconds = Array.make total 0.0 in
   let specs =
-    List.mapi
-      (fun i (q, valuation) ->
-        let prep = Delta_eval.prepare db q in
-        if Delta_eval.strategy_name prep = "fallback" then incr fallbacks;
-        let items = conflict_set_prepared prep deltas in
+    Array.mapi
+      (fun i (spec, strategy, seconds) ->
+        query_seconds.(i) <- seconds;
+        Hashtbl.replace by_strategy strategy
+          (1 + Option.value (Hashtbl.find_opt by_strategy strategy) ~default:0);
         (match on_progress with
         | Some f -> f ~done_:(i + 1) ~total
         | None -> ());
-        (q.Query.name, items, valuation))
-      valued_queries
+        spec)
+      results
   in
-  let h =
-    Qp_core.Hypergraph.create ~n_items:(Array.length deltas)
-      (Array.of_list specs)
+  let h = Qp_core.Hypergraph.create ~n_items:(Array.length deltas) specs in
+  let strategies =
+    List.sort compare
+      (Hashtbl.fold (fun name n acc -> (name, n) :: acc) by_strategy [])
   in
   let stats =
     {
       queries = total;
       support = Array.length deltas;
-      fallback_queries = !fallbacks;
+      fallback_queries =
+        Option.value (Hashtbl.find_opt by_strategy "fallback") ~default:0;
+      strategies;
+      jobs = pool.Qp_util.Parallel.jobs;
+      query_seconds;
+      worker_busy = pool.Qp_util.Parallel.busy;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
   (h, stats)
+
+let query_time_histogram ?buckets stats =
+  if Array.length stats.query_seconds = 0 then "(no queries)\n"
+  else
+    let micros =
+      Array.map (fun s -> int_of_float (s *. 1e6)) stats.query_seconds
+    in
+    Qp_util.Histogram.render ~log_scale:true
+      (Qp_util.Histogram.create ?buckets micros)
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d queries x %d support deltas in %.2fs (%d job%s)@."
+    s.queries s.support s.elapsed s.jobs
+    (if s.jobs = 1 then "" else "s");
+  Format.fprintf fmt "  strategies: %s@."
+    (String.concat ", "
+       (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) s.strategies));
+  Format.fprintf fmt "  worker busy:%s@."
+    (String.concat ""
+       (Array.to_list
+          (Array.map (Printf.sprintf " %.2fs") s.worker_busy)));
+  Format.fprintf fmt "  per-query build time (us, log counts):@.%s@?"
+    (query_time_histogram ~buckets:8 s)

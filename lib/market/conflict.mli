@@ -3,16 +3,33 @@
     [CS(Q, D) = { D' in S | Q(D) <> Q(D') }] — the support instances a
     buyer can rule out after seeing the answer. Each query is prepared
     once ({!Qp_relational.Delta_eval}) and then tested against every
-    support delta incrementally. *)
+    support delta incrementally.
+
+    Instance construction is the pipeline's dominant cost (the paper's
+    §7 scalability remark), so {!hypergraph} fans the per-query work out
+    over the {!Qp_util.Parallel} domain pool: one task per
+    (query, delta-array) row, each preparing its query privately, with a
+    sequential index-ordered merge — the resulting hypergraph is
+    bit-identical to the sequential build at any job count. *)
 
 module Database = Qp_relational.Database
 module Query = Qp_relational.Query
 module Delta = Qp_relational.Delta
 
+(** Instrumentation of one {!hypergraph} build. *)
 type stats = {
-  queries : int;
-  support : int;
+  queries : int;  (** number of hyperedges built (buyer queries) *)
+  support : int;  (** support size [n] (items) *)
   fallback_queries : int;  (** queries that used full re-evaluation *)
+  strategies : (string * int) list;
+      (** query count per {!Qp_relational.Delta_eval.strategy_name},
+          sorted by name — the delta-eval vs fallback split *)
+  jobs : int;  (** worker-pool size actually used for the build *)
+  query_seconds : float array;
+      (** per-query prepare+scan wall-clock seconds, in workload order *)
+  worker_busy : float array;
+      (** seconds each pool worker spent computing conflict sets;
+          worker 0 is the calling domain *)
   elapsed : float;  (** wall-clock seconds for the whole computation *)
 }
 
@@ -21,10 +38,26 @@ val conflict_set : Database.t -> Query.t -> Delta.t array -> int array
 
 val hypergraph :
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?jobs:int ->
   Database.t ->
   (Query.t * float) list ->
   Delta.t array ->
   Qp_core.Hypergraph.t * stats
 (** Build the pricing instance for a valued workload: item [i] is
     support delta [i]; each [(query, valuation)] becomes one hyperedge
-    named after the query. *)
+    named after the query.
+
+    Queries are distributed over the {!Qp_util.Parallel} pool ([jobs]
+    overrides [QP_JOBS]); the merge is sequential in workload order, so
+    the hypergraph (edge order, items, valuations) is bit-identical at
+    any job count. [on_progress] fires from the merge side only — once
+    per query with [done_] strictly increasing from 1 to [total] —
+    never from a worker domain. *)
+
+val query_time_histogram : ?buckets:int -> stats -> string
+(** ASCII histogram (log counts) of per-query build times in
+    microseconds — the "where the time goes" view of a build. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line human-readable rendering of a build's instrumentation
+    (totals, strategy split, worker utilization, time histogram). *)

@@ -21,6 +21,7 @@ type config = {
 }
 
 val default_config : config
+(** [{ row_drop_fraction = 0.2; domain_sample_bias = 0.5 }]. *)
 
 val generate :
   ?config:config -> rng:Qp_util.Rng.t -> Database.t -> n:int -> Delta.t array

@@ -20,8 +20,13 @@ val create :
     [Random]. The instance must have at least one edge. *)
 
 val n_items : t -> int
+(** Ground-set size of the underlying hypergraph. *)
+
 val rounds_played : t -> int
+(** Number of quotes made so far. *)
+
 val revenue_collected : t -> float
+(** Sum of accepted quotes so far. *)
 
 val next_buyer : t -> Qp_core.Hypergraph.edge
 (** Reveal the next arrival's bundle. The valuation field of the

@@ -20,12 +20,19 @@ type kind =
   | K_max
 
 val kind_of_agg : Query.agg_fn -> kind
+(** The accumulator kind implementing one AST aggregate function. *)
 
 type acc
+(** A mutable accumulator over pre-aggregation rows for one group. *)
 
 val create : kind array -> acc
+(** Fresh accumulator with one slot per aggregate, positionally. *)
+
 val add : acc -> Value.t array -> unit
+(** Feed one pre-aggregation row (one argument value per slot). *)
+
 val rows : acc -> int
+(** Number of rows accumulated so far. *)
 
 val output : acc -> Value.t array
 (** One value per aggregate: COUNT variants yield [Int]; SUM yields

@@ -9,9 +9,17 @@ val relation : t -> string -> Relation.t
 (** Lookup by name (case-insensitive). Raises [Not_found]. *)
 
 val relation_opt : t -> string -> Relation.t option
+(** Like {!relation}, [None] instead of raising. *)
+
 val relations : t -> Relation.t list
+(** All relations, in construction order. *)
+
 val names : t -> string list
+(** Relation names as declared in their schemas. *)
+
 val total_rows : t -> int
+(** Sum of all relations' cardinalities — the number of perturbable
+    tuples (support sampling picks relations proportionally to it). *)
 
 val with_relation : t -> Relation.t -> t
 (** [with_relation db r] replaces the relation with [r]'s name. *)

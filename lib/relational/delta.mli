@@ -30,3 +30,4 @@ val is_noop : Database.t -> t -> bool
     filters these out. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, e.g. for conflict-set dumps. *)

@@ -31,6 +31,8 @@ val prepare : Database.t -> Query.t -> t
     builds the per-strategy base state. *)
 
 val query : t -> Query.t
+(** The query this preparation was built for. *)
+
 val base_result : t -> Result_set.t
 (** [Q(D)], computed lazily from the same plan. *)
 

@@ -22,6 +22,8 @@ val run : Database.t -> Query.t -> Result_set.t
 (** {2 Introspection used by {!Delta_eval}} *)
 
 val query : plan -> Query.t
+(** The query the plan was compiled from. *)
+
 val from_env : plan -> (string * Schema.t) array
 (** The alias/schema environment the plan compiled against. *)
 
@@ -41,6 +43,7 @@ type prejoined
     delta) do not rebuild them. *)
 
 val precompute_levels : plan -> Database.t -> prejoined
+(** Build the {!type:prejoined} state for one instance. *)
 
 val join_fixed : plan -> prejoined -> int * Relation.tuple -> Expr.env list
 (** Like {!join_with_fixed} but reusing the precomputation for every
@@ -54,8 +57,11 @@ val project : plan -> Expr.env -> Value.t array
     aggregates. *)
 
 val group_key : plan -> Expr.env -> Value.t array
+(** [GROUP BY] key values for one environment. *)
+
 val agg_row : plan -> Expr.env -> Value.t array
 (** Aggregate-argument values for one environment, positionally
     matching {!agg_kinds}. *)
 
 val agg_kinds : plan -> Agg_state.kind array
+(** Accumulator kinds for the plan's aggregates, positionally. *)

@@ -26,15 +26,35 @@ type t =
   | Or of t * t
   | Not of t
 
+(** {2 AST constructors} — the workload generators' building blocks. *)
+
 val col : ?table:string -> string -> t
+(** Column reference, optionally qualified by alias or table name. *)
+
 val int : int -> t
+(** Integer literal. *)
+
 val str : string -> t
+(** String literal. *)
+
 val eq : t -> t -> t
+(** Equality comparison. *)
+
 val ( + ) : t -> t -> t
+(** Integer addition. *)
+
 val ( - ) : t -> t -> t
+(** Integer subtraction. *)
+
 val ( * ) : t -> t -> t
+(** Integer multiplication. *)
+
 val ( && ) : t -> t -> t
+(** Boolean conjunction. *)
+
 val ( || ) : t -> t -> t
+(** Boolean disjunction. *)
+
 val conj : t list -> t option
 (** Conjunction of a possibly-empty list ([None] when empty). *)
 

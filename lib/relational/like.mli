@@ -4,3 +4,4 @@
     which is what the workload queries assume). *)
 
 val matches : pattern:string -> string -> bool
+(** [matches ~pattern s] — does [s] match the [LIKE] pattern? *)

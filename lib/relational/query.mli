@@ -52,8 +52,13 @@ val star : Database.t -> t -> select_item list
     several tables. *)
 
 val aggregates : t -> agg_fn list
+(** The aggregate functions of the [SELECT] list, in order. *)
+
 val has_aggregate : t -> bool
+(** Whether any select item is an {!constructor:Aggregate}. *)
+
 val tables : t -> string list
 (** Distinct relation names referenced in [FROM]. *)
 
 val to_sql : t -> string
+(** Render back to the SQL dialect {!Sql.parse} accepts. *)

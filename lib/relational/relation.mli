@@ -17,8 +17,14 @@ val of_array : Schema.t -> tuple array -> t
 (** Like {!make}, taking ownership of the array. *)
 
 val schema : t -> Schema.t
+(** The relation's schema. *)
+
 val cardinality : t -> int
+(** Number of tuples. *)
+
 val tuple : t -> int -> tuple
+(** [tuple r i] — row [i] ([0 <= i < cardinality r]). *)
+
 val tuples : t -> tuple array
 (** The backing array; callers must not mutate it. *)
 

@@ -11,21 +11,29 @@ val make : header:string array -> Value.t array array -> t
     (lexicographically by {!Value.compare}). *)
 
 val header : t -> string array
+(** Output column names. *)
+
 val rows : t -> Value.t array array
 (** Sorted; callers must not mutate. *)
 
 val row_count : t -> int
+(** Number of answer rows. *)
 
 val compare_rows : Value.t array -> Value.t array -> int
 (** Lexicographic row order used for the canonical sort. *)
 
 val equal : t -> t -> bool
+(** Structural equality of header and sorted rows — the answer
+    comparison conflict sets are built from. *)
+
 val hash : t -> int
 (** Structural hash consistent with {!equal}, covering every row (the
     polymorphic [Hashtbl.hash] truncates large structures and would
     collide trivially on big answers). *)
 
 val pp : Format.formatter -> t -> unit
+(** Aligned tabular rendering (header plus rows). *)
+
 val truncated_to : int -> t -> t
 (** [truncated_to k t] keeps the first [k] sorted rows — the
     deterministic [LIMIT] semantics. *)

@@ -8,13 +8,22 @@ val make : name:string -> attrs:(string * attr_type) list -> t
 (** Attribute names must be distinct (checked). *)
 
 val name : t -> string
+(** The relation name. *)
+
 val arity : t -> int
+(** Number of attributes. *)
+
 val attrs : t -> (string * attr_type) list
+(** Attributes in declaration order. *)
 
 val index_of : t -> string -> int
 (** Position of an attribute (case-insensitive). Raises [Not_found]. *)
 
 val attr_name : t -> int -> string
+(** Name of the attribute at a position. *)
+
 val attr_type : t -> int -> attr_type
+(** Declared type of the attribute at a position. *)
 
 val equal : t -> t -> bool
+(** Same name, same attributes in the same order. *)

@@ -24,11 +24,16 @@ val compare : t -> t -> int
 (** Total order: [Null] < numerics (compared as rationals) < strings. *)
 
 val equal : t -> t -> bool
+(** [compare a b = 0]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Print in SQL-literal style ([NULL], bare integers, quoted strings). *)
+
 val to_string : t -> string
+(** {!pp} rendered to a string. *)
 
 val as_int : t -> int option
 (** [Some i] for [Int i], [None] otherwise. *)
 
 val as_string : t -> string option
+(** [Some s] for [Str s], [None] otherwise. *)

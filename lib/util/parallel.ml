@@ -17,51 +17,64 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let resolve = function Some n -> max 1 n | None -> default_jobs ()
 
-let map ?jobs f xs =
+type pool_stats = { jobs : int; busy : float array }
+
+let map_stats ?jobs f xs =
   let n = Array.length xs in
-  let jobs = min (resolve jobs) n in
-  if jobs <= 1 || Domain.DLS.get in_worker then Array.map f xs
+  let jobs = min (resolve jobs) (max 1 n) in
+  if jobs <= 1 || Domain.DLS.get in_worker then begin
+    let t0 = Unix.gettimeofday () in
+    let results = Array.map f xs in
+    (results, { jobs = 1; busy = [| Unix.gettimeofday () -. t0 |] })
+  end
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    let busy = Array.make jobs 0.0 in
     (* Small chunks keep the pool busy when per-item cost is uneven
        (LPIP candidates near the top of the valuation order solve much
        smaller LPs than the bottom ones). *)
     let chunk = max 1 (n / (4 * jobs)) in
-    let work () =
+    let work w =
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
         if start >= n || Atomic.get failure <> None then continue := false
-        else
+        else begin
           let stop = min n (start + chunk) in
-          try
-            for i = start to stop - 1 do
-              results.(i) <- Some (f xs.(i))
-            done
-          with e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          let t0 = Unix.gettimeofday () in
+          (try
+             for i = start to stop - 1 do
+               results.(i) <- Some (f xs.(i))
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
+        end
       done
     in
-    let worker () =
+    let worker w () =
       Domain.DLS.set in_worker true;
-      work ()
+      work w
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let domains = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     (* The caller is the pool's last worker; flag it too so [f] itself
        cannot recursively fan out. *)
     Domain.DLS.set in_worker true;
     Fun.protect
       ~finally:(fun () -> Domain.DLS.set in_worker false)
-      (fun () -> work ());
+      (fun () -> work 0);
     Array.iter Domain.join domains;
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    (Array.map (function Some v -> v | None -> assert false) results,
+     { jobs; busy })
   end
+
+let map ?jobs f xs = fst (map_stats ?jobs f xs)
 
 let map_list ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))
 

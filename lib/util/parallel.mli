@@ -28,6 +28,18 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     recorded exception is re-raised in the caller (with its backtrace)
     after all workers have drained; remaining chunks are abandoned. *)
 
+type pool_stats = {
+  jobs : int;  (** workers actually used (1 on the sequential path) *)
+  busy : float array;
+      (** [busy.(w)] — wall-clock seconds worker [w] spent executing
+          tasks; worker 0 is the calling domain. Length [jobs]. *)
+}
+
+val map_stats : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array * pool_stats
+(** {!map} plus per-worker utilization, for instrumentation of the
+    fan-out (conflict-set construction reports these). The result array
+    is the same as {!map}'s — stats never affect determinism. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map f l] via {!map}. *)
 

@@ -1,0 +1,133 @@
+(* Doc-coverage check: every exported [val] in the given directories'
+   .mli files must carry a doc comment, either directly above it or in
+   the item's own span (same line or before the next top-level item).
+
+   Run as:  ocaml scripts/check_mli_docs.ml lib/market lib/relational
+   Exits 1 listing every undocumented value. Wired into `make check`. *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        Array.of_list (List.rev acc)
+  in
+  go []
+
+(* Comment nesting depth at the start of each line (OCaml comments
+   nest; string literals inside comments are rare in interfaces and
+   ignored). *)
+let depth_before lines =
+  let n = Array.length lines in
+  let depths = Array.make n 0 in
+  let depth = ref 0 in
+  for i = 0 to n - 1 do
+    depths.(i) <- !depth;
+    let line = lines.(i) in
+    let j = ref 0 in
+    while !j < String.length line - 1 do
+      (match String.sub line !j 2 with
+      | "(*" ->
+          incr depth;
+          incr j
+      | "*)" ->
+          if !depth > 0 then decr depth;
+          incr j
+      | _ -> ());
+      incr j
+    done
+  done;
+  depths
+
+let item_keywords =
+  [ "val "; "type "; "module "; "exception "; "include "; "open "; "class " ]
+
+let check_file path =
+  let lines = read_lines path in
+  let depths = depth_before lines in
+  let n = Array.length lines in
+  let is_item i =
+    depths.(i) = 0
+    && List.exists (fun k -> starts_with k lines.(i)) item_keywords
+  in
+  let undocumented = ref [] in
+  for i = 0 to n - 1 do
+    if depths.(i) = 0 && starts_with "val " lines.(i) then begin
+      (* The item's span: up to (excluding) the next top-level item. *)
+      let stop = ref n in
+      (try
+         for j = i + 1 to n - 1 do
+           if is_item j then begin
+             stop := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let doc_after = ref false in
+      for j = i to !stop - 1 do
+        if contains "(**" lines.(j) then doc_after := true
+      done;
+      (* A doc comment attaches to the item below it only when directly
+         above — a blank line in between detaches it (odoc's rule), and
+         it would anyway belong to whatever item precedes the blank. *)
+      let doc_before =
+        i > 0
+        && String.trim lines.(i - 1) <> ""
+        && (depths.(i - 1) > 0
+           || contains "*)" lines.(i - 1)
+           || starts_with "(**" (String.trim lines.(i - 1)))
+      in
+      if not (!doc_after || doc_before) then begin
+        let rest = String.sub lines.(i) 4 (String.length lines.(i) - 4) in
+        let name =
+          match String.index_opt rest ':' with
+          | Some k -> String.trim (String.sub rest 0 k)
+          | None -> String.trim rest
+        in
+        undocumented := (i + 1, name) :: !undocumented
+      end
+    end
+  done;
+  List.rev !undocumented
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ -> [ "lib/market"; "lib/relational" ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun dir ->
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mli")
+        |> List.sort compare
+      in
+      List.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          List.iter
+            (fun (line, name) ->
+              incr failures;
+              Printf.printf "%s:%d: val %s lacks a doc comment\n" path line
+                name)
+            (check_file path))
+        files)
+    dirs;
+  if !failures > 0 then begin
+    Printf.printf "doc coverage: %d undocumented value(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "doc coverage: every exported value is documented"

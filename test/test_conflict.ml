@@ -1,0 +1,99 @@
+(* Parallel conflict-set construction: the hypergraph must be
+   bit-identical to the sequential build at any job count, progress must
+   fire monotonically from the merge side, and the instrumentation
+   record must partition the queries. *)
+
+module C = Qp_market.Conflict
+module WI = Qp_experiments.Workload_instances
+module H = Qp_core.Hypergraph
+
+let tpch = lazy (WI.tpch ~scale:WI.Tiny ~support:80 ~seed:11 ())
+let uniform = lazy (WI.uniform ~scale:WI.Tiny ~support:80 ~m:25 ~seed:11 ())
+
+(* Everything pricing reads from the instance: edge order, names,
+   item sets, valuations. *)
+let fingerprint h =
+  Array.map
+    (fun (e : H.edge) -> (e.H.name, Array.to_list e.H.items, e.H.valuation))
+    (H.edges h)
+
+let build ?on_progress ~jobs inst =
+  let valued = List.map (fun q -> (q, 1.0)) inst.WI.queries in
+  C.hypergraph ?on_progress ~jobs inst.WI.db valued inst.WI.deltas
+
+let check_bit_identity name instl () =
+  let inst = Lazy.force instl in
+  let h1, _ = build ~jobs:1 inst in
+  Alcotest.(check bool)
+    (name ^ ": jobs=1 rebuild matches the instance build")
+    true
+    (fingerprint h1 = fingerprint inst.WI.hypergraph);
+  List.iter
+    (fun jobs ->
+      let h, _ = build ~jobs inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: bit-identical hypergraph at jobs=%d" name jobs)
+        true
+        (fingerprint h = fingerprint h1))
+    [ 2; 4 ]
+
+let test_tpch_bit_identity = check_bit_identity "tpch" tpch
+let test_uniform_bit_identity = check_bit_identity "uniform" uniform
+
+let test_progress_monotone () =
+  let inst = Lazy.force uniform in
+  let calls = ref [] in
+  let _ =
+    build
+      ~on_progress:(fun ~done_ ~total -> calls := (done_, total) :: !calls)
+      ~jobs:4 inst
+  in
+  let calls = List.rev !calls in
+  let total = List.length inst.WI.queries in
+  Alcotest.(check int) "one call per query" total (List.length calls);
+  List.iteri
+    (fun i (done_, t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "done_ increases monotonically (call %d)" i)
+        (i + 1) done_;
+      Alcotest.(check int) "total fixed across calls" total t)
+    calls
+
+let test_stats_sanity () =
+  let inst = Lazy.force tpch in
+  let _, s = build ~jobs:2 inst in
+  let strategy_total = List.fold_left (fun a (_, n) -> a + n) 0 s.C.strategies in
+  Alcotest.(check int) "queries" (List.length inst.WI.queries) s.C.queries;
+  Alcotest.(check int) "support" (Array.length inst.WI.deltas) s.C.support;
+  Alcotest.(check int) "strategy counts partition the queries" s.C.queries
+    strategy_total;
+  Alcotest.(check int) "fallback count agrees with the strategy split"
+    s.C.fallback_queries
+    (Option.value (List.assoc_opt "fallback" s.C.strategies) ~default:0);
+  Alcotest.(check bool) "delta-eval + fallback = queries" true
+    (s.C.queries - s.C.fallback_queries >= 0);
+  Alcotest.(check bool) "elapsed > 0" true (s.C.elapsed > 0.0);
+  Alcotest.(check int) "one timing per query" s.C.queries
+    (Array.length s.C.query_seconds);
+  Alcotest.(check bool) "per-query timings are non-negative" true
+    (Array.for_all (fun t -> t >= 0.0) s.C.query_seconds);
+  Alcotest.(check int) "requested pool size recorded" 2 s.C.jobs;
+  Alcotest.(check int) "one busy entry per worker" s.C.jobs
+    (Array.length s.C.worker_busy)
+
+let test_stats_sequential_pool () =
+  let inst = Lazy.force uniform in
+  let _, s = build ~jobs:1 inst in
+  Alcotest.(check int) "sequential build reports one job" 1 s.C.jobs;
+  Alcotest.(check int) "single busy slot" 1 (Array.length s.C.worker_busy)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "conflict",
+    [
+      t "tpch bit-identical across job counts" test_tpch_bit_identity;
+      t "uniform bit-identical across job counts" test_uniform_bit_identity;
+      t "progress fires monotonically from the merge" test_progress_monotone;
+      t "stats partition queries and workers" test_stats_sanity;
+      t "sequential pool stats" test_stats_sequential_pool;
+    ] )
