@@ -18,7 +18,7 @@ docs:
 # Every exported value in the market and relational interfaces must
 # carry a doc comment.
 check-docs:
-	ocaml scripts/check_mli_docs.ml lib/market lib/relational
+	ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments
 
 # The full pre-merge gate: build, tests, doc coverage.
 check: build test check-docs

@@ -2,16 +2,21 @@
    (via Qp_experiments.Registry) and finishes with bechamel
    micro-benchmarks of the core primitives.
 
-   Usage: main.exe [--jobs N] [micro] [parallel] [conflict] [EXPERIMENT-IDS...]
+   Usage: main.exe [--jobs N] [--trace FILE] [micro] [parallel]
+          [conflict] [EXPERIMENT-IDS...]
    With no arguments every experiment runs, in the paper's order,
    followed by the micro-benchmarks. "micro", "parallel" and "conflict"
    are pseudo-ids that can be mixed freely with experiment ids: "micro"
    appends the bechamel micro-benchmarks, "parallel" times the worker
    pool at jobs=1 vs jobs=N and writes BENCH_parallel.json, "conflict"
    times the parallel conflict-set construction per workload and writes
-   BENCH_conflict.json. --jobs N sets QP_JOBS for the whole process.
-   QP_BENCH_PROFILE=full switches to the slower, closer-to-paper
-   settings (5 runs, finer LP grids). *)
+   BENCH_conflict.json. Unknown ids abort upfront (exit 2) with the
+   list of valid experiment and pseudo ids. --jobs N sets QP_JOBS for
+   the whole process; --trace FILE records the whole run as Chrome
+   trace-event JSONL (aggregate with 'qpricing report'). Every
+   BENCH_*.json carries a "meta" block (git commit, QP_JOBS, profile,
+   UTC timestamp) identifying the run. QP_BENCH_PROFILE=full switches
+   to the slower, closer-to-paper settings (5 runs, finer LP grids). *)
 
 module Registry = Qp_experiments.Registry
 module Context = Qp_experiments.Context
@@ -20,21 +25,33 @@ module H = Qp_core.Hypergraph
 module V = Qp_workloads.Valuations
 module Rng = Qp_util.Rng
 
-let run_experiments ctx ids =
-  let entries =
-    match ids with
-    | [] -> Registry.all
-    | ids ->
-        List.map
-          (fun id ->
-            match Registry.find id with
-            | Some e -> e
-            | None ->
-                Printf.eprintf "unknown experiment %S; known: %s\n" id
-                  (String.concat ", " Registry.ids);
-                exit 2)
-          ids
-  in
+(* --- run metadata for BENCH_*.json ----------------------------------- *)
+
+(* Identifies a benchmark run: without the commit and job count a stored
+   BENCH_*.json is not comparable to a fresh one. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, commit when commit <> "" -> commit
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+let meta_json ctx =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf
+    "\"meta\": { \"git_commit\": %S, \"qp_jobs\": %d, \"profile\": %S, \
+     \"timestamp\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\" }"
+    (git_commit ())
+    (Qp_util.Parallel.default_jobs ())
+    (match Context.profile ctx with
+    | Qp_experiments.Runner.Quick -> "quick"
+    | Qp_experiments.Runner.Full -> "full")
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let run_experiments ctx entries =
   let fmt = Format.std_formatter in
   List.iter
     (fun (e : Registry.entry) ->
@@ -117,7 +134,7 @@ let microbenchmarks ctx =
 (* Times Conflict.hypergraph at jobs=1 vs jobs=N per workload, checks
    the two builds are identical, and writes BENCH_conflict.json with
    the full instrumentation record of the parallel build. *)
-let conflict_bench ctx =
+let conflict_bench ~meta ctx =
   let module C = Qp_market.Conflict in
   let jobs_n = max 2 (Qp_util.Parallel.default_jobs ()) in
   print_newline ();
@@ -158,7 +175,8 @@ let conflict_bench ctx =
     String.concat ", "
       (Array.to_list (Array.map (Printf.sprintf "%.6f") a))
   in
-  Printf.fprintf oc "{\n  \"jobs_n\": %d,\n  \"workloads\": [" jobs_n;
+  Printf.fprintf oc "{\n  %s,\n  \"jobs_n\": %d,\n  \"workloads\": [" meta
+    jobs_n;
   List.iteri
     (fun i (key, (s1 : C.stats), (sn : C.stats)) ->
       Printf.fprintf oc
@@ -197,7 +215,7 @@ let time f =
   ignore (Sys.opaque_identity (f ()));
   Unix.gettimeofday () -. t0
 
-let parallel_bench ctx =
+let parallel_bench ~meta ctx =
   let module Runner = Qp_experiments.Runner in
   let jobs_n = max 2 (Qp_util.Parallel.default_jobs ()) in
   let profile = Context.profile ctx in
@@ -245,7 +263,8 @@ let parallel_bench ctx =
       [ ("lpip", lpip); ("cip", cip); ("capped", capped); ("runner-cell", cell) ]
   in
   let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"algorithms\": [" jobs_n;
+  Printf.fprintf oc "{\n  %s,\n  \"jobs\": %d,\n  \"algorithms\": [" meta
+    jobs_n;
   List.iteri
     (fun i (name, t1, tn) ->
       Printf.fprintf oc
@@ -259,16 +278,22 @@ let parallel_bench ctx =
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n%!"
 
+let pseudo_ids = [ "micro"; "parallel"; "conflict" ]
+
 let () =
-  let rec parse jobs ids = function
-    | [] -> (jobs, List.rev ids)
-    | "--jobs" :: n :: rest -> parse (Some n) ids rest
+  let rec parse jobs trace ids = function
+    | [] -> (jobs, trace, List.rev ids)
+    | "--jobs" :: n :: rest -> parse (Some n) trace ids rest
     | arg :: rest
       when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-        parse (Some (String.sub arg 7 (String.length arg - 7))) ids rest
-    | arg :: rest -> parse jobs (arg :: ids) rest
+        parse (Some (String.sub arg 7 (String.length arg - 7))) trace ids rest
+    | "--trace" :: file :: rest -> parse jobs (Some file) ids rest
+    | arg :: rest
+      when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+        parse jobs (Some (String.sub arg 8 (String.length arg - 8))) ids rest
+    | arg :: rest -> parse jobs trace (arg :: ids) rest
   in
-  let jobs, ids = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs, trace, ids = parse None None [] (List.tl (Array.to_list Sys.argv)) in
   (match jobs with
   | None -> ()
   | Some n -> (
@@ -277,20 +302,50 @@ let () =
       | Some _ | None ->
           Printf.eprintf "bad --jobs value %S (want a positive integer)\n" n;
           exit 2));
-  (* "micro", "parallel" and "conflict" are pseudo-ids, usable
-     alongside real ones. *)
+  (* "micro", "parallel" and "conflict" are pseudo-ids, usable alongside
+     real ones. Every id is validated before anything runs, so a typo
+     fails fast instead of after hours of benchmarks. *)
+  let unknown =
+    List.filter
+      (fun id -> not (List.mem id pseudo_ids) && Registry.find id = None)
+      ids
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown id%s %s\nvalid experiment ids: %s\npseudo ids: %s\n"
+      (if List.length unknown = 1 then "" else "s")
+      (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+      (String.concat ", " Registry.ids)
+      (String.concat ", " pseudo_ids);
+    exit 2
+  end;
   let micro = List.mem "micro" ids in
   let par = List.mem "parallel" ids in
   let conflict = List.mem "conflict" ids in
-  let exp_ids =
-    List.filter
-      (fun id -> id <> "micro" && id <> "parallel" && id <> "conflict")
-      ids
+  let exp_ids = List.filter (fun id -> not (List.mem id pseudo_ids)) ids in
+  let entries =
+    match exp_ids with
+    | [] -> Registry.all
+    | ids -> List.filter_map Registry.find ids
   in
   let ctx = Context.create () in
+  let meta = meta_json ctx in
+  (match trace with
+  | None -> ()
+  | Some _ ->
+      Qp_obs.set_enabled true;
+      Qp_obs.reset ());
   let t0 = Unix.gettimeofday () in
-  if exp_ids <> [] || ids = [] then run_experiments ctx exp_ids;
-  if conflict then conflict_bench ctx;
-  if par then parallel_bench ctx;
-  if micro || ids = [] then microbenchmarks ctx;
+  Fun.protect
+    ~finally:(fun () ->
+      match trace with
+      | None -> ()
+      | Some path ->
+          Qp_obs.write_chrome_trace path;
+          Printf.eprintf "[trace: %d spans written to %s]\n%!"
+            (Qp_obs.span_count ()) path)
+    (fun () ->
+      if exp_ids <> [] || ids = [] then run_experiments ctx entries;
+      if conflict then conflict_bench ~meta ctx;
+      if par then parallel_bench ~meta ctx;
+      if micro || ids = [] then microbenchmarks ctx);
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -4,8 +4,14 @@
      list        — algorithms and experiments available
      inspect     — build a workload instance and print its hypergraph
      price       — run one pricing algorithm on a workload + valuations
+     run         — one full benchmark cell (build + every algorithm)
      experiment  — regenerate one or more of the paper's tables/figures
-     demo        — a small end-to-end broker session on the world dataset *)
+     report      — aggregate a --trace file into a self/total-time table
+     demo        — a small end-to-end broker session on the world dataset
+
+   inspect, price, run and experiment accept --trace FILE, which records
+   the whole invocation through Qp_obs and writes a Chrome trace-event
+   JSONL file (see docs/OBSERVABILITY.md). *)
 
 open Cmdliner
 
@@ -57,6 +63,30 @@ let set_jobs = function
       exit 2
   | None -> ()
 
+let trace_arg =
+  let doc =
+    "Record a trace of the whole invocation and write it to $(docv) as \
+     Chrome trace-event JSONL (load in Perfetto; aggregate with \
+     'qpricing report')."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Tracing wraps the whole command so the trace also covers instance
+   construction; the file is written even when the traced code raises,
+   so a crashed run still leaves its evidence behind. *)
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+      Qp_obs.set_enabled true;
+      Qp_obs.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Qp_obs.write_chrome_trace path;
+          Printf.eprintf "[trace: %d spans written to %s]\n%!"
+            (Qp_obs.span_count ()) path)
+        f
+
 let model_arg =
   let parse s =
     match String.split_on_char ':' (String.lowercase_ascii s) with
@@ -107,8 +137,9 @@ let list_cmd =
 (* --- inspect ---------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run workload scale support seed jobs =
+  let run workload scale support seed jobs trace =
     set_jobs jobs;
+    with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
     let h = inst.WI.hypergraph in
     Printf.printf "%s\n" inst.WI.label;
@@ -129,7 +160,7 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Build a workload's pricing instance and print it.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg)
 
 (* --- price ------------------------------------------------------------ *)
 
@@ -139,8 +170,9 @@ let price_cmd =
     Arg.(value & opt (enum keys) "all"
          & info [ "algorithm"; "a" ] ~doc:"Algorithm key, or 'all'.")
   in
-  let run workload scale support seed model algorithm profile jobs =
+  let run workload scale support seed model algorithm profile jobs trace =
     set_jobs jobs;
+    with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
     let h = V.apply ~rng:(Rng.create seed) model inst.WI.hypergraph in
     let total = Float.max 1e-9 (H.sum_valuations h) in
@@ -172,7 +204,69 @@ let price_cmd =
     (Cmd.info "price"
        ~doc:"Run pricing algorithms on a workload under a valuation model.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg)
+          $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg $ trace_arg)
+
+(* --- run: one full benchmark cell ------------------------------------ *)
+
+let run_cmd =
+  let run workload scale support seed model profile jobs trace =
+    set_jobs jobs;
+    with_trace trace @@ fun () ->
+    let inst = build_instance workload scale support seed in
+    let t0 = Unix.gettimeofday () in
+    let cell =
+      Runner.run_cell ~profile ~seed model inst
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%s under %s (%d run%s, %.1fs):\n" cell.Runner.instance
+      cell.Runner.model
+      (Runner.runs profile)
+      (if Runner.runs profile = 1 then "" else "s")
+      dt;
+    print_string
+      (Qp_util.Text_table.render
+         ~header:[ "algorithm"; "revenue"; "normalized"; "seconds" ]
+         (List.map
+            (fun (m : Runner.measurement) ->
+              [
+                m.Runner.algorithm;
+                Printf.sprintf "%.2f" m.Runner.revenue;
+                Printf.sprintf "%.3f" m.Runner.normalized;
+                Printf.sprintf "%.3f" m.Runner.seconds;
+              ])
+            cell.Runner.measurements));
+    Printf.printf "subadd-bound (normalized) %.3f\n" cell.Runner.subadditive
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one full benchmark cell: build the instance, draw \
+          valuations, run every algorithm, print the measurements. With \
+          --trace, the cell's full execution (conflict-set build, every \
+          algorithm, every simplex solve) is recorded.")
+    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
+          $ model_arg $ profile_arg $ jobs_arg $ trace_arg)
+
+(* --- report: aggregate a trace file ----------------------------------- *)
+
+let report_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace.")
+  in
+  let run path =
+    match Qp_obs_report.report_file path with
+    | Ok rendered -> print_string rendered
+    | Error msg ->
+        Printf.eprintf "cannot aggregate %s: %s\n" path msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a --trace file into a per-span self-time/total-time \
+          table with p50/p95/max latency, counters and event counts.")
+    Term.(const run $ trace_file_arg)
 
 (* --- quote: price raw SQL against a broker -------------------------- *)
 
@@ -239,8 +333,9 @@ let experiment_cmd =
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids profile seed jobs =
+  let run ids profile seed jobs trace =
     set_jobs jobs;
+    with_trace trace @@ fun () ->
     let ctx = Context.create ~profile ~seed () in
     let entries =
       match ids with
@@ -264,7 +359,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (all, or by id).")
-    Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg $ trace_arg)
 
 (* --- demo ------------------------------------------------------------- *)
 
@@ -311,4 +406,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; inspect_cmd; price_cmd; quote_cmd; experiment_cmd; demo_cmd ]))
+          [
+            list_cmd;
+            inspect_cmd;
+            price_cmd;
+            run_cmd;
+            quote_cmd;
+            experiment_cmd;
+            report_cmd;
+            demo_cmd;
+          ]))

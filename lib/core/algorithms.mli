@@ -17,3 +17,5 @@ val find : ?lpip_options:Lpip.options -> ?cip_options:Cip.options -> string -> s
 (** Lookup by [key] (case-insensitive). Raises [Not_found]. *)
 
 val keys : string list
+(** The [key]s of {!all}, in legend order — for CLI completion and
+    option validation. *)

@@ -12,6 +12,10 @@
       deliberately to reproduce the reported normalization. *)
 
 val sum_valuations : Hypergraph.t -> float
+(** The trivial bound: no pricing can collect more than every buyer
+    paying their full valuation. Alias of
+    {!Hypergraph.sum_valuations}, exposed here as the plots' default
+    normalizer. *)
 
 val subadditive_bound :
   ?max_covers:int -> ?max_pivots:int -> Hypergraph.t -> float

@@ -6,6 +6,9 @@ let quantiles n xs =
   else List.init n (fun i -> arr.(i * len / n)) @ [ arr.(len - 1) ]
 
 let optimal ?(cap_candidates = 32) ?jobs h =
+  Qp_obs.with_span "capped.optimal"
+    ~args:(fun () -> [ ("cap_candidates", Qp_obs.Int cap_candidates) ])
+  @@ fun () ->
   let edges = Hypergraph.edges h in
   let sized =
     Array.to_list edges

@@ -46,17 +46,30 @@ let prices_for_capacity ~max_pivots h k =
   match Lp.solve ~max_pivots p with
   | Ok sol ->
       let w_class = Array.make classes.Hypergraph.n_classes 0.0 in
+      let rounded = ref 0 in
       Array.iteri
         (fun c var ->
           match var with
-          | Some v -> w_class.(c) <- Float.max 0.0 (Lp.value sol v)
+          | Some v ->
+              let raw = Lp.value sol v in
+              if raw < 0.0 then incr rounded;
+              w_class.(c) <- Float.max 0.0 raw
           | None -> ())
         y;
+      Qp_obs.counter "cip.rounded_weights" !rounded;
       Some (Hypergraph.spread_class_weights h w_class)
   | Error _ -> None
   | exception Failure _ -> None
 
 let solve_with_trace ?(options = default_options) h =
+  Qp_obs.with_span "cip.solve"
+    ~args:(fun () ->
+      [
+        ("edges", Qp_obs.Int (Hypergraph.m h));
+        ("epsilon", Qp_obs.Float options.epsilon);
+        ("max_degree", Qp_obs.Int (Hypergraph.max_degree h));
+      ])
+  @@ fun () ->
   let started = Unix.gettimeofday () in
   let in_budget () =
     match options.time_budget with
@@ -71,16 +84,26 @@ let solve_with_trace ?(options = default_options) h =
   let grid =
     capacity_grid ~epsilon:options.epsilon ~max_degree:(Hypergraph.max_degree h)
   in
+  Qp_obs.annotate (fun () -> [ ("capacities", Qp_obs.Int (List.length grid)) ]);
   let solutions =
     Qp_util.Parallel.map ?jobs:options.jobs
       (fun k ->
-        if not (in_budget ()) then None
+        if not (in_budget ()) then begin
+          Qp_obs.event "cip.capacity_skipped"
+            ~args:(fun () -> [ ("k", Qp_obs.Float k) ]);
+          None
+        end
         else
+          Qp_obs.with_span "cip.capacity"
+            ~args:(fun () -> [ ("k", Qp_obs.Float k) ])
+          @@ fun () ->
           match prices_for_capacity ~max_pivots:options.max_pivots h k with
           | None -> None
           | Some w ->
               let pricing = Pricing.Item w in
-              Some (pricing, Pricing.revenue pricing h))
+              let revenue = Pricing.revenue pricing h in
+              Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
+              Some (pricing, revenue))
       (Array.of_list grid)
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
@@ -96,6 +119,11 @@ let solve_with_trace ?(options = default_options) h =
             best_revenue := revenue
           end)
     solutions;
+  Qp_obs.annotate (fun () ->
+      [
+        ("solved", Qp_obs.Int !solved);
+        ("best_revenue", Qp_obs.Float !best_revenue);
+      ]);
   (!best, !solved)
 
 let solve ?options h = fst (solve_with_trace ?options h)

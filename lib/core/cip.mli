@@ -33,6 +33,10 @@ val capacity_grid : epsilon:float -> max_degree:int -> float list
 (** [1, (1+ε), (1+ε)^2, ..., B] (deduplicated, always ends at [B]). *)
 
 val solve : ?options:options -> Hypergraph.t -> Pricing.t
+(** Best item pricing over the capacity grid; each grid point is
+    recorded as a [cip.capacity] span (or a [cip.capacity_skipped]
+    event once over budget) under a [cip.solve] span when {!Qp_obs}
+    tracing is enabled. *)
 
 val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
 (** Also reports how many welfare LPs were solved. *)

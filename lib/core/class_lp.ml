@@ -18,6 +18,13 @@ let identity_classes h =
   (n, class_edges, edge_classes)
 
 let solve_must_sell ?(max_pivots = 200_000) ?(collapse = true) h ~edge_ids =
+  Qp_obs.with_span "class_lp.must_sell"
+    ~args:(fun () ->
+      [
+        ("must_sell", Qp_obs.Int (List.length edge_ids));
+        ("collapse", Qp_obs.Bool collapse);
+      ])
+  @@ fun () ->
   let n_classes, class_edges, edge_classes, members_first =
     if collapse then
       let c = Hypergraph.classes h in
@@ -60,12 +67,23 @@ let solve_must_sell ?(max_pivots = 200_000) ?(collapse = true) h ~edge_ids =
       in
       ignore (Lp.add_le p terms (Hypergraph.edge h e).Hypergraph.valuation))
     edge_ids;
+  Qp_obs.annotate (fun () ->
+      [
+        ("active_classes", Qp_obs.Int (List.length class_ids));
+        ("lp_vars", Qp_obs.Int (Lp.var_count p));
+        ("lp_rows", Qp_obs.Int (Lp.constr_count p));
+      ]);
   match Lp.solve ~max_pivots p with
   | Ok sol ->
       let w_class = Array.make n_classes 0.0 in
+      let rounded = ref 0 in
       Hashtbl.iter
-        (fun c v -> w_class.(c) <- Float.max 0.0 (Lp.value sol v))
+        (fun c v ->
+          let raw = Lp.value sol v in
+          if raw < 0.0 then incr rounded;
+          w_class.(c) <- Float.max 0.0 raw)
         var_of_class;
+      Qp_obs.counter "class_lp.rounded_weights" !rounded;
       (match members_first with
       | `Collapsed -> Some (Hypergraph.spread_class_weights h w_class)
       | `Identity -> Some w_class)

@@ -25,13 +25,23 @@ val m : t -> int
 (** Number of hyperedges (buyers). *)
 
 val edges : t -> edge array
+(** All hyperedges, indexed by [edge.id]. The array is the instance's
+    own — treat it as read-only. *)
+
 val edge : t -> int -> edge
+(** [edge h id] — the hyperedge with identifier [id]. *)
+
 val valuations : t -> float array
+(** [v_e] per edge, in edge-id order — the vector the revenue bounds
+    and LP objectives read. *)
+
 val with_valuations : t -> float array -> t
 (** Same structure, new valuations (the experiments redraw valuations
     over a fixed workload hypergraph). *)
 
 val degree : t -> int -> int
+(** [degree h j] — the number of edges item [j] belongs to. *)
+
 val max_degree : t -> int
 (** [B] — the maximum number of edges any item belongs to. *)
 
@@ -39,7 +49,12 @@ val max_edge_size : t -> int
 (** [k]. *)
 
 val avg_edge_size : t -> float
+(** Mean conflict-set size over all buyers (the paper's workload
+    tables report this next to [k]). *)
+
 val sum_valuations : t -> float
+(** [sum_e v_e] — the trivial revenue upper bound. *)
+
 val edges_of_item : t -> int -> int list
 
 (** {2 Item membership classes}

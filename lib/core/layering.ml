@@ -103,6 +103,9 @@ let price_layer h layer =
   Pricing.Item w
 
 let solve h =
+  Qp_obs.with_span "layering.solve"
+    ~args:(fun () -> [ ("edges", Qp_obs.Int (Hypergraph.m h)) ])
+  @@ fun () ->
   match layers h with
   | [] -> Pricing.Item (Array.make (Hypergraph.n_items h) 0.0)
   | ls ->
@@ -114,4 +117,11 @@ let solve h =
             | _ -> Some layer)
           None ls
       in
-      price_layer h (Option.get best)
+      let best = Option.get best in
+      Qp_obs.annotate (fun () ->
+          [
+            ("layers", Qp_obs.Int (List.length ls));
+            ("best_layer_edges", Qp_obs.Int (List.length best));
+            ("best_layer_value", Qp_obs.Float (layer_value best));
+          ]);
+      price_layer h best

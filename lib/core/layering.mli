@@ -13,3 +13,6 @@ val layers : Hypergraph.t -> Hypergraph.edge list list
     remaining at its turn) and for the structure diagnostics of §6.3. *)
 
 val solve : Hypergraph.t -> Pricing.t
+(** Item pricing extracting the most valuable layer's full value.
+    Recorded as a [layering.solve] span (layer count and best layer in
+    its args) when {!Qp_obs} tracing is enabled. *)

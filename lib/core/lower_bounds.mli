@@ -27,6 +27,9 @@ val lemma4 : levels:int -> Hypergraph.t
     O(3^levels) of the [(levels+1) * 3^levels] optimum. *)
 
 val lemma4_optimal : levels:int -> float
+(** The full welfare [(levels+1) * 3^levels], extracted by pricing
+    every laminar set at its value. *)
+
 val lemma4_simple_bound : levels:int -> float
 (** The O(3^t) ceiling (with its hidden constant made explicit: we use
     [3^(t+1)], valid for both simple families per the proof). *)

@@ -33,6 +33,9 @@ let evenly_spaced n xs =
   end
 
 let solve_with_trace ?(options = default_options) h =
+  Qp_obs.with_span "lpip.solve"
+    ~args:(fun () -> [ ("edges", Qp_obs.Int (Hypergraph.m h)) ])
+  @@ fun () ->
   let edges = Array.to_list (Hypergraph.edges h) in
   let sorted =
     List.sort
@@ -64,9 +67,15 @@ let solve_with_trace ?(options = default_options) h =
      evaluates its candidate's revenue; the index-ordered merge with a
      strict [>] keeps the earliest (highest-valuation) candidate on
      ties, exactly like the sequential sweep. *)
+  Qp_obs.annotate (fun () ->
+      [ ("candidates", Qp_obs.Int (List.length candidates)) ]);
   let solutions =
     Qp_util.Parallel.map ?jobs:options.jobs
       (fun (_, must_sell) ->
+        Qp_obs.with_span "lpip.candidate"
+          ~args:(fun () ->
+            [ ("must_sell", Qp_obs.Int (List.length must_sell)) ])
+        @@ fun () ->
         match
           Class_lp.solve_must_sell ~max_pivots:options.max_pivots h
             ~edge_ids:must_sell
@@ -74,7 +83,9 @@ let solve_with_trace ?(options = default_options) h =
         | None -> None
         | Some w ->
             let pricing = Pricing.Item w in
-            Some (pricing, Pricing.revenue pricing h))
+            let revenue = Pricing.revenue pricing h in
+            Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
+            Some (pricing, revenue))
       (Array.of_list candidates)
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
@@ -90,6 +101,11 @@ let solve_with_trace ?(options = default_options) h =
             best_revenue := revenue
           end)
     solutions;
+  Qp_obs.annotate (fun () ->
+      [
+        ("solved", Qp_obs.Int !solved);
+        ("best_revenue", Qp_obs.Float !best_revenue);
+      ]);
   (!best, !solved)
 
 let solve ?options h = fst (solve_with_trace ?options h)

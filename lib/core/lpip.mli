@@ -25,6 +25,9 @@ val default_options : options
 (** No candidate cap, 200k pivots per LP, pool size from [QP_JOBS]. *)
 
 val solve : ?options:options -> Hypergraph.t -> Pricing.t
+(** Best item pricing over the candidate sweep; each candidate is
+    recorded as an [lpip.candidate] span under an [lpip.solve] span
+    when {!Qp_obs} tracing is enabled. *)
 
 val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
 (** Also reports how many LPs were solved. *)

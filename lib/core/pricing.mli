@@ -38,10 +38,16 @@ val sells : t -> Hypergraph.edge -> bool
     LP-derived prices that are tight against a valuation still sell. *)
 
 val revenue : t -> Hypergraph.t -> float
+(** Sum of prices over the buyers that purchase ({!sells}). *)
+
 val sold_edges : t -> Hypergraph.t -> Hypergraph.edge list
+(** The purchasing buyers, in edge-id order — what the structure
+    diagnostics of §6.3 inspect. *)
 
 val is_valid : t -> Hypergraph.t -> bool
 (** Structural sanity: weights non-negative and sized to the instance;
     uniform price non-negative. *)
 
 val describe : t -> string
+(** One-line human description, e.g. ["item pricing (370 classes)"] —
+    used by the CLI and experiment reports. *)

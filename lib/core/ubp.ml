@@ -1,4 +1,5 @@
 let optimal_price h =
+  Qp_obs.with_span "ubp.solve" @@ fun () ->
   (* Empty bundles are free under any arbitrage-free pricing (f(∅) = 0),
      so they contribute no revenue at any price point. *)
   let vals =
@@ -19,6 +20,12 @@ let optimal_price h =
         best_price := v
       end)
     vals;
+  Qp_obs.annotate (fun () ->
+      [
+        ("sweep", Qp_obs.Int (Array.length vals));
+        ("best_price", Qp_obs.Float !best_price);
+        ("best_revenue", Qp_obs.Float !best_revenue);
+      ]);
   (!best_price, !best_revenue)
 
 let solve h = Pricing.Uniform_bundle (fst (optimal_price h))

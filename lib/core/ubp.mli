@@ -8,3 +8,5 @@ val optimal_price : Hypergraph.t -> float * float
     revenue 0 on the empty instance). *)
 
 val solve : Hypergraph.t -> Pricing.t
+(** [Uniform_bundle] pricing at {!optimal_price}. Recorded as a
+    [ubp.solve] span when {!Qp_obs} tracing is enabled. *)

@@ -1,4 +1,5 @@
 let optimal_weight h =
+  Qp_obs.with_span "uip.solve" @@ fun () ->
   let sized =
     Array.to_list (Hypergraph.edges h)
     |> List.filter_map (fun (e : Hypergraph.edge) ->
@@ -21,6 +22,12 @@ let optimal_weight h =
         prefix)
       0 sorted
   in
+  Qp_obs.annotate (fun () ->
+      [
+        ("sweep", Qp_obs.Int (List.length sorted));
+        ("best_weight", Qp_obs.Float !best_w);
+        ("best_revenue", Qp_obs.Float !best_revenue);
+      ]);
   (!best_w, !best_revenue)
 
 let solve h =

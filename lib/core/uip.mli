@@ -9,3 +9,5 @@ val optimal_weight : Hypergraph.t -> float * float
     price 0 and contribute nothing, so they are not candidates. *)
 
 val solve : Hypergraph.t -> Pricing.t
+(** [Item] pricing with every weight at {!optimal_weight}. Recorded as
+    a [uip.solve] span when {!Qp_obs} tracing is enabled. *)

@@ -12,4 +12,5 @@ let combine ps =
   Pricing.Xos components
 
 let solve ?lpip_options ?cip_options h =
+  Qp_obs.with_span "xos.solve" @@ fun () ->
   combine [ Lpip.solve ?options:lpip_options h; Cip.solve ?options:cip_options h ]

@@ -8,7 +8,11 @@ val create : ?profile:Runner.profile -> ?seed:int -> unit -> t
 (** Profile defaults to {!Runner.profile_of_env}; seed to 42. *)
 
 val profile : t -> Runner.profile
+(** The session's benchmark profile, fixed at {!create}. *)
+
 val seed : t -> int
+(** The session's base random seed; experiments derive per-run seeds
+    from it so a session is reproducible end to end. *)
 
 val instance : t -> string -> Workload_instances.t
 (** Cached lookup by workload key ("skewed", "uniform", "tpch", "ssb").

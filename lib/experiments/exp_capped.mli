@@ -6,3 +6,5 @@
     capping the price of huge bundles? *)
 
 val run : Format.formatter -> Context.t -> unit
+(** The [capped] registry entry: normalized revenue of capped pricing
+    vs UIP/UBP/LPIP per workload and valuation family. *)

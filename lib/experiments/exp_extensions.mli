@@ -15,7 +15,16 @@
       without membership-class variable aggregation. *)
 
 val run_refine : Format.formatter -> Context.t -> unit
+(** The [refine] registry entry (UBP refinement, §6.3). *)
+
 val run_support_strategy : Format.formatter -> Context.t -> unit
+(** The [support-strategy] registry entry (§7.2 sampler ablation). *)
+
 val run_cip_epsilon : Format.formatter -> Context.t -> unit
+(** The [cip-epsilon] registry entry (capacity-grid resolution sweep). *)
+
 val run_lpip_candidates : Format.formatter -> Context.t -> unit
+(** The [lpip-candidates] registry entry (candidate-cap sweep). *)
+
 val run_collapse : Format.formatter -> Context.t -> unit
+(** The [collapse] registry entry (membership-class ablation). *)

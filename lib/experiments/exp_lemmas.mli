@@ -8,3 +8,5 @@
     - Lemma 4: both families cap at O(3^t) of the (t+1)·3^t optimum. *)
 
 val run : Format.formatter -> Context.t -> unit
+(** The [lemmas] registry entry: measured revenue per family on each
+    lemma's instances, against the known optimum. *)

@@ -10,4 +10,7 @@
       coverage is 1). *)
 
 val run_online : Format.formatter -> Context.t -> unit
+(** The [online] registry entry (learning-to-price policies). *)
+
 val run_unique_support : Format.formatter -> Context.t -> unit
+(** The [unique-support] registry entry (discriminating deltas). *)

@@ -13,5 +13,10 @@
     paper's plots carry. *)
 
 val run_fig5 : Format.formatter -> Context.t -> unit
+(** The [fig5] registry entry (skewed + uniform workloads). *)
+
 val run_fig6 : Format.formatter -> Context.t -> unit
+(** The [fig6] registry entry (SSB + TPC-H workloads). *)
+
 val run_fig7 : Format.formatter -> Context.t -> unit
+(** The [fig7] registry entry (additive item-price model). *)

@@ -18,5 +18,10 @@ val build_breakdown : Format.formatter -> Context.t -> unit
     per-query cost. Printed after Table 4 and by the conflict bench. *)
 
 val run_table4 : Format.formatter -> Context.t -> unit
+(** The [table4] registry entry (per-algorithm, per-workload seconds). *)
+
 val run_table5 : Format.formatter -> Context.t -> unit
+(** The [table5] registry entry (skewed: runtime vs support size). *)
+
 val run_table6 : Format.formatter -> Context.t -> unit
+(** The [table6] registry entry (SSB: runtime vs support size). *)

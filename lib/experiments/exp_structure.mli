@@ -4,4 +4,7 @@
     log-count histograms). *)
 
 val run_table3 : Format.formatter -> Context.t -> unit
+(** The [table3] registry entry (workload characteristics table). *)
+
 val run_fig4 : Format.formatter -> Context.t -> unit
+(** The [fig4] registry entry (edge-size distribution histograms). *)

@@ -14,4 +14,8 @@ val all : entry list
     §7.2 extensions (online learning, unique-item support). *)
 
 val find : string -> entry option
+(** Lookup by [id]; [None] for unknown ids (callers print {!ids}). *)
+
 val ids : string list
+(** The [id]s of {!all}, in order — for CLI validation and "unknown
+    id" messages. *)

@@ -59,6 +59,7 @@ let run_once ~specs h =
   let solved = Hashtbl.create 8 in
   List.map
     (fun (spec : Algorithms.spec) ->
+      Qp_obs.with_span ("algo." ^ spec.key) @@ fun () ->
       let t0 = Unix.gettimeofday () in
       let pricing =
         match
@@ -72,10 +73,18 @@ let run_once ~specs h =
       Hashtbl.replace solved spec.key pricing;
       let seconds = Unix.gettimeofday () -. t0 in
       let revenue = Pricing.revenue pricing h in
+      Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
       (spec.label, revenue, seconds))
     specs
 
 let run_cell ?jobs ?n_runs ~profile ~seed model instance =
+  Qp_obs.with_span "runner.cell"
+    ~args:(fun () ->
+      [
+        ("instance", Qp_obs.Str instance.Workload_instances.label);
+        ("model", Qp_obs.Str (Valuations.describe model));
+      ])
+  @@ fun () ->
   let specs = algorithms profile in
   let n_runs = Option.value n_runs ~default:(runs profile) in
   let rng = Rng.create seed in
@@ -87,6 +96,9 @@ let run_cell ?jobs ?n_runs ~profile ~seed model instance =
   let per_run =
     Qp_util.Parallel.map ?jobs
       (fun run ->
+        Qp_obs.with_span "runner.run"
+          ~args:(fun () -> [ ("run", Qp_obs.Int run) ])
+        @@ fun () ->
         let h =
           Valuations.apply
             ~rng:(Rng.split rng (Printf.sprintf "val-%d" run))

@@ -10,9 +10,20 @@ val profile_of_env : unit -> profile
     closer-to-paper settings). *)
 
 val runs : profile -> int
+(** Valuation draws averaged per cell: 1 for [Quick], 5 (the paper's
+    protocol) for [Full]. *)
+
 val lpip_options : profile -> Qp_core.Lpip.options
+(** LPIP options per profile: [Quick] caps the candidate sweep, [Full]
+    runs the paper's exact sweep. *)
+
 val cip_options : profile -> Qp_core.Cip.options
+(** CIP options per profile: [Quick] uses a coarse ε and a time
+    budget, [Full] the paper's ε = 0.25. *)
+
 val algorithms : profile -> Qp_core.Algorithms.spec list
+(** {!Qp_core.Algorithms.all} specialized to the profile's LPIP/CIP
+    options. *)
 
 type measurement = {
   algorithm : string;

@@ -33,20 +33,28 @@ type support_strategy = Uniform_support | Query_aware
 val skewed :
   ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
   unit -> t
+(** The paper's skewed synthetic workload: Zipfian point/range queries
+    over a synthetic star schema (986 queries at [Default] scale). *)
 
 val uniform :
   ?scale:scale -> ?strategy:support_strategy -> ?support:int -> ?m:int ->
   seed:int -> unit -> t
+(** The uniform synthetic workload ([m] overrides the query count). *)
 
 val tpch :
   ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
   unit -> t
+(** The TPC-H query templates over a sampled TPC-H database. *)
 
 val ssb :
   ?scale:scale -> ?strategy:support_strategy -> ?support:int -> seed:int ->
   unit -> t
+(** The Star Schema Benchmark query flights over a sampled SSB
+    database — the slowest build of the four. *)
 
 val keys : string list
+(** ["skewed"; "uniform"; "tpch"; "ssb"] — the builder keys accepted
+    by {!build} and {!Context.instance}. *)
 
 val build :
   string -> ?scale:scale -> ?strategy:support_strategy -> ?support:int ->

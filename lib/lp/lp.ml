@@ -54,6 +54,10 @@ let dense_of_terms nvars terms =
   a
 
 let solve ?max_pivots p =
+  Qp_obs.with_span "lp.solve"
+    ~args:(fun () ->
+      [ ("vars", Qp_obs.Int p.nvars); ("constraints", Qp_obs.Int p.nrows) ])
+  @@ fun () ->
   let nvars = p.nvars in
   let sign = if p.minimize then -1.0 else 1.0 in
   let c = Array.make nvars 0.0 in

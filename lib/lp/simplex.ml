@@ -26,12 +26,14 @@ type tableau = {
   basis : int array;
   art_first : int; (* index of the first artificial column *)
   mutable pivots : int;
+  mutable degenerate : int; (* pivots whose leaving row had rhs ~ 0 *)
   max_pivots : int;
 }
 
 let pivot t r col =
   let row = t.rows.(r) in
   let p = row.(col) in
+  if Float.abs row.(t.ncols) <= eps then t.degenerate <- t.degenerate + 1;
   for j = 0 to t.ncols do
     row.(j) <- row.(j) /. p
   done;
@@ -128,6 +130,9 @@ let run_phase t ~allowed =
 let solve ?(max_pivots = 50_000) ~c ~rows () =
   let nvars = Array.length c in
   let nrows = Array.length rows in
+  Qp_obs.with_span "simplex.solve"
+    ~args:(fun () -> [ ("rows", Qp_obs.Int nrows); ("vars", Qp_obs.Int nvars) ])
+  @@ fun () ->
   Array.iter (fun (a, _) -> assert (Array.length a = nvars)) rows;
   let negated = Array.map (fun (_, b) -> b < 0.0) rows in
   let n_art = Array.fold_left (fun acc n -> if n then acc + 1 else acc) 0 negated in
@@ -144,9 +149,15 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
       basis = Array.make nrows 0;
       art_first;
       pivots = 0;
+      degenerate = 0;
       max_pivots;
     }
   in
+  Qp_obs.counter "simplex.solves" 1;
+  if Qp_obs.enabled () then begin
+    Qp_obs.gauge_max "simplex.max_rows" (Float.of_int nrows);
+    Qp_obs.gauge_max "simplex.max_cols" (Float.of_int ncols)
+  end;
   let next_art = ref art_first in
   Array.iteri
     (fun i (a, b) ->
@@ -212,6 +223,8 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
       end
     end
   in
+  let phase1_pivots = t.pivots in
+  let outcome =
   if not feasible then Infeasible
   else begin
     (* Phase 2: rebuild reduced costs for the real objective under the
@@ -241,3 +254,18 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
         let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
         Optimal { objective = t.obj_val; primal; dual }
   end
+  in
+  Qp_obs.counter "simplex.pivots" t.pivots;
+  Qp_obs.annotate (fun () ->
+      [
+        ("phase1_pivots", Qp_obs.Int phase1_pivots);
+        ("phase2_pivots", Qp_obs.Int (t.pivots - phase1_pivots));
+        ("degenerate_pivots", Qp_obs.Int t.degenerate);
+        ( "outcome",
+          Qp_obs.Str
+            (match outcome with
+            | Optimal _ -> "optimal"
+            | Unbounded -> "unbounded"
+            | Infeasible -> "infeasible") );
+      ]);
+  outcome

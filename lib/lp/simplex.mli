@@ -33,4 +33,10 @@ val solve :
 (** [solve ~c ~rows ()] maximizes [c . x] over [{x >= 0 | a_i . x <= b_i}]
     for [(a_i, b_i)] in [rows]. Every [a_i] must have the same length as
     [c]. [max_pivots] (default [50_000]) bounds the total pivot count;
-    exceeding it raises [Failure]. *)
+    exceeding it raises [Failure].
+
+    When {!Qp_obs} tracing is enabled, every solve records a
+    ["simplex.solve"] span carrying the tableau dimensions on open and
+    phase-1/phase-2 pivot counts, degenerate pivots (leaving row with a
+    ~0 rhs) and the outcome on close, plus the ["simplex.solves"] /
+    ["simplex.pivots"] counters and tableau-size gauges. *)

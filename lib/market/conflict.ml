@@ -29,14 +29,29 @@ let conflict_set db q deltas =
    [deltas] are only read. The task's return value is a pure function
    of (db, query, deltas) — scheduling cannot influence it. *)
 let build_row db deltas (q, valuation) =
+  Qp_obs.with_span "conflict.query"
+    ~args:(fun () -> [ ("query", Qp_obs.Str q.Query.name) ])
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let prep = Delta_eval.prepare db q in
   let items = conflict_set_prepared prep deltas in
+  Qp_obs.annotate (fun () ->
+      [
+        ("strategy", Qp_obs.Str (Delta_eval.strategy_name prep));
+        ("conflicts", Qp_obs.Int (Array.length items));
+      ]);
   ( (q.Query.name, items, valuation),
     Delta_eval.strategy_name prep,
     Unix.gettimeofday () -. t0 )
 
 let hypergraph ?on_progress ?jobs db valued_queries deltas =
+  Qp_obs.with_span "conflict.build"
+    ~args:(fun () ->
+      [
+        ("queries", Qp_obs.Int (List.length valued_queries));
+        ("support", Qp_obs.Int (Array.length deltas));
+      ])
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let rows = Array.of_list valued_queries in
   let total = Array.length rows in
@@ -79,6 +94,15 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
+  (* The stats record predates the tracing layer and remains the bench
+     API; mirror its deterministic fields onto the span so traces are
+     self-contained (elapsed/busy stay wall-clock-only). *)
+  Qp_obs.annotate (fun () ->
+      ("fallback_queries", Qp_obs.Int stats.fallback_queries)
+      :: List.map
+           (fun (name, n) -> ("strategy_" ^ name, Qp_obs.Int n))
+           strategies);
+  Qp_obs.counter "conflict.queries" total;
   (h, stats)
 
 let query_time_histogram ?buckets stats =

@@ -1,0 +1,299 @@
+(* Unified tracing and metrics for the pricing pipeline.
+
+   Determinism discipline: events are recorded into per-domain buffers
+   (Domain.DLS); a parallel section captures each task's events into a
+   private buffer ([capture]) and the caller splices them back in task
+   order ([splice]) — the same index-ordered merge Qp_util.Parallel
+   applies to results. The *structure* of the trace (span labels,
+   nesting, order, args, counters, gauges) is therefore a pure function
+   of the work, independent of QP_JOBS; only timestamps vary from run
+   to run. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ev =
+  | Span_begin of { label : string; args : (string * arg) list; ts : float }
+  | Span_end of { ts : float; args : (string * arg) list }
+  | Instant of { label : string; args : (string * arg) list; ts : float }
+
+type buf = { mutable events : ev list (* newest first *) }
+
+(* Per-domain recording state. [cur] is the buffer events append to;
+   [pending] holds one end-args accumulator per open span, innermost
+   first, so [annotate] can attach measurements to the span being
+   closed. *)
+type dstate = {
+  mutable cur : buf;
+  mutable pending : (string * arg) list ref list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Trace epoch: timestamps are seconds since [set_enabled true] /
+   [reset], exported as microseconds. *)
+let epoch = ref 0.0
+let now () = Unix.gettimeofday () -. !epoch
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cur = { events = [] }; pending = [] })
+
+let state () = Domain.DLS.get dls
+
+(* Counters are monotonic integer sums; integer addition is commutative
+   and associative, so the totals are deterministic under any worker
+   interleaving. Gauges record the maximum observed value — the only
+   order-free aggregation for a "high-water mark" style metric. *)
+let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+let metrics_mu = Mutex.create ()
+
+let set_enabled on =
+  if on && not (enabled ()) then epoch := Unix.gettimeofday ();
+  Atomic.set enabled_flag on
+
+let reset () =
+  let st = state () in
+  st.cur <- { events = [] };
+  st.pending <- [];
+  Mutex.lock metrics_mu;
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset gauges_tbl;
+  Mutex.unlock metrics_mu;
+  epoch := Unix.gettimeofday ()
+
+let with_span ?args label f =
+  if not (enabled ()) then f ()
+  else begin
+    let st = state () in
+    let bargs = match args with None -> [] | Some g -> g () in
+    st.cur.events <- Span_begin { label; args = bargs; ts = now () } :: st.cur.events;
+    let endargs = ref [] in
+    st.pending <- endargs :: st.pending;
+    Fun.protect
+      ~finally:(fun () ->
+        (st.pending <- (match st.pending with _ :: tl -> tl | [] -> []));
+        st.cur.events <-
+          Span_end { ts = now (); args = !endargs } :: st.cur.events)
+      f
+  end
+
+let annotate args =
+  if enabled () then
+    let st = state () in
+    match st.pending with
+    | r :: _ -> r := !r @ args ()
+    | [] -> ()
+
+let event ?args label =
+  if enabled () then begin
+    let st = state () in
+    let eargs = match args with None -> [] | Some g -> g () in
+    st.cur.events <- Instant { label; args = eargs; ts = now () } :: st.cur.events
+  end
+
+let counter label n =
+  if enabled () then begin
+    Mutex.lock metrics_mu;
+    Hashtbl.replace counters_tbl label
+      (n + Option.value (Hashtbl.find_opt counters_tbl label) ~default:0);
+    Mutex.unlock metrics_mu
+  end
+
+let gauge_max label v =
+  if enabled () then begin
+    Mutex.lock metrics_mu;
+    (match Hashtbl.find_opt gauges_tbl label with
+    | Some old when old >= v -> ()
+    | _ -> Hashtbl.replace gauges_tbl label v);
+    Mutex.unlock metrics_mu
+  end
+
+(* --- capture / splice (the Parallel integration) --------------------- *)
+
+let empty_buf = { events = [] }
+
+let capture f =
+  if not (enabled ()) then (f (), empty_buf)
+  else begin
+    let st = state () in
+    let saved_cur = st.cur and saved_pending = st.pending in
+    let fresh = { events = [] } in
+    st.cur <- fresh;
+    st.pending <- [];
+    Fun.protect
+      ~finally:(fun () ->
+        st.cur <- saved_cur;
+        st.pending <- saved_pending)
+      (fun () ->
+        let r = f () in
+        (r, fresh))
+  end
+
+let splice b =
+  if enabled () && b.events <> [] then begin
+    let st = state () in
+    st.cur.events <- b.events @ st.cur.events
+  end
+
+(* --- introspection ---------------------------------------------------- *)
+
+let events_chronological () = List.rev (state ()).cur.events
+
+let span_count () =
+  List.fold_left
+    (fun acc ev -> match ev with Span_begin _ -> acc + 1 | _ -> acc)
+    0 (state ()).cur.events
+
+let counters () =
+  Mutex.lock metrics_mu;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [] in
+  Mutex.unlock metrics_mu;
+  List.sort compare l
+
+let gauges () =
+  Mutex.lock metrics_mu;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges_tbl [] in
+  Mutex.unlock metrics_mu;
+  List.sort compare l
+
+let arg_to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.17g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let args_to_string args =
+  String.concat " "
+    (List.map (fun (k, v) -> k ^ "=" ^ arg_to_string v) args)
+
+let structure () =
+  let b = Buffer.create 4096 in
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  (* Span_end args belong to the span just closed; re-print them on the
+     closing line only when non-empty so quiet spans stay one line. *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span_begin { label; args; _ } ->
+          Buffer.add_string b
+            (Printf.sprintf "%sspan %s%s\n" (indent ()) label
+               (match args with [] -> "" | l -> " [" ^ args_to_string l ^ "]"));
+          incr depth
+      | Span_end { args; _ } ->
+          (match args with
+          | [] -> ()
+          | l ->
+              Buffer.add_string b
+                (Printf.sprintf "%send [%s]\n" (indent ()) (args_to_string l)));
+          decr depth
+      | Instant { label; args; _ } ->
+          Buffer.add_string b
+            (Printf.sprintf "%sevent %s%s\n" (indent ()) label
+               (match args with [] -> "" | l -> " [" ^ args_to_string l ^ "]")))
+    (events_chronological ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "counter %s = %d\n" k v))
+    (counters ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "gauge %s = %.17g\n" k v))
+    (gauges ());
+  Buffer.contents b
+
+(* --- Chrome trace-event export ---------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int n -> string_of_int n
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.17g" f
+      else Printf.sprintf "\"%s\"" (Printf.sprintf "%h" f)
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ arg_json v) args)
+  ^ "}"
+
+let to_chrome_lines () =
+  let lines = ref [] in
+  let push l = lines := l :: !lines in
+  push
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"qpricing\"}}";
+  (* Spliced worker events carry wall-clock stamps that can run behind
+     the caller's; clamping to a monotone sequence keeps the merged
+     timeline well-formed for chrome://tracing without changing the
+     (deterministic) structure. *)
+  let last = ref 0.0 in
+  let mono ts =
+    let ts = Float.max ts !last in
+    last := ts;
+    ts *. 1e6
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span_begin { label; args; ts } ->
+          push
+            (Printf.sprintf
+               "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":%s}"
+               (mono ts) (json_escape label) (args_json args))
+      | Span_end { ts; args } ->
+          push
+            (Printf.sprintf
+               "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"args\":%s}"
+               (mono ts) (args_json args))
+      | Instant { label; args; ts } ->
+          push
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"s\":\"t\",\"name\":\"%s\",\"args\":%s}"
+               (mono ts) (json_escape label) (args_json args)))
+    (events_chronological ());
+  let final = !last *. 1e6 in
+  List.iter
+    (fun (k, v) ->
+      push
+        (Printf.sprintf
+           "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%d}}"
+           final (json_escape k) v))
+    (counters ());
+  List.iter
+    (fun (k, v) ->
+      push
+        (Printf.sprintf
+           "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%.17g}}"
+           final (json_escape k) v))
+    (gauges ());
+  List.rev !lines
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (to_chrome_lines ());
+  close_out oc

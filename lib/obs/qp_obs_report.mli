@@ -1,0 +1,38 @@
+(** Offline aggregation of {!Qp_obs} trace files.
+
+    Reads the Chrome trace-event JSONL written by
+    {!Qp_obs.write_chrome_trace} (tolerating the array form of the
+    Chrome format) and renders a self-time/total-time table per span
+    label with a nearest-rank latency summary (p50/p95/max), a duration
+    histogram for the hottest label, and the final counter and
+    instant-event totals — the [qpricing report] subcommand. *)
+
+type t
+(** An aggregated trace. *)
+
+(** Per-label span aggregate. Durations are inclusive (whole span);
+    [self_us] subtracts time spent in direct child spans. *)
+type span_stat = {
+  label : string;
+  count : int;
+  total_us : float;  (** sum of inclusive durations, microseconds *)
+  self_us : float;  (** [total_us] minus direct children, clamped at 0 *)
+  durations_us : float array;  (** one inclusive duration per span *)
+}
+
+val of_file : string -> (t, string) result
+(** Parse and aggregate a trace file; [Error] carries a message with
+    the offending line on malformed input. *)
+
+val spans : t -> span_stat list
+(** Aggregates per span label, in first-seen order. *)
+
+val counters : t -> (string * float) list
+(** Final counter samples ([ph:"C"]), sorted by label. *)
+
+val render : t -> string
+(** The human-readable report: span table sorted by self time, hottest
+    label's duration histogram, counters, instant-event counts. *)
+
+val report_file : string -> (string, string) result
+(** [of_file] followed by {!render}. *)

@@ -10,6 +10,13 @@ type trace = {
 }
 
 let run ?arrival ?(checkpoint_every = 0) ~rng ~rounds h policy =
+  Qp_obs.with_span "online.simulate"
+    ~args:(fun () ->
+      [
+        ("policy", Qp_obs.Str policy.Policy.name);
+        ("rounds", Qp_obs.Int rounds);
+      ])
+  @@ fun () ->
   let env = Environment.create ?arrival ~rng:(Rng.split rng "arrivals") h in
   let checkpoints = ref [] in
   for round = 1 to rounds do
@@ -17,11 +24,25 @@ let run ?arrival ?(checkpoint_every = 0) ~rng ~rounds h policy =
     let price = Policy.quote policy buyer.H.items in
     let sold = Environment.transact env buyer ~price in
     policy.Policy.observe ~items:buyer.H.items ~price ~sold;
+    (* One event per round: the price offered, whether it sold, and the
+       revenue collected so far — regret against an offline benchmark is
+       a post-processing step over these (see docs/OBSERVABILITY.md). *)
+    Qp_obs.event "online.round"
+      ~args:(fun () ->
+        [
+          ("round", Qp_obs.Int round);
+          ("price", Qp_obs.Float price);
+          ("sold", Qp_obs.Bool sold);
+          ("collected", Qp_obs.Float (Environment.revenue_collected env));
+        ]);
+    if sold then Qp_obs.counter "online.sales" 1;
     if
       checkpoint_every > 0
       && (round mod checkpoint_every = 0 || round = rounds)
     then checkpoints := (round, Environment.revenue_collected env) :: !checkpoints
   done;
+  Qp_obs.annotate (fun () ->
+      [ ("collected", Qp_obs.Float (Environment.revenue_collected env)) ]);
   {
     policy = policy.Policy.name;
     rounds;

@@ -32,6 +32,14 @@ let map_stats ?jobs f xs =
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let busy = Array.make jobs 0.0 in
+    (* When tracing is on, each task's events are captured into a
+       private buffer and spliced back in index order below, so the
+       trace structure matches the sequential run (Qp_obs's contract). *)
+    let traced = Qp_obs.enabled () in
+    let task x =
+      if traced then Qp_obs.capture (fun () -> f x)
+      else (f x, Qp_obs.empty_buf)
+    in
     (* Small chunks keep the pool busy when per-item cost is uneven
        (LPIP candidates near the top of the valuation order solve much
        smaller LPs than the bottom ones). *)
@@ -46,7 +54,7 @@ let map_stats ?jobs f xs =
           let t0 = Unix.gettimeofday () in
           (try
              for i = start to stop - 1 do
-               results.(i) <- Some (f xs.(i))
+               results.(i) <- Some (task xs.(i))
              done
            with e ->
              let bt = Printexc.get_raw_backtrace () in
@@ -70,8 +78,12 @@ let map_stats ?jobs f xs =
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    (Array.map (function Some v -> v | None -> assert false) results,
-     { jobs; busy })
+    let results =
+      Array.map (function Some v -> v | None -> assert false) results
+    in
+    if traced then
+      Array.iter (fun (_, b) -> Qp_obs.splice b) results;
+    (Array.map fst results, { jobs; busy })
   end
 
 let map ?jobs f xs = fst (map_stats ?jobs f xs)

@@ -15,7 +15,13 @@
 
     Nested calls from inside a worker run sequentially, so composing
     parallel layers (a parallel experiment cell whose algorithms are
-    themselves parallel) cannot oversubscribe the machine. *)
+    themselves parallel) cannot oversubscribe the machine.
+
+    When {!Qp_obs} tracing is enabled, each task runs under
+    {!Qp_obs.capture} and the captured event buffers are spliced back
+    into the caller's trace in index order after the pool drains — the
+    trace structure is bit-identical at any job count, by the same
+    merge discipline as the results. *)
 
 val default_jobs : unit -> int
 (** [QP_JOBS] when set to a positive integer, else

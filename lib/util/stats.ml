@@ -31,5 +31,16 @@ let percentile xs p =
     let frac = rank -. Float.of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
+(* Nearest-rank percentile: the ceil(p/100 * n)-th order statistic,
+   always an observed value — the convention latency summaries use
+   (a p95 that was never measured is misleading). *)
+let percentile_nearest xs p =
+  assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. Float.of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
 let minimum xs = Array.fold_left Float.min xs.(0) xs
 let maximum xs = Array.fold_left Float.max xs.(0) xs

@@ -11,6 +11,13 @@ val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation between
     order statistics. Requires a non-empty array. *)
 
+val percentile_nearest : float array -> float -> float
+(** Nearest-rank percentile: the [ceil (p/100 * n)]-th smallest element
+    (1-based), so the result is always an observed value — used for the
+    trace report's latency summaries. [p] in [0, 100]; requires a
+    non-empty array. [percentile_nearest xs 0.] is the minimum,
+    [percentile_nearest xs 100.] the maximum. *)
+
 val minimum : float array -> float
 val maximum : float array -> float
 val sum : float array -> float

@@ -2,7 +2,7 @@
    .mli files must carry a doc comment, either directly above it or in
    the item's own span (same line or before the next top-level item).
 
-   Run as:  ocaml scripts/check_mli_docs.ml lib/market lib/relational
+   Run as:  ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments
    Exits 1 listing every undocumented value. Wired into `make check`. *)
 
 let starts_with prefix s =
@@ -105,7 +105,7 @@ let () =
   let dirs =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as dirs) -> dirs
-    | _ -> [ "lib/market"; "lib/relational" ]
+    | _ -> [ "lib/market"; "lib/relational"; "lib/obs"; "lib/core"; "lib/experiments" ]
   in
   let failures = ref 0 in
   List.iter

@@ -1,0 +1,159 @@
+(* Tests for the Qp_obs tracing layer: the determinism contract (merged
+   span structure and counters bit-identical at any job count), the
+   zero-cost disabled mode, and the trace → report round trip. *)
+
+module Obs = Qp_obs
+module Report = Qp_obs_report
+module WI = Qp_experiments.Workload_instances
+module Runner = Qp_experiments.Runner
+module V = Qp_workloads.Valuations
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* Tracing state is global; every test that enables it must restore the
+   disabled default so the rest of the test binary runs untraced. *)
+let with_tracing f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* --- basic span mechanics -------------------------------------------- *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> Obs.event "tick");
+      Obs.annotate (fun () -> [ ("k", Obs.Int 7) ]));
+  let s = Obs.structure () in
+  Alcotest.(check int) "two spans" 2 (Obs.span_count ());
+  Alcotest.(check bool) "outer present" true
+    (contains s "span outer");
+  Alcotest.(check bool) "inner present" true
+    (contains s "  span inner");
+  Alcotest.(check bool) "event present" true
+    (contains s "event tick");
+  Alcotest.(check bool) "annotation lands on span end" true
+    (contains s "k=7")
+
+let test_span_end_on_exception () =
+  with_tracing @@ fun () ->
+  (try Obs.with_span "doomed" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  (* the span must still be closed: a second top-level span renders at
+     nesting depth 0, not inside the broken one *)
+  Obs.with_span "after" (fun () -> ());
+  let s = Obs.structure () in
+  Alcotest.(check bool) "later span at top level" true
+    (contains s "\nspan after"
+    || String.length s >= 10 && String.sub s 0 10 = "span after")
+
+let test_counters_and_gauges () =
+  with_tracing @@ fun () ->
+  Obs.counter "c" 2;
+  Obs.counter "c" 3;
+  Obs.gauge_max "g" 1.5;
+  Obs.gauge_max "g" 0.5;
+  Alcotest.(check (list (pair string int))) "counter sums" [ ("c", 5) ]
+    (Obs.counters ());
+  match Obs.gauges () with
+  | [ ("g", v) ] -> Alcotest.(check (float 1e-9)) "gauge is max" 1.5 v
+  | other ->
+      Alcotest.failf "unexpected gauges: %d entries" (List.length other)
+
+(* --- disabled mode ---------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let evaluated = ref false in
+  Obs.with_span "invisible"
+    ~args:(fun () ->
+      evaluated := true;
+      [ ("x", Obs.Int 1) ])
+    (fun () ->
+      Obs.event "ghost";
+      Obs.counter "n" 1;
+      Obs.gauge_max "m" 9.0);
+  Alcotest.(check int) "no spans recorded" 0 (Obs.span_count ());
+  Alcotest.(check (list (pair string int))) "no counters" []
+    (Obs.counters ());
+  Alcotest.(check bool) "no gauges" true (Obs.gauges () = []);
+  Alcotest.(check bool) "arg thunks never evaluated" false !evaluated
+
+(* --- determinism across job counts ------------------------------------ *)
+
+let tpch = lazy (WI.tpch ~scale:WI.Tiny ~support:60 ~seed:11 ())
+
+(* One full benchmark cell per job count; the merged span structure
+   (labels, nesting, args, counters, gauges — everything but
+   timestamps) must be bit-identical, PR-3's determinism discipline
+   extended to traces. *)
+let test_structure_bit_identical () =
+  let inst = Lazy.force tpch in
+  let trace jobs =
+    with_tracing @@ fun () ->
+    ignore
+      (Runner.run_cell ~jobs ~n_runs:2 ~profile:Runner.Quick ~seed:5
+         (V.Uniform_val 100.0) inst);
+    Obs.structure ()
+  in
+  let base = trace 1 in
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length base > 200
+    && contains base "span runner.cell"
+    && contains base "simplex.solve");
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "structure identical at jobs=%d" jobs)
+        base (trace jobs))
+    [ 2; 4 ]
+
+(* --- chrome export and report round trip ------------------------------ *)
+
+let test_report_round_trip () =
+  let path = Filename.temp_file "qp_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (with_tracing @@ fun () ->
+   (* the instance is built inside the traced window so the trace also
+      covers the conflict-set construction *)
+   let inst = WI.tpch ~scale:WI.Tiny ~support:60 ~seed:12 () in
+   ignore
+     (Runner.run_cell ~jobs:2 ~n_runs:1 ~profile:Runner.Quick ~seed:5
+        (V.Uniform_val 100.0) inst);
+   Obs.write_chrome_trace path);
+  match Report.of_file path with
+  | Error msg -> Alcotest.failf "report failed to parse trace: %s" msg
+  | Ok t ->
+      let labels = List.map (fun s -> s.Report.label) (Report.spans t) in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "aggregates %s" expected)
+            true (List.mem expected labels))
+        [ "runner.cell"; "simplex.solve"; "conflict.build" ];
+      Alcotest.(check bool) "simplex solves counted" true
+        (List.mem_assoc "simplex.solves" (Report.counters t));
+      let rendered = Report.render t in
+      Alcotest.(check bool) "table mentions self ms" true
+        (contains rendered "self ms")
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "obs",
+    [
+      t "span nesting and annotations" test_span_nesting;
+      t "span closed on exception" test_span_end_on_exception;
+      t "counters sum, gauges max" test_counters_and_gauges;
+      t "disabled mode records nothing" test_disabled_records_nothing;
+      t "cell structure bit-identical across job counts"
+        test_structure_bit_identical;
+      t "trace file → report round trip" test_report_round_trip;
+    ] )

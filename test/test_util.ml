@@ -165,6 +165,23 @@ let test_stats_percentile () =
   checkf "singleton" 7.0 (Stats.percentile [| 7.0 |] 50.0);
   checkf "unsorted input" 25.0 (Stats.percentile [| 40.; 10.; 30.; 20. |] 50.0)
 
+let test_stats_percentile_nearest () =
+  (* nearest-rank: the ceil(p/100 * n)-th order statistic — always an
+     element of the sample, unlike the interpolating [percentile] *)
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  checkf "p0 clamps to first" 10.0 (Stats.percentile_nearest xs 0.0);
+  checkf "p100" 40.0 (Stats.percentile_nearest xs 100.0);
+  checkf "p50 is 2nd of 4" 20.0 (Stats.percentile_nearest xs 50.0);
+  checkf "p51 is 3rd of 4" 30.0 (Stats.percentile_nearest xs 51.0);
+  checkf "p95 is 4th of 4" 40.0 (Stats.percentile_nearest xs 95.0);
+  checkf "p25 is 1st of 4" 10.0 (Stats.percentile_nearest xs 25.0);
+  checkf "singleton" 7.0 (Stats.percentile_nearest [| 7.0 |] 50.0);
+  checkf "unsorted input" 20.0
+    (Stats.percentile_nearest [| 40.; 10.; 30.; 20. |] 50.0);
+  (* 5-element median is the middle element exactly *)
+  checkf "odd-length median" 3.0
+    (Stats.percentile_nearest [| 5.; 4.; 3.; 2.; 1. |] 50.0)
+
 let test_stats_minmax () =
   checkf "min" 1.0 (Stats.minimum [| 3.; 1.; 2. |]);
   checkf "max" 3.0 (Stats.maximum [| 3.; 1.; 2. |]);
@@ -238,6 +255,7 @@ let suite =
       t "stats stddev (sample, regression)" test_stats_stddev;
       t "stats stddev degenerate sizes" test_stats_stddev_degenerate;
       t "stats percentile" test_stats_percentile;
+      t "stats percentile nearest-rank" test_stats_percentile_nearest;
       t "stats min/max/sum" test_stats_minmax;
       t "histogram counts" test_histogram_counts;
       t "histogram empty" test_histogram_empty;
