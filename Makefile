@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-json bench-conflict \
-        docs check-docs check examples clean
+.PHONY: all build test chaos bench bench-full bench-json bench-conflict \
+        docs check-docs check-failwith check examples clean
 
 all: build
 
@@ -11,6 +11,16 @@ build:
 test:
 	dune runtest
 
+# Chaos pass (see docs/ROBUSTNESS.md): first the chaos test suite
+# (deterministic schedules, degradation fallbacks, Bland's rule on
+# Beale's example), then one benchmark cell under a canned QP_FAULTS
+# schedule aggressive enough to trip every degradation path — the cell
+# must still complete, annotating each fallback with a "!" line.
+chaos:
+	dune exec test/main.exe -- test fault
+	QP_FAULTS="simplex.pivot:stall:p=0.02:seed=7, conflict.query:fail:p=0.2:seed=3" \
+	dune exec bin/qpricing.exe -- run skewed --scale tiny --support 100 --seed 9
+
 # Build API documentation (odoc, when installed; a no-op alias otherwise).
 docs:
 	dune build @doc
@@ -18,10 +28,15 @@ docs:
 # Every exported value in the market and relational interfaces must
 # carry a doc comment.
 check-docs:
-	ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments
+	ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments lib/fault
 
-# The full pre-merge gate: build, tests, doc coverage.
-check: build test check-docs
+# No stringly failures (failwith / Failure catches) in the solver and
+# algorithm layers — see docs/ROBUSTNESS.md.
+check-failwith:
+	ocaml scripts/check_no_failwith.ml lib/lp lib/core
+
+# The full pre-merge gate: build, tests, doc coverage, failure lint.
+check: build test check-docs check-failwith
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:

@@ -38,11 +38,42 @@ let git_commit () =
     | _ -> "unknown"
   with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
+(* The robustness state at write time: which fault specs are armed, how
+   often each site fired, and the degradation/retry counters (the latter
+   flow through Qp_obs, so they are empty unless tracing is on). A
+   BENCH_*.json from a chaos run is thereby self-describing — the
+   numbers can never be mistaken for a healthy run's. *)
+let faults_json () =
+  let prefixes =
+    [ "fault."; "degraded"; "lpip.lp_failures"; "cip.lp_failures";
+      "bounds.degraded"; "simplex.budget_exhausted"; "simplex.numerical_error";
+      "simplex.bland_engaged"; "parallel.task_failures"; "conflict.query_";
+      "runner.cell_" ]
+  in
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let counters =
+    List.filter
+      (fun (name, _) -> List.exists (fun p -> has_prefix p name) prefixes)
+      (Qp_obs.counters ())
+  in
+  let pairs kv l = String.concat ", " (List.map kv l) in
+  Printf.sprintf
+    "\"faults\": { \"specs\": [%s], \"injected\": { %s }, \"counters\": { %s } }"
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "%S" (Qp_fault.describe s))
+          (Qp_fault.specs ())))
+    (pairs (fun (site, n) -> Printf.sprintf "%S: %d" site n)
+       (Qp_fault.injections ()))
+    (pairs (fun (name, n) -> Printf.sprintf "%S: %d" name n) counters)
+
 let meta_json ctx =
   let tm = Unix.gmtime (Unix.time ()) in
   Printf.sprintf
     "\"meta\": { \"git_commit\": %S, \"qp_jobs\": %d, \"profile\": %S, \
-     \"timestamp\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\" }"
+     \"timestamp\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\", %s }"
     (git_commit ())
     (Qp_util.Parallel.default_jobs ())
     (match Context.profile ctx with
@@ -50,6 +81,7 @@ let meta_json ctx =
     | Qp_experiments.Runner.Full -> "full")
     (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
     tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    (faults_json ())
 
 let run_experiments ctx entries =
   let fmt = Format.std_formatter in
@@ -175,13 +207,13 @@ let conflict_bench ~meta ctx =
     String.concat ", "
       (Array.to_list (Array.map (Printf.sprintf "%.6f") a))
   in
-  Printf.fprintf oc "{\n  %s,\n  \"jobs_n\": %d,\n  \"workloads\": [" meta
+  Printf.fprintf oc "{\n  %s,\n  \"jobs_n\": %d,\n  \"workloads\": [" (meta ())
     jobs_n;
   List.iteri
     (fun i (key, (s1 : C.stats), (sn : C.stats)) ->
       Printf.fprintf oc
         "%s\n    { \"workload\": %S, \"queries\": %d, \"support\": %d,\n\
-        \      \"fallback_queries\": %d,\n\
+        \      \"fallback_queries\": %d, \"failed_queries\": %d,\n\
         \      \"strategies\": { %s },\n\
         \      \"seconds_jobs_1\": %.6f, \"seconds_jobs_n\": %.6f,\n\
         \      \"speedup\": %.3f, \"jobs_used\": %d,\n\
@@ -189,6 +221,7 @@ let conflict_bench ~meta ctx =
         \      \"query_seconds_mean\": %.6f, \"query_seconds_max\": %.6f }"
         (if i = 0 then "" else ",")
         key sn.C.queries sn.C.support sn.C.fallback_queries
+        (List.length sn.C.failed_queries)
         (String.concat ", "
            (List.map
               (fun (name, n) -> Printf.sprintf "%S: %d" name n)
@@ -263,7 +296,7 @@ let parallel_bench ~meta ctx =
       [ ("lpip", lpip); ("cip", cip); ("capped", capped); ("runner-cell", cell) ]
   in
   let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc "{\n  %s,\n  \"jobs\": %d,\n  \"algorithms\": [" meta
+  Printf.fprintf oc "{\n  %s,\n  \"jobs\": %d,\n  \"algorithms\": [" (meta ())
     jobs_n;
   List.iteri
     (fun i (name, t1, tn) ->
@@ -328,7 +361,9 @@ let () =
     | ids -> List.filter_map Registry.find ids
   in
   let ctx = Context.create () in
-  let meta = meta_json ctx in
+  (* Evaluated at each BENCH_*.json write, not once upfront, so the
+     injection tallies reflect everything that ran before the file. *)
+  let meta () = meta_json ctx in
   (match trace with
   | None -> ()
   | Some _ ->

@@ -71,6 +71,25 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let inject_arg =
+  let doc =
+    "Arm a deterministic fault (repeatable; adds to QP_FAULTS). $(docv) is \
+     SITE:KIND[:p=F][:nth=N][:seed=N] — sites: simplex.pivot, parallel.task, \
+     conflict.query, runner.cell; kinds: fail, nan, stall. See \
+     docs/ROBUSTNESS.md."
+  in
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let set_injections specs =
+  List.iter
+    (fun spec ->
+      match Qp_fault.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "--inject: %s\n" msg;
+          exit 2)
+    specs
+
 (* Tracing wraps the whole command so the trace also covers instance
    construction; the file is written even when the traced code raises,
    so a crashed run still leaves its evidence behind. *)
@@ -137,8 +156,9 @@ let list_cmd =
 (* --- inspect ---------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run workload scale support seed jobs trace =
+  let run workload scale support seed jobs inject trace =
     set_jobs jobs;
+    set_injections inject;
     with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
     let h = inst.WI.hypergraph in
@@ -160,7 +180,7 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Build a workload's pricing instance and print it.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ jobs_arg $ trace_arg)
+          $ jobs_arg $ inject_arg $ trace_arg)
 
 (* --- price ------------------------------------------------------------ *)
 
@@ -170,8 +190,9 @@ let price_cmd =
     Arg.(value & opt (enum keys) "all"
          & info [ "algorithm"; "a" ] ~doc:"Algorithm key, or 'all'.")
   in
-  let run workload scale support seed model algorithm profile jobs trace =
+  let run workload scale support seed model algorithm profile jobs inject trace =
     set_jobs jobs;
+    set_injections inject;
     with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
     let h = V.apply ~rng:(Rng.create seed) model inst.WI.hypergraph in
@@ -204,38 +225,48 @@ let price_cmd =
     (Cmd.info "price"
        ~doc:"Run pricing algorithms on a workload under a valuation model.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg $ trace_arg)
+          $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg $ inject_arg
+          $ trace_arg)
 
 (* --- run: one full benchmark cell ------------------------------------ *)
 
 let run_cmd =
-  let run workload scale support seed model profile jobs trace =
+  let run workload scale support seed model profile jobs inject trace =
     set_jobs jobs;
+    set_injections inject;
     with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
     let t0 = Unix.gettimeofday () in
-    let cell =
-      Runner.run_cell ~profile ~seed model inst
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    Printf.printf "%s under %s (%d run%s, %.1fs):\n" cell.Runner.instance
-      cell.Runner.model
-      (Runner.runs profile)
-      (if Runner.runs profile = 1 then "" else "s")
-      dt;
-    print_string
-      (Qp_util.Text_table.render
-         ~header:[ "algorithm"; "revenue"; "normalized"; "seconds" ]
-         (List.map
-            (fun (m : Runner.measurement) ->
-              [
-                m.Runner.algorithm;
-                Printf.sprintf "%.2f" m.Runner.revenue;
-                Printf.sprintf "%.3f" m.Runner.normalized;
-                Printf.sprintf "%.3f" m.Runner.seconds;
-              ])
-            cell.Runner.measurements));
-    Printf.printf "subadd-bound (normalized) %.3f\n" cell.Runner.subadditive
+    match Runner.run_cell_result ~profile ~seed model inst with
+    | Error f ->
+        Printf.eprintf "%s\n" (Runner.pp_cell_failure f);
+        exit 1
+    | Ok cell ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "%s under %s (%d run%s, %.1fs):\n" cell.Runner.instance
+          cell.Runner.model
+          (Runner.runs profile)
+          (if Runner.runs profile = 1 then "" else "s")
+          dt;
+        print_string
+          (Qp_util.Text_table.render
+             ~header:[ "algorithm"; "revenue"; "normalized"; "seconds" ]
+             (List.map
+                (fun (m : Runner.measurement) ->
+                  [
+                    m.Runner.algorithm;
+                    Printf.sprintf "%.2f" m.Runner.revenue;
+                    Printf.sprintf "%.3f" m.Runner.normalized;
+                    Printf.sprintf "%.3f" m.Runner.seconds;
+                  ])
+                cell.Runner.measurements));
+        List.iter
+          (fun (m : Runner.measurement) ->
+            match m.Runner.degraded with
+            | None -> ()
+            | Some d -> Printf.printf "! %s: %s\n" m.Runner.algorithm d)
+          cell.Runner.measurements;
+        Printf.printf "subadd-bound (normalized) %.3f\n" cell.Runner.subadditive
   in
   Cmd.v
     (Cmd.info "run"
@@ -245,7 +276,7 @@ let run_cmd =
           --trace, the cell's full execution (conflict-set build, every \
           algorithm, every simplex solve) is recorded.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
-          $ model_arg $ profile_arg $ jobs_arg $ trace_arg)
+          $ model_arg $ profile_arg $ jobs_arg $ inject_arg $ trace_arg)
 
 (* --- report: aggregate a trace file ----------------------------------- *)
 
@@ -333,8 +364,9 @@ let experiment_cmd =
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids profile seed jobs trace =
+  let run ids profile seed jobs inject trace =
     set_jobs jobs;
+    set_injections inject;
     with_trace trace @@ fun () ->
     let ctx = Context.create ~profile ~seed () in
     let entries =
@@ -359,7 +391,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (all, or by id).")
-    Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg $ inject_arg
+          $ trace_arg)
 
 (* --- demo ------------------------------------------------------------- *)
 

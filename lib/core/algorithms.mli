@@ -6,6 +6,10 @@ type spec = {
   key : string;  (** short machine name, e.g. ["lpip"] *)
   label : string;  (** the paper's display name, e.g. ["LPIP"] *)
   solve : Hypergraph.t -> Pricing.t;
+  solve_report : Hypergraph.t -> Pricing.t * Degrade.marker option;
+      (** like [solve], also reporting whether the algorithm degraded to
+          a fallback pricing (always [None] for the purely combinatorial
+          algorithms — UBP, UIP, Layering) *)
 }
 
 val all :

@@ -10,6 +10,14 @@ type options = {
 let default_options =
   { epsilon = 0.25; max_pivots = 200_000; time_budget = None; jobs = None }
 
+type report = {
+  pricing : Pricing.t;
+  solved : int;
+  attempted : int;
+  failures : (string * int) list;
+  degraded : Degrade.marker option;
+}
+
 let capacity_grid ~epsilon ~max_degree =
   assert (epsilon > 0.0);
   let b = Float.of_int max_degree in
@@ -57,11 +65,10 @@ let prices_for_capacity ~max_pivots h k =
           | None -> ())
         y;
       Qp_obs.counter "cip.rounded_weights" !rounded;
-      Some (Hypergraph.spread_class_weights h w_class)
-  | Error _ -> None
-  | exception Failure _ -> None
+      Ok (Hypergraph.spread_class_weights h w_class)
+  | Error e -> Error e
 
-let solve_with_trace ?(options = default_options) h =
+let solve_report ?(options = default_options) h =
   Qp_obs.with_span "cip.solve"
     ~args:(fun () ->
       [
@@ -91,39 +98,70 @@ let solve_with_trace ?(options = default_options) h =
         if not (in_budget ()) then begin
           Qp_obs.event "cip.capacity_skipped"
             ~args:(fun () -> [ ("k", Qp_obs.Float k) ]);
-          None
+          `Skipped
         end
         else
           Qp_obs.with_span "cip.capacity"
             ~args:(fun () -> [ ("k", Qp_obs.Float k) ])
           @@ fun () ->
           match prices_for_capacity ~max_pivots:options.max_pivots h k with
-          | None -> None
-          | Some w ->
+          | Error e ->
+              Qp_obs.annotate (fun () ->
+                  [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
+              `Failed e
+          | Ok w ->
               let pricing = Pricing.Item w in
               let revenue = Pricing.revenue pricing h in
               Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
-              Some (pricing, revenue))
+              `Solved (pricing, revenue))
       (Array.of_list grid)
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
   let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
-  let solved = ref 0 in
+  let solved = ref 0 and errors = ref [] in
   Array.iter
     (function
-      | None -> ()
-      | Some (pricing, revenue) ->
+      | `Skipped -> ()
+      | `Failed e -> errors := e :: !errors
+      | `Solved (pricing, revenue) ->
           incr solved;
           if revenue > !best_revenue then begin
             best := pricing;
             best_revenue := revenue
           end)
     solutions;
+  let failures = Degrade.tally_failures (List.rev !errors) in
+  if !errors <> [] then Qp_obs.counter "cip.lp_failures" (List.length !errors);
+  (* Degradation: only when every attempted welfare LP failed does the
+     zero pricing misrepresent CIP — fall back to UBP (the guarantee CIP
+     is built on) and mark it. An all-skipped grid (time budget hit
+     before the first capacity) keeps the legacy zero pricing: nothing
+     failed, the sweep just never ran. *)
+  let pricing, degraded =
+    if !solved = 0 && failures <> [] then
+      ( Ubp.solve h,
+        Some
+          (Degrade.record
+             (Degrade.make ~algorithm:"cip" ~fallback:"ubp"
+                ~reason:("all welfare LPs failed: " ^ Degrade.pp_tally failures))) )
+    else (!best, None)
+  in
   Qp_obs.annotate (fun () ->
       [
         ("solved", Qp_obs.Int !solved);
+        ("failed", Qp_obs.Int (List.length !errors));
         ("best_revenue", Qp_obs.Float !best_revenue);
       ]);
-  (!best, !solved)
+  {
+    pricing;
+    solved = !solved;
+    attempted = Array.length solutions;
+    failures;
+    degraded;
+  }
 
-let solve ?options h = fst (solve_with_trace ?options h)
+let solve_with_trace ?options h =
+  let r = solve_report ?options h in
+  (r.pricing, r.solved)
+
+let solve ?options h = (solve_report ?options h).pricing

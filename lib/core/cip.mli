@@ -32,6 +32,18 @@ val default_options : options
 val capacity_grid : epsilon:float -> max_degree:int -> float list
 (** [1, (1+ε), (1+ε)^2, ..., B] (deduplicated, always ends at [B]). *)
 
+type report = {
+  pricing : Pricing.t;
+  solved : int;  (** welfare LPs that reached an optimum *)
+  attempted : int;  (** grid points attempted (including skipped) *)
+  failures : (string * int) list;
+      (** LP failures by {!Qp_lp.Lp.error_tag}, sorted *)
+  degraded : Degrade.marker option;
+      (** set iff every attempted welfare LP failed and the result is
+          the UBP fallback pricing instead of an LP-derived one *)
+}
+(** Outcome of the capacity sweep with its health attached. *)
+
 val solve : ?options:options -> Hypergraph.t -> Pricing.t
 (** Best item pricing over the capacity grid; each grid point is
     recorded as a [cip.capacity] span (or a [cip.capacity_skipped]
@@ -40,3 +52,11 @@ val solve : ?options:options -> Hypergraph.t -> Pricing.t
 
 val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
 (** Also reports how many welfare LPs were solved. *)
+
+val solve_report : ?options:options -> Hypergraph.t -> report
+(** Like {!solve}, returning the full sweep health. When every
+    attempted welfare LP fails ([solved = 0], [failures] non-empty) the
+    pricing degrades to {!Ubp.solve} with a recorded {!Degrade.marker};
+    partial failures keep the best solved capacity and only populate
+    [failures] (plus the ["cip.lp_failures"] counter). An all-skipped
+    grid (time budget exhausted up front) is not a degradation. *)

@@ -85,7 +85,6 @@ let solve_must_sell ?(max_pivots = 200_000) ?(collapse = true) h ~edge_ids =
         var_of_class;
       Qp_obs.counter "class_lp.rounded_weights" !rounded;
       (match members_first with
-      | `Collapsed -> Some (Hypergraph.spread_class_weights h w_class)
-      | `Identity -> Some w_class)
-  | Error _ -> None
-  | exception Failure _ -> None
+      | `Collapsed -> Ok (Hypergraph.spread_class_weights h w_class)
+      | `Identity -> Ok w_class)
+  | Error e -> Error e

@@ -14,9 +14,11 @@
 
 val solve_must_sell :
   ?max_pivots:int -> ?collapse:bool -> Hypergraph.t -> edge_ids:int list ->
-  float array option
-(** Per-item weights, or [None] when the simplex exceeded its pivot
-    budget. The LP itself is always feasible (w = 0) and bounded.
-    [collapse] (default true) enables the membership-class variable
-    aggregation; disabling it reproduces the naive one-variable-per-item
-    LP and exists for the ablation bench. *)
+  (float array, Qp_lp.Lp.error) result
+(** Per-item weights, or the LP failure verbatim. The LP itself is
+    always feasible (w = 0) and bounded, so in practice an [Error] is a
+    solver give-up ([Budget_exhausted] / [Numerical_error]) — callers
+    must treat it as "unknown", never as infeasibility. [collapse]
+    (default true) enables the membership-class variable aggregation;
+    disabling it reproduces the naive one-variable-per-item LP and
+    exists for the ablation bench. *)

@@ -1,0 +1,35 @@
+(** Structured graceful-degradation markers.
+
+    When an LP-based algorithm cannot produce its intended pricing
+    (solver budget exhausted, numerical failure, every sweep LP failed),
+    it falls back to a cheaper combinatorial pricing and returns one of
+    these markers alongside the result, so callers — the experiment
+    runner, the CLI, bench metadata — can report {e which} algorithm
+    degraded, {e to what}, and {e why}, instead of silently presenting
+    fallback numbers as the real thing. The degradation matrix (which
+    failure falls back to what) is documented in [docs/ROBUSTNESS.md]. *)
+
+type marker = {
+  algorithm : string;  (** the algorithm that degraded, e.g. ["lpip"] *)
+  fallback : string;  (** what it fell back to, e.g. ["uip"] *)
+  reason : string;  (** one-line cause, e.g. the LP failure tally *)
+}
+
+val make : algorithm:string -> fallback:string -> reason:string -> marker
+(** Plain constructor. *)
+
+val record : marker -> marker
+(** Surface a degradation through {!Qp_obs} — a
+    ["degraded.<algorithm>"] counter and a ["degraded"] event carrying
+    the marker fields — and return it, so call sites can record and
+    store in one expression. *)
+
+val describe : marker -> string
+(** One-line human-readable rendering. *)
+
+val tally_failures : Qp_lp.Lp.error list -> (string * int) list
+(** Aggregate LP failures by {!Qp_lp.Lp.error_tag} into sorted
+    [(tag, count)] pairs for structured sweep reports. *)
+
+val pp_tally : (string * int) list -> string
+(** Render a tally as ["budget_exhausted x3, numerical_error x1"]. *)

@@ -6,6 +6,14 @@ type options = {
 
 let default_options = { max_candidates = None; max_pivots = 200_000; jobs = None }
 
+type report = {
+  pricing : Pricing.t;
+  solved : int;
+  attempted : int;
+  failures : (string * int) list;
+  degraded : Degrade.marker option;
+}
+
 (* Subsample n of the candidates (sorted by descending valuation):
    half taken geometrically from the top ranks — where the optimum
    usually lives, since high thresholds mean few must-sell constraints —
@@ -32,7 +40,7 @@ let evenly_spaced n xs =
     |> List.map (fun i -> arr.(i))
   end
 
-let solve_with_trace ?(options = default_options) h =
+let solve_report ?(options = default_options) h =
   Qp_obs.with_span "lpip.solve"
     ~args:(fun () -> [ ("edges", Qp_obs.Int (Hypergraph.m h)) ])
   @@ fun () ->
@@ -80,32 +88,62 @@ let solve_with_trace ?(options = default_options) h =
           Class_lp.solve_must_sell ~max_pivots:options.max_pivots h
             ~edge_ids:must_sell
         with
-        | None -> None
-        | Some w ->
+        | Error e ->
+            Qp_obs.annotate (fun () ->
+                [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
+            `Failed e
+        | Ok w ->
             let pricing = Pricing.Item w in
             let revenue = Pricing.revenue pricing h in
             Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
-            Some (pricing, revenue))
+            `Solved (pricing, revenue))
       (Array.of_list candidates)
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
   let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
-  let solved = ref 0 in
+  let solved = ref 0 and errors = ref [] in
   Array.iter
     (function
-      | None -> ()
-      | Some (pricing, revenue) ->
+      | `Failed e -> errors := e :: !errors
+      | `Solved (pricing, revenue) ->
           incr solved;
           if revenue > !best_revenue then begin
             best := pricing;
             best_revenue := revenue
           end)
     solutions;
+  let failures = Degrade.tally_failures (List.rev !errors) in
+  if !errors <> [] then Qp_obs.counter "lpip.lp_failures" (List.length !errors);
+  (* Degradation: the candidate sweep is only meaningless when {e no} LP
+     solved at all — then the zero pricing would misread as "LPIP earns
+     nothing", so fall back to UIP (the combinatorial item pricing LPIP
+     dominates when healthy) and say so. Partial failures keep the
+     best-of-solved result, reported in [failures]. *)
+  let pricing, degraded =
+    if !solved = 0 && failures <> [] then
+      ( Uip.solve h,
+        Some
+          (Degrade.record
+             (Degrade.make ~algorithm:"lpip" ~fallback:"uip"
+                ~reason:("all candidate LPs failed: " ^ Degrade.pp_tally failures))) )
+    else (!best, None)
+  in
   Qp_obs.annotate (fun () ->
       [
         ("solved", Qp_obs.Int !solved);
+        ("failed", Qp_obs.Int (List.length !errors));
         ("best_revenue", Qp_obs.Float !best_revenue);
       ]);
-  (!best, !solved)
+  {
+    pricing;
+    solved = !solved;
+    attempted = Array.length solutions;
+    failures;
+    degraded;
+  }
 
-let solve ?options h = fst (solve_with_trace ?options h)
+let solve_with_trace ?options h =
+  let r = solve_report ?options h in
+  (r.pricing, r.solved)
+
+let solve ?options h = (solve_report ?options h).pricing

@@ -24,6 +24,18 @@ type options = {
 val default_options : options
 (** No candidate cap, 200k pivots per LP, pool size from [QP_JOBS]. *)
 
+type report = {
+  pricing : Pricing.t;
+  solved : int;  (** candidate LPs that reached an optimum *)
+  attempted : int;  (** candidate LPs attempted *)
+  failures : (string * int) list;
+      (** LP failures by {!Qp_lp.Lp.error_tag}, sorted *)
+  degraded : Degrade.marker option;
+      (** set iff every candidate LP failed and the result is the UIP
+          fallback pricing instead of an LP-derived one *)
+}
+(** Outcome of the candidate sweep with its health attached. *)
+
 val solve : ?options:options -> Hypergraph.t -> Pricing.t
 (** Best item pricing over the candidate sweep; each candidate is
     recorded as an [lpip.candidate] span under an [lpip.solve] span
@@ -31,3 +43,10 @@ val solve : ?options:options -> Hypergraph.t -> Pricing.t
 
 val solve_with_trace : ?options:options -> Hypergraph.t -> Pricing.t * int
 (** Also reports how many LPs were solved. *)
+
+val solve_report : ?options:options -> Hypergraph.t -> report
+(** Like {!solve}, returning the full sweep health. When every
+    candidate LP fails ([solved = 0], [failures] non-empty) the pricing
+    degrades to {!Uip.solve} with a recorded {!Degrade.marker}; partial
+    failures keep the best solved candidate and only populate
+    [failures] (plus the ["lpip.lp_failures"] counter). *)

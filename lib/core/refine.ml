@@ -3,5 +3,10 @@ let refine_ubp ?(max_pivots = 200_000) h =
   let sold = Pricing.sold_edges ubp h in
   let edge_ids = List.map (fun (e : Hypergraph.edge) -> e.id) sold in
   match Class_lp.solve_must_sell ~max_pivots h ~edge_ids with
-  | Some w -> Pricing.Item w
-  | None -> ubp
+  | Ok w -> Pricing.Item w
+  | Error e ->
+      ignore
+        (Degrade.record
+           (Degrade.make ~algorithm:"refine" ~fallback:"ubp"
+              ~reason:(Qp_lp.Lp.describe_error e)));
+      ubp

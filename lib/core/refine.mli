@@ -7,5 +7,6 @@
 val refine_ubp : ?max_pivots:int -> Hypergraph.t -> Pricing.t
 (** Runs {!Ubp.solve}, takes its sold set [S], and returns the item
     pricing maximizing the revenue of [S] (other edges may additionally
-    sell). Falls back to the plain UBP pricing when the LP is cut off by
-    the pivot budget. *)
+    sell). Falls back to the plain UBP pricing when the LP fails
+    (budget/numerical give-up), recording a ["degraded.refine"]
+    counter/event through {!Qp_obs}. *)

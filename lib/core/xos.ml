@@ -11,6 +11,55 @@ let combine ps =
   if components = [] then invalid_arg "Xos.combine: empty combination";
   Pricing.Xos components
 
-let solve ?lpip_options ?cip_options h =
+let combine_safe ps =
+  let dropped = ref 0 in
+  let components =
+    List.concat_map
+      (function
+        | Pricing.Item w -> [ w ]
+        | Pricing.Xos ws -> ws
+        | Pricing.Uniform_bundle _ | Pricing.Capped_item _ ->
+            incr dropped;
+            [])
+      ps
+  in
+  if components = [] then None else Some (Pricing.Xos components, !dropped)
+
+type report = {
+  pricing : Pricing.t;
+  lpip : Lpip.report;
+  cip : Cip.report;
+  degraded : Degrade.marker option;
+}
+
+let report_of_components ~lpip ~cip h =
+  (* A degraded CIP hands back a uniform-bundle pricing, which is not
+     additive and cannot join an XOS max — combine over whatever is
+     still additive, and only fall back to UIP when nothing is. *)
+  match combine_safe [ lpip.Lpip.pricing; cip.Cip.pricing ] with
+  | Some (pricing, 0) -> { pricing; lpip; cip; degraded = None }
+  | Some (pricing, dropped) ->
+      let degraded =
+        Degrade.record
+          (Degrade.make ~algorithm:"xos" ~fallback:"additive-subset"
+             ~reason:
+               (Printf.sprintf "%d non-additive degraded component(s) dropped"
+                  dropped))
+      in
+      { pricing; lpip; cip; degraded = Some degraded }
+  | None ->
+      let degraded =
+        Degrade.record
+          (Degrade.make ~algorithm:"xos" ~fallback:"uip"
+             ~reason:"no additive component survived")
+      in
+      { pricing = Uip.solve h; lpip; cip; degraded = Some degraded }
+
+let solve_report ?lpip_options ?cip_options h =
   Qp_obs.with_span "xos.solve" @@ fun () ->
-  combine [ Lpip.solve ?options:lpip_options h; Cip.solve ?options:cip_options h ]
+  let lpip = Lpip.solve_report ?options:lpip_options h in
+  let cip = Cip.solve_report ?options:cip_options h in
+  report_of_components ~lpip ~cip h
+
+let solve ?lpip_options ?cip_options h =
+  (solve_report ?lpip_options ?cip_options h).pricing

@@ -125,8 +125,8 @@ let run_collapse fmt ctx =
       let t_on, w_on = time true in
       let t_off, w_off = time false in
       let revenue = function
-        | Some w -> P.revenue (P.Item w) h
-        | None -> nan
+        | Ok w -> P.revenue (P.Item w) h
+        | Error _ -> nan
       in
       Format.fprintf fmt
         "  %-8s n=%d classes=%d  collapsed: %.3fs (rev %.1f)  naive: %.3fs \

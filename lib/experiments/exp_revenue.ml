@@ -26,16 +26,15 @@ let panel fmt ctx ~title ~workloads ~models =
       (* One cell per model, fanned out on the worker pool. Each cell
          derives all randomness from (seed, run) inside [run_cell], so
          the table is independent of scheduling; nested parallelism
-         inside a cell degrades to the sequential path. *)
-      let cells =
-        Qp_util.Parallel.map_list
-          (fun model ->
-            Runner.run_cell ~profile:(Context.profile ctx)
-              ~seed:(Context.seed ctx) model inst)
-          models
+         inside a cell degrades to the sequential path. A crashing cell
+         is retried once and otherwise dropped from the panel with an
+         explicit line — partial results beat an aborted figure. *)
+      let cells, failures =
+        Runner.run_cells ~profile:(Context.profile ctx) ~seed:(Context.seed ctx)
+          models inst
       in
       Format.fprintf fmt "@.%s:@.%s" inst.WI.label
-        (Runner.cell_table ~header_label:"valuation model" cells))
+        (Runner.cell_table ~failures ~header_label:"valuation model" cells))
     workloads
 
 let run_fig5 fmt ctx =

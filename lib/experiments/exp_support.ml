@@ -8,21 +8,29 @@ let supports_for = function
 
 let panel fmt ctx key =
   let base = Context.instance ctx key in
-  let cells =
-    List.map
-      (fun support ->
+  let cells, failures =
+    List.fold_left
+      (fun (cells, failures) support ->
         let inst =
           WI.rebuild_with_support base ~support ~seed:(Context.seed ctx)
         in
-        let cell =
-          Runner.run_cell ~profile:(Context.profile ctx)
+        match
+          Runner.run_cell_result ~profile:(Context.profile ctx)
             ~seed:(Context.seed ctx) (V.Uniform_val 100.0) inst
-        in
-        { cell with Runner.model = Printf.sprintf "|S| = %d" support })
-      (supports_for key)
+        with
+        | Ok cell ->
+            ( { cell with Runner.model = Printf.sprintf "|S| = %d" support }
+              :: cells,
+              failures )
+        | Error f ->
+            ( cells,
+              { f with Runner.failed_model = Printf.sprintf "|S| = %d" support }
+              :: failures ))
+      ([], []) (supports_for key)
   in
+  let cells = List.rev cells and failures = List.rev failures in
   Format.fprintf fmt "@.%s, uniform[1,100] valuations:@.%s" base.WI.label
-    (Runner.cell_table ~header_label:"support size" cells)
+    (Runner.cell_table ~failures ~header_label:"support size" cells)
 
 let run_fig8 fmt ctx =
   Format.fprintf fmt "Figure 8: revenue vs support-set size@.";

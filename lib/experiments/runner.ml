@@ -41,6 +41,7 @@ type measurement = {
   revenue : float;
   normalized : float;
   seconds : float;
+  degraded : string option;
 }
 
 type cell = {
@@ -52,32 +53,68 @@ type cell = {
   build : Qp_market.Conflict.stats;
 }
 
+type cell_failure = {
+  failed_instance : string;
+  failed_model : string;
+  attempts : int;
+  error : string;
+}
+
 (* XOS-LPIP+CIP combines the two vectors the run just computed, so it
    is synthesized from them rather than re-solved (the paper's §6.4
-   makes the same observation when timing it). *)
+   makes the same observation when timing it). [combine_safe] because a
+   degraded CIP hands back a non-additive UBP fallback that must be
+   dropped from the max, not crash the run. *)
+let synthesize_xos ~lpip ~cip h =
+  match Qp_core.Xos.combine_safe [ lpip; cip ] with
+  | Some (p, 0) -> (p, None)
+  | Some (p, dropped) ->
+      ( p,
+        Some
+          (Qp_core.Degrade.record
+             (Qp_core.Degrade.make ~algorithm:"xos" ~fallback:"additive-subset"
+                ~reason:
+                  (Printf.sprintf "%d non-additive degraded component(s) dropped"
+                     dropped))) )
+  | None ->
+      ( Qp_core.Uip.solve h,
+        Some
+          (Qp_core.Degrade.record
+             (Qp_core.Degrade.make ~algorithm:"xos" ~fallback:"uip"
+                ~reason:"no additive component survived")) )
+
 let run_once ~specs h =
   let solved = Hashtbl.create 8 in
   List.map
     (fun (spec : Algorithms.spec) ->
       Qp_obs.with_span ("algo." ^ spec.key) @@ fun () ->
       let t0 = Unix.gettimeofday () in
-      let pricing =
+      let pricing, degraded =
         match
           ( spec.key,
             Hashtbl.find_opt solved "lpip",
             Hashtbl.find_opt solved "cip" )
         with
-        | "xos", Some lpip, Some cip -> Qp_core.Xos.combine [ lpip; cip ]
-        | _ -> spec.solve h
+        | "xos", Some lpip, Some cip -> synthesize_xos ~lpip ~cip h
+        | _ -> spec.solve_report h
       in
       Hashtbl.replace solved spec.key pricing;
       let seconds = Unix.gettimeofday () -. t0 in
       let revenue = Pricing.revenue pricing h in
       Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
-      (spec.label, revenue, seconds))
+      (spec.label, revenue, seconds, degraded))
     specs
 
-let run_cell ?jobs ?n_runs ~profile ~seed model instance =
+let run_cell ?(attempt = 0) ?jobs ?n_runs ~profile ~seed model instance =
+  (* The cell's fault key is derived from its identity (instance x
+     model), not from any execution order, so a spec fires on the same
+     cells whatever the sweep's parallel schedule. *)
+  if Qp_fault.enabled () then
+    Qp_fault.maybe_fail ~attempt
+      ~key:
+        (Qp_fault.site_key
+           (instance.Workload_instances.label ^ "/" ^ Valuations.describe model))
+      "runner.cell";
   Qp_obs.with_span "runner.cell"
     ~args:(fun () ->
       [
@@ -109,18 +146,28 @@ let run_cell ?jobs ?n_runs ~profile ~seed model instance =
       (Array.init n_runs (fun i -> i + 1))
   in
   let totals = Hashtbl.create 8 in
+  let degraded_by = Hashtbl.create 8 in
   let sum_vals = ref 0.0 and subadd = ref 0.0 in
   Array.iter
     (fun (total, bound_n, measurements) ->
       sum_vals := !sum_vals +. total;
       subadd := !subadd +. bound_n;
       List.iter
-        (fun (label, revenue, seconds) ->
+        (fun (label, revenue, seconds, degraded) ->
           let rev_n, sec, count =
             Option.value (Hashtbl.find_opt totals label) ~default:(0.0, 0.0, 0)
           in
           Hashtbl.replace totals label
-            (rev_n +. (revenue /. total), sec +. seconds, count + 1))
+            (rev_n +. (revenue /. total), sec +. seconds, count + 1);
+          match degraded with
+          | None -> ()
+          | Some (m : Qp_core.Degrade.marker) ->
+              let first, n =
+                Option.value
+                  (Hashtbl.find_opt degraded_by label)
+                  ~default:(m, 0)
+              in
+              Hashtbl.replace degraded_by label (first, n + 1))
         measurements)
     per_run;
   let measurements =
@@ -128,11 +175,22 @@ let run_cell ?jobs ?n_runs ~profile ~seed model instance =
       (fun (spec : Algorithms.spec) ->
         let rev_n, sec, count = Hashtbl.find totals spec.label in
         let c = Float.of_int count in
+        let degraded =
+          match Hashtbl.find_opt degraded_by spec.label with
+          | None -> None
+          | Some (m, n) ->
+              Some
+                (if n = count then Qp_core.Degrade.describe m
+                 else
+                   Printf.sprintf "%s (%d/%d runs)" (Qp_core.Degrade.describe m)
+                     n count)
+        in
         {
           algorithm = spec.label;
           normalized = rev_n /. c;
           revenue = rev_n /. c *. (!sum_vals /. Float.of_int n_runs);
           seconds = sec /. c;
+          degraded;
         })
       specs
   in
@@ -151,10 +209,70 @@ let run_cell ?jobs ?n_runs ~profile ~seed model instance =
     build = instance.Workload_instances.build_stats;
   }
 
-let cell_table ~header_label cells =
-  match cells with
-  | [] -> "(no data)\n"
-  | first :: _ ->
+(* A cell that raises (an injected fault, a worker crash) is retried
+   once after a short backoff with [attempt = 1] — deterministic faults
+   re-draw on the new attempt — and otherwise becomes a structured
+   failure so the surrounding sweep continues with partial results. *)
+let run_cell_result ?jobs ?n_runs ?(retry_backoff = 0.05) ~profile ~seed model
+    instance =
+  match run_cell ~attempt:0 ?jobs ?n_runs ~profile ~seed model instance with
+  | cell -> Ok cell
+  | exception first_exn ->
+      let first = Printexc.to_string first_exn in
+      Qp_obs.counter "runner.cell_retries" 1;
+      Qp_obs.event "runner.cell_retry"
+        ~args:(fun () ->
+          [
+            ("instance", Qp_obs.Str instance.Workload_instances.label);
+            ("model", Qp_obs.Str (Valuations.describe model));
+            ("error", Qp_obs.Str first);
+          ]);
+      if retry_backoff > 0.0 then Unix.sleepf retry_backoff;
+      (match
+         run_cell ~attempt:1 ?jobs ?n_runs ~profile ~seed model instance
+       with
+      | cell -> Ok cell
+      | exception second_exn ->
+          let error = Printexc.to_string second_exn in
+          Qp_obs.counter "runner.cell_failures" 1;
+          Qp_obs.event "runner.cell_failed"
+            ~args:(fun () ->
+              [
+                ("instance", Qp_obs.Str instance.Workload_instances.label);
+                ("model", Qp_obs.Str (Valuations.describe model));
+                ("error", Qp_obs.Str error);
+                ("first_attempt_error", Qp_obs.Str first);
+              ]);
+          Error
+            {
+              failed_instance = instance.Workload_instances.label;
+              failed_model = Valuations.describe model;
+              attempts = 2;
+              error;
+            })
+
+let run_cells ?jobs ?n_runs ~profile ~seed models instance =
+  let results =
+    Qp_util.Parallel.map_list ?jobs
+      (fun model -> run_cell_result ?n_runs ~profile ~seed model instance)
+      models
+  in
+  let cells = List.filter_map (function Ok c -> Some c | Error _ -> None) results in
+  let failures =
+    List.filter_map (function Ok _ -> None | Error f -> Some f) results
+  in
+  (cells, failures)
+
+let pp_cell_failure f =
+  Printf.sprintf "! dropped %s / %s after %d attempts: %s" f.failed_instance
+    f.failed_model f.attempts f.error
+
+let cell_table ?(failures = []) ~header_label cells =
+  match (cells, failures) with
+  | [], [] -> "(no data)\n"
+  | [], failures ->
+      String.concat "" (List.map (fun f -> pp_cell_failure f ^ "\n") failures)
+  | first :: _, _ ->
       let algo_names =
         List.map (fun m -> m.algorithm) first.measurements
       in
@@ -169,4 +287,23 @@ let cell_table ~header_label cells =
             @ [ Printf.sprintf "%.3f" cell.subadditive ])
           cells
       in
-      Text_table.render ~header rows
+      let table = Text_table.render ~header rows in
+      (* Degradation and failure annotations only render when present,
+         keeping healthy sweeps byte-identical to the pre-robustness
+         output. *)
+      let degraded_lines =
+        List.concat_map
+          (fun cell ->
+            List.filter_map
+              (fun m ->
+                Option.map
+                  (fun d ->
+                    Printf.sprintf "! %s / %s: %s\n" cell.model m.algorithm d)
+                  m.degraded)
+              cell.measurements)
+          cells
+      in
+      let failure_lines =
+        List.map (fun f -> pp_cell_failure f ^ "\n") failures
+      in
+      String.concat "" (table :: degraded_lines @ failure_lines)

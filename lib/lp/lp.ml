@@ -22,6 +22,24 @@ type solution = {
 type error =
   | Infeasible
   | Unbounded
+  | Budget_exhausted of Simplex.diagnostics
+  | Numerical_error of Simplex.diagnostics
+
+let error_tag = function
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Numerical_error _ -> "numerical_error"
+
+let describe_error = function
+  | Infeasible -> "LP infeasible"
+  | Unbounded -> "LP unbounded"
+  | Budget_exhausted d ->
+      Printf.sprintf "simplex budget exhausted after %d pivots (%s)" d.Simplex.pivots
+        d.Simplex.detail
+  | Numerical_error d ->
+      Printf.sprintf "simplex numerical error after %d pivots (%s)" d.Simplex.pivots
+        d.Simplex.detail
 
 let create ?(minimize = false) () =
   { minimize; objs = []; nvars = 0; rows = []; nrows = 0 }
@@ -53,7 +71,7 @@ let dense_of_terms nvars terms =
     terms;
   a
 
-let solve ?max_pivots p =
+let solve ?max_pivots ?stall_threshold p =
   Qp_obs.with_span "lp.solve"
     ~args:(fun () ->
       [ ("vars", Qp_obs.Int p.nvars); ("constraints", Qp_obs.Int p.nrows) ])
@@ -82,9 +100,11 @@ let solve ?max_pivots p =
     user_rows;
   let rows = Array.of_list (List.rev !sim_rows) in
   let origin = Array.of_list (List.rev !origin) in
-  match Simplex.solve ?max_pivots ~c ~rows () with
+  match Simplex.solve ?max_pivots ?stall_threshold ~c ~rows () with
   | Simplex.Infeasible -> Error Infeasible
   | Simplex.Unbounded -> Error Unbounded
+  | Simplex.Budget_exhausted d -> Error (Budget_exhausted d)
+  | Simplex.Numerical_error d -> Error (Numerical_error d)
   | Simplex.Optimal { objective; primal; dual } ->
       let row_dual = Array.make (Array.length user_rows) 0.0 in
       Array.iteri

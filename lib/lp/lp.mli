@@ -26,6 +26,18 @@ type solution
 type error =
   | Infeasible
   | Unbounded
+  | Budget_exhausted of Simplex.diagnostics
+      (** the solver ran out of pivot budget — {b not} infeasibility *)
+  | Numerical_error of Simplex.diagnostics
+      (** non-finite arithmetic detected — {b not} infeasibility *)
+
+val error_tag : error -> string
+(** Stable short tag ([infeasible], [unbounded], [budget_exhausted],
+    [numerical_error]) for counters and structured records. *)
+
+val describe_error : error -> string
+(** One-line human-readable description, including pivot counts and the
+    failure detail for solver-side errors. *)
 
 val create : ?minimize:bool -> unit -> t
 (** A fresh empty problem; maximization unless [minimize] is set. *)
@@ -43,7 +55,12 @@ val add_le : t -> (float * var) list -> float -> constr
 val add_ge : t -> (float * var) list -> float -> constr
 val add_eq : t -> (float * var) list -> float -> constr
 
-val solve : ?max_pivots:int -> t -> (solution, error) result
+val solve : ?max_pivots:int -> ?stall_threshold:int -> t -> (solution, error) result
+(** Solve the problem as built so far. [max_pivots] and
+    [stall_threshold] are passed through to {!Simplex.solve}. Solver
+    give-ups surface as [Error (Budget_exhausted _ | Numerical_error _)]
+    — never as an exception — so callers must not conflate them with
+    [Infeasible]. *)
 
 val objective_value : solution -> float
 

@@ -1,7 +1,17 @@
+type diagnostics = {
+  pivots : int;
+  phase1_pivots : int;
+  degenerate_pivots : int;
+  bland_engaged : bool;
+  detail : string;
+}
+
 type outcome =
   | Optimal of solution
   | Unbounded
   | Infeasible
+  | Budget_exhausted of diagnostics
+  | Numerical_error of diagnostics
 
 and solution = {
   objective : float;
@@ -28,12 +38,20 @@ type tableau = {
   mutable pivots : int;
   mutable degenerate : int; (* pivots whose leaving row had rhs ~ 0 *)
   max_pivots : int;
+  stall_threshold : int;
+  mutable stall : int; (* consecutive degenerate pivots *)
+  mutable bland : bool; (* anti-cycling rule active in this phase *)
+  mutable bland_ever : bool;
 }
 
 let pivot t r col =
   let row = t.rows.(r) in
   let p = row.(col) in
-  if Float.abs row.(t.ncols) <= eps then t.degenerate <- t.degenerate + 1;
+  if Float.abs row.(t.ncols) <= eps then begin
+    t.degenerate <- t.degenerate + 1;
+    t.stall <- t.stall + 1
+  end
+  else t.stall <- 0;
   for j = 0 to t.ncols do
     row.(j) <- row.(j) /. p
   done;
@@ -55,16 +73,14 @@ let pivot t r col =
     t.obj_val <- t.obj_val +. (f *. row.(t.ncols))
   end;
   t.basis.(r) <- col;
-  t.pivots <- t.pivots + 1;
-  if t.pivots > t.max_pivots then
-    failwith "Simplex.solve: pivot budget exceeded"
+  t.pivots <- t.pivots + 1
 
-(* Entering-column choice: Dantzig's rule until [bland_after] pivots,
-   then Bland's rule (smallest eligible index), which guarantees
-   termination under degeneracy. [allowed] filters out banned columns
-   (artificials during phase 2). *)
-let entering t ~bland ~allowed =
-  if bland then begin
+(* Entering-column choice: Dantzig's rule until the anti-cycling
+   fallback engages, then Bland's rule (smallest eligible index), which
+   guarantees termination under degeneracy. [allowed] filters out banned
+   columns (artificials during phase 2). *)
+let entering t ~allowed =
+  if t.bland then begin
     let found = ref (-1) in
     (try
        for j = 0 to t.ncols - 1 do
@@ -108,26 +124,75 @@ let leaving t col =
   done;
   !best
 
-type phase_result = Phase_optimal | Phase_unbounded
+type phase_result =
+  | Phase_optimal
+  | Phase_unbounded
+  | Phase_budget of string
+  | Phase_numerical of string
 
+(* Anti-cycling: Bland's rule engages when the phase stalls — too many
+   consecutive degenerate pivots (a cycle is all-degenerate, so any
+   cycle trips this quickly) — or, as a legacy backstop, after an
+   absolute pivot count. [stall_threshold = max_int] disables both,
+   exposing the raw Dantzig rule for the cycling tests. *)
 let run_phase t ~allowed =
-  let bland_after = max 2000 (20 * (t.nrows + t.nvars)) in
   let start = t.pivots in
+  let bland_after =
+    if t.stall_threshold = max_int then max_int
+    else max 2000 (20 * (t.nrows + t.nvars))
+  in
+  t.bland <- false;
+  t.stall <- 0;
   let rec loop () =
-    let bland = t.pivots - start > bland_after in
-    let col = entering t ~bland ~allowed in
-    if col < 0 then Phase_optimal
-    else
-      let r = leaving t col in
-      if r < 0 then Phase_unbounded
-      else begin
-        pivot t r col;
-        loop ()
-      end
+    if Qp_fault.enabled () then
+      match Qp_fault.check ~key:t.pivots "simplex.pivot" with
+      | Some Qp_fault.Fail -> raise (Qp_fault.Injected "simplex.pivot")
+      | Some Qp_fault.Nan -> Phase_numerical "injected nan"
+      | Some Qp_fault.Stall -> Phase_budget "injected stall"
+      | None -> step ()
+    else step ()
+  and step () =
+    if t.pivots >= t.max_pivots then
+      Phase_budget (Printf.sprintf "pivot budget %d exceeded" t.max_pivots)
+    else begin
+      if
+        (not t.bland)
+        && (t.stall > t.stall_threshold || t.pivots - start > bland_after)
+      then begin
+        t.bland <- true;
+        t.bland_ever <- true;
+        Qp_obs.counter "simplex.bland_engaged" 1;
+        Qp_obs.event "simplex.bland_engaged"
+          ~args:(fun () ->
+            [
+              ("pivots", Qp_obs.Int t.pivots);
+              ("consecutive_degenerate", Qp_obs.Int t.stall);
+            ])
+      end;
+      let col = entering t ~allowed in
+      if col < 0 then Phase_optimal
+      else
+        let r = leaving t col in
+        if r < 0 then Phase_unbounded
+        else begin
+          pivot t r col;
+          if Float.is_finite t.obj_val then loop ()
+          else Phase_numerical "non-finite objective after pivot"
+        end
+    end
   in
   loop ()
 
-let solve ?(max_pivots = 50_000) ~c ~rows () =
+let diagnostics t ~phase1_pivots ~detail =
+  {
+    pivots = t.pivots;
+    phase1_pivots;
+    degenerate_pivots = t.degenerate;
+    bland_engaged = t.bland_ever;
+    detail;
+  }
+
+let solve ?(max_pivots = 50_000) ?(stall_threshold = 1024) ~c ~rows () =
   let nvars = Array.length c in
   let nrows = Array.length rows in
   Qp_obs.with_span "simplex.solve"
@@ -151,6 +216,10 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
       pivots = 0;
       degenerate = 0;
       max_pivots;
+      stall_threshold;
+      stall = 0;
+      bland = false;
+      bland_ever = false;
     }
   in
   Qp_obs.counter "simplex.solves" 1;
@@ -175,8 +244,8 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
     rows;
   let all_allowed _ = true in
   let no_artificials j = j < t.art_first in
-  let feasible =
-    if n_art = 0 then true
+  let phase1 =
+    if n_art = 0 then `Feasible
     else begin
       (* Phase 1: minimize the sum of artificials, expressed as
          maximizing reduced costs built from the artificial rows. *)
@@ -191,81 +260,116 @@ let solve ?(max_pivots = 50_000) ~c ~rows () =
       for j = art_first to ncols - 1 do
         t.obj.(j) <- 0.0
       done;
-      (match run_phase t ~allowed:all_allowed with
-      | Phase_optimal -> ()
-      | Phase_unbounded -> assert false);
-      let residual = ref 0.0 in
-      for i = 0 to nrows - 1 do
-        if t.basis.(i) >= art_first then
-          residual := !residual +. t.rows.(i).(ncols)
-      done;
-      if !residual > 1e-7 then false
-      else begin
-        (* Drive any degenerate artificial out of the basis when a
-           non-artificial pivot exists; a fully zero row is redundant
-           and can safely keep its zero-valued artificial as long as
-           artificial columns are banned from re-entering. *)
-        for i = 0 to nrows - 1 do
-          if t.basis.(i) >= art_first then begin
-            let found = ref (-1) in
-            (try
-               for j = 0 to art_first - 1 do
-                 if Float.abs t.rows.(i).(j) > eps then begin
-                   found := j;
-                   raise Exit
-                 end
-               done
-             with Exit -> ());
-            if !found >= 0 then pivot t i !found
+      match run_phase t ~allowed:all_allowed with
+      | Phase_unbounded ->
+          (* The phase-1 objective is bounded by 0; reaching this means
+             the arithmetic went bad, not the instance. *)
+          `Abort
+            (Numerical_error
+               (diagnostics t ~phase1_pivots:t.pivots
+                  ~detail:"phase 1 reported unbounded"))
+      | Phase_budget detail ->
+          `Abort (Budget_exhausted (diagnostics t ~phase1_pivots:t.pivots ~detail))
+      | Phase_numerical detail ->
+          `Abort (Numerical_error (diagnostics t ~phase1_pivots:t.pivots ~detail))
+      | Phase_optimal ->
+          let residual = ref 0.0 in
+          for i = 0 to nrows - 1 do
+            if t.basis.(i) >= art_first then
+              residual := !residual +. t.rows.(i).(ncols)
+          done;
+          if !residual > 1e-7 then `Infeasible
+          else begin
+            (* Drive any degenerate artificial out of the basis when a
+               non-artificial pivot exists; a fully zero row is redundant
+               and can safely keep its zero-valued artificial as long as
+               artificial columns are banned from re-entering. *)
+            for i = 0 to nrows - 1 do
+              if t.basis.(i) >= art_first then begin
+                let found = ref (-1) in
+                (try
+                   for j = 0 to art_first - 1 do
+                     if Float.abs t.rows.(i).(j) > eps then begin
+                       found := j;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                if !found >= 0 then pivot t i !found
+              end
+            done;
+            `Feasible
           end
-        done;
-        true
-      end
     end
   in
   let phase1_pivots = t.pivots in
   let outcome =
-  if not feasible then Infeasible
-  else begin
-    (* Phase 2: rebuild reduced costs for the real objective under the
-       current basis. *)
-    Array.fill t.obj 0 (ncols + 1) 0.0;
-    t.obj_val <- 0.0;
-    Array.blit c 0 t.obj 0 nvars;
-    for i = 0 to nrows - 1 do
-      let b = t.basis.(i) in
-      if b < nvars && Float.abs c.(b) > 0.0 then begin
-        let cb = c.(b) in
-        let row = t.rows.(i) in
-        for j = 0 to ncols do
-          t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
-        done;
-        t.obj_val <- t.obj_val +. (cb *. row.(ncols))
-      end
-    done;
-    match run_phase t ~allowed:no_artificials with
-    | Phase_unbounded -> Unbounded
-    | Phase_optimal ->
-        let primal = Array.make nvars 0.0 in
+    match phase1 with
+    | `Abort outcome -> outcome
+    | `Infeasible -> Infeasible
+    | `Feasible -> begin
+        (* Phase 2: rebuild reduced costs for the real objective under
+           the current basis. *)
+        Array.fill t.obj 0 (ncols + 1) 0.0;
+        t.obj_val <- 0.0;
+        Array.blit c 0 t.obj 0 nvars;
         for i = 0 to nrows - 1 do
-          if t.basis.(i) < nvars then
-            primal.(t.basis.(i)) <- t.rows.(i).(ncols)
+          let b = t.basis.(i) in
+          if b < nvars && Float.abs c.(b) > 0.0 then begin
+            let cb = c.(b) in
+            let row = t.rows.(i) in
+            for j = 0 to ncols do
+              t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
+            done;
+            t.obj_val <- t.obj_val +. (cb *. row.(ncols))
+          end
         done;
-        let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
-        Optimal { objective = t.obj_val; primal; dual }
-  end
+        match run_phase t ~allowed:no_artificials with
+        | Phase_unbounded -> Unbounded
+        | Phase_budget detail ->
+            Budget_exhausted (diagnostics t ~phase1_pivots ~detail)
+        | Phase_numerical detail ->
+            Numerical_error (diagnostics t ~phase1_pivots ~detail)
+        | Phase_optimal ->
+            let primal = Array.make nvars 0.0 in
+            for i = 0 to nrows - 1 do
+              if t.basis.(i) < nvars then
+                primal.(t.basis.(i)) <- t.rows.(i).(ncols)
+            done;
+            let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
+            (* Final guard: NaN coefficients fail every comparison in
+               the entering rule, so a poisoned tableau can "converge";
+               refuse to report such a solution as optimal. *)
+            let finite =
+              Float.is_finite t.obj_val
+              && Array.for_all Float.is_finite primal
+              && Array.for_all Float.is_finite dual
+            in
+            if finite then Optimal { objective = t.obj_val; primal; dual }
+            else
+              Numerical_error
+                (diagnostics t ~phase1_pivots
+                   ~detail:"non-finite value in reported solution")
+      end
   in
+  (match outcome with
+  | Budget_exhausted _ -> Qp_obs.counter "simplex.budget_exhausted" 1
+  | Numerical_error _ -> Qp_obs.counter "simplex.numerical_error" 1
+  | Optimal _ | Unbounded | Infeasible -> ());
   Qp_obs.counter "simplex.pivots" t.pivots;
   Qp_obs.annotate (fun () ->
       [
         ("phase1_pivots", Qp_obs.Int phase1_pivots);
         ("phase2_pivots", Qp_obs.Int (t.pivots - phase1_pivots));
         ("degenerate_pivots", Qp_obs.Int t.degenerate);
+        ("bland_engaged", Qp_obs.Bool t.bland_ever);
         ( "outcome",
           Qp_obs.Str
             (match outcome with
             | Optimal _ -> "optimal"
             | Unbounded -> "unbounded"
-            | Infeasible -> "infeasible") );
+            | Infeasible -> "infeasible"
+            | Budget_exhausted _ -> "budget_exhausted"
+            | Numerical_error _ -> "numerical_error") );
       ]);
   outcome

@@ -6,15 +6,36 @@
     {!Lp} offers a friendlier incremental problem builder.
 
     The implementation is a textbook dense tableau: Dantzig pricing with
-    a switch to Bland's rule after a pivot budget to guarantee
-    termination under degeneracy. It is intended for the mid-size LPs of
-    the pricing algorithms (up to a few thousand rows/columns), not for
-    sparse industrial instances. *)
+    an anti-cycling switch to Bland's rule once the iteration stalls (a
+    run of consecutive degenerate pivots — see {!solve}'s
+    [stall_threshold]). It is intended for the mid-size LPs of the
+    pricing algorithms (up to a few thousand rows/columns), not for
+    sparse industrial instances.
+
+    The solver never raises on solver-side failure: exceeding the pivot
+    budget or detecting non-finite arithmetic is reported as a typed
+    outcome carrying {!diagnostics}, so callers can distinguish "the
+    instance is infeasible" from "the solver gave up". *)
+
+type diagnostics = {
+  pivots : int;  (** total pivots performed (both phases) *)
+  phase1_pivots : int;  (** pivots spent finding a feasible basis *)
+  degenerate_pivots : int;  (** pivots whose leaving row had a ~0 rhs *)
+  bland_engaged : bool;  (** whether the anti-cycling rule ever engaged *)
+  detail : string;  (** human-readable cause, e.g. the budget hit *)
+}
+(** Where the solver was when it gave up — attached to
+    {!Budget_exhausted} and {!Numerical_error} so degradation layers can
+    log {e why} an LP failed, not just that it did. *)
 
 type outcome =
   | Optimal of solution
   | Unbounded
   | Infeasible
+  | Budget_exhausted of diagnostics
+      (** the pivot budget ([max_pivots]) ran out before convergence *)
+  | Numerical_error of diagnostics
+      (** a NaN/Inf appeared in the objective or the reported solution *)
 
 and solution = {
   objective : float;
@@ -26,6 +47,7 @@ and solution = {
 
 val solve :
   ?max_pivots:int ->
+  ?stall_threshold:int ->
   c:float array ->
   rows:(float array * float) array ->
   unit ->
@@ -33,10 +55,25 @@ val solve :
 (** [solve ~c ~rows ()] maximizes [c . x] over [{x >= 0 | a_i . x <= b_i}]
     for [(a_i, b_i)] in [rows]. Every [a_i] must have the same length as
     [c]. [max_pivots] (default [50_000]) bounds the total pivot count;
-    exceeding it raises [Failure].
+    exceeding it yields [Budget_exhausted] (never an exception).
+
+    [stall_threshold] (default [1024]) is the number of {e consecutive}
+    degenerate pivots tolerated before Bland's anti-cycling rule takes
+    over for the remainder of the phase (a cycle consists solely of
+    degenerate pivots, so any cycle trips this quickly); an absolute
+    per-phase pivot count is kept as a legacy backstop. Passing
+    [max_int] disables the fallback entirely, exposing the raw Dantzig
+    rule — useful only for demonstrating cycling in tests.
 
     When {!Qp_obs} tracing is enabled, every solve records a
     ["simplex.solve"] span carrying the tableau dimensions on open and
-    phase-1/phase-2 pivot counts, degenerate pivots (leaving row with a
-    ~0 rhs) and the outcome on close, plus the ["simplex.solves"] /
-    ["simplex.pivots"] counters and tableau-size gauges. *)
+    phase-1/phase-2 pivot counts, degenerate pivots, whether Bland's
+    rule engaged and the outcome on close, plus the ["simplex.solves"] /
+    ["simplex.pivots"] counters and tableau-size gauges. Failures bump
+    ["simplex.budget_exhausted"] / ["simplex.numerical_error"]; the
+    fallback bumps ["simplex.bland_engaged"].
+
+    Fault injection: each pivot iteration consults the
+    ["simplex.pivot"] site of {!Qp_fault} (key = current pivot count);
+    [fail] raises {!Qp_fault.Injected}, [nan] yields [Numerical_error],
+    [stall] yields [Budget_exhausted]. *)

@@ -7,6 +7,7 @@ type stats = {
   queries : int;
   support : int;
   fallback_queries : int;
+  failed_queries : (string * string) list;
   strategies : (string * int) list;
   jobs : int;
   query_seconds : float array;
@@ -28,7 +29,9 @@ let conflict_set db q deltas =
    query, so no Delta_eval state is shared across domains; [db] and
    [deltas] are only read. The task's return value is a pure function
    of (db, query, deltas) — scheduling cannot influence it. *)
-let build_row db deltas (q, valuation) =
+let build_row ?attempt db deltas index (q, valuation) =
+  if Qp_fault.enabled () then
+    Qp_fault.maybe_fail ?attempt ~key:index "conflict.query";
   Qp_obs.with_span "conflict.query"
     ~args:(fun () -> [ ("query", Qp_obs.Str q.Query.name) ])
   @@ fun () ->
@@ -53,29 +56,60 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
       ])
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let rows = Array.of_list valued_queries in
+  let rows = Array.mapi (fun i r -> (i, r)) (Array.of_list valued_queries) in
   let total = Array.length rows in
   let results, pool =
-    Qp_util.Parallel.map_stats ?jobs (build_row db deltas) rows
+    Qp_util.Parallel.map_result_stats ?jobs
+      (fun (i, row) -> build_row db deltas i row)
+      rows
   in
   (* Sequential index-ordered merge: specs come out in workload order
      whatever the scheduling, so the hypergraph is bit-identical to the
      jobs=1 build. Progress fires only here, on the merge side, which
-     keeps [done_] monotone under any worker interleaving. *)
+     keeps [done_] monotone under any worker interleaving. A failed row
+     is retried once here, sequentially (attempt 1, so probabilistic
+     faults re-draw); a row that fails twice is excluded from the
+     hypergraph and reported in [failed_queries] — partial market rather
+     than no market. *)
   let by_strategy = Hashtbl.create 4 in
   let query_seconds = Array.make total 0.0 in
-  let specs =
-    Array.mapi
-      (fun i (spec, strategy, seconds) ->
-        query_seconds.(i) <- seconds;
-        Hashtbl.replace by_strategy strategy
-          (1 + Option.value (Hashtbl.find_opt by_strategy strategy) ~default:0);
-        (match on_progress with
-        | Some f -> f ~done_:(i + 1) ~total
-        | None -> ());
-        spec)
-      results
-  in
+  let failed = ref [] in
+  let specs = ref [] in
+  Array.iteri
+    (fun i result ->
+      let result =
+        match result with
+        | Ok r -> Ok r
+        | Error { Qp_util.Parallel.message; _ } -> (
+            Qp_obs.counter "conflict.query_retries" 1;
+            let i, row = rows.(i) in
+            match build_row ~attempt:1 db deltas i row with
+            | r -> Ok r
+            | exception e -> Error (message, Printexc.to_string e))
+      in
+      (match result with
+      | Ok (spec, strategy, seconds) ->
+          query_seconds.(i) <- seconds;
+          Hashtbl.replace by_strategy strategy
+            (1 + Option.value (Hashtbl.find_opt by_strategy strategy) ~default:0);
+          specs := spec :: !specs
+      | Error (first, second) ->
+          let q, _ = snd rows.(i) in
+          Qp_obs.counter "conflict.query_failures" 1;
+          Qp_obs.event "conflict.query_failed"
+            ~args:(fun () ->
+              [
+                ("query", Qp_obs.Str q.Query.name);
+                ("error", Qp_obs.Str second);
+                ("first_attempt_error", Qp_obs.Str first);
+              ]);
+          failed := (q.Query.name, second) :: !failed);
+      match on_progress with
+      | Some f -> f ~done_:(i + 1) ~total
+      | None -> ())
+    results;
+  let specs = Array.of_list (List.rev !specs) in
+  let failed_queries = List.rev !failed in
   let h = Qp_core.Hypergraph.create ~n_items:(Array.length deltas) specs in
   let strategies =
     List.sort compare
@@ -87,6 +121,7 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
       support = Array.length deltas;
       fallback_queries =
         Option.value (Hashtbl.find_opt by_strategy "fallback") ~default:0;
+      failed_queries;
       strategies;
       jobs = pool.Qp_util.Parallel.jobs;
       query_seconds;
@@ -121,6 +156,12 @@ let pp_stats fmt s =
   Format.fprintf fmt "  strategies: %s@."
     (String.concat ", "
        (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) s.strategies));
+  if s.failed_queries <> [] then
+    Format.fprintf fmt "  dropped queries:%s@."
+      (String.concat ""
+         (List.map
+            (fun (name, err) -> Printf.sprintf " %s (%s)" name err)
+            s.failed_queries));
   Format.fprintf fmt "  worker busy:%s@."
     (String.concat ""
        (Array.to_list

@@ -21,6 +21,10 @@ type stats = {
   queries : int;  (** number of hyperedges built (buyer queries) *)
   support : int;  (** support size [n] (items) *)
   fallback_queries : int;  (** queries that used full re-evaluation *)
+  failed_queries : (string * string) list;
+      (** queries dropped from the hypergraph after failing twice
+          (initial task + one sequential retry): query name and the
+          second attempt's error. Empty in healthy builds. *)
   strategies : (string * int) list;
       (** query count per {!Qp_relational.Delta_eval.strategy_name},
           sorted by name — the delta-eval vs fallback split *)
@@ -52,7 +56,15 @@ val hypergraph :
     the hypergraph (edge order, items, valuations) is bit-identical at
     any job count. [on_progress] fires from the merge side only — once
     per query with [done_] strictly increasing from 1 to [total] —
-    never from a worker domain. *)
+    never from a worker domain.
+
+    Robustness: a query whose task raises (including an injected
+    ["conflict.query"] fault, key = workload index) is retried once
+    sequentially during the merge with [attempt = 1]; failing again
+    drops it from the hypergraph — a partial market instead of an
+    aborted build — recorded in [failed_queries], the
+    ["conflict.query_failures"] counter and a ["conflict.query_failed"]
+    event (retries bump ["conflict.query_retries"]). *)
 
 val query_time_histogram : ?buckets:int -> stats -> string
 (** ASCII histogram (log counts) of per-query build times in

@@ -19,72 +19,113 @@ let resolve = function Some n -> max 1 n | None -> default_jobs ()
 
 type pool_stats = { jobs : int; busy : float array }
 
-let map_stats ?jobs f xs =
+type task_error = { index : int; message : string }
+
+(* Shared core: every task runs to completion (or to its own exception —
+   contained per item, never killing the pool), results and failures
+   land in an index-addressed array, and the merge below is in index
+   order. This is what makes both the values and the failure set
+   bit-identical at any job count.
+
+   When tracing is on, each task's events are captured into a private
+   buffer — on the sequential path too, so a failing task's partial
+   events are dropped identically at any job count — and the survivors
+   are spliced back in index order (Qp_obs's contract). *)
+let map_contained ?jobs f xs =
   let n = Array.length xs in
   let jobs = min (resolve jobs) (max 1 n) in
-  if jobs <= 1 || Domain.DLS.get in_worker then begin
-    let t0 = Unix.gettimeofday () in
-    let results = Array.map f xs in
-    (results, { jobs = 1; busy = [| Unix.gettimeofday () -. t0 |] })
-  end
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let busy = Array.make jobs 0.0 in
-    (* When tracing is on, each task's events are captured into a
-       private buffer and spliced back in index order below, so the
-       trace structure matches the sequential run (Qp_obs's contract). *)
-    let traced = Qp_obs.enabled () in
-    let task x =
-      if traced then Qp_obs.capture (fun () -> f x)
-      else (f x, Qp_obs.empty_buf)
-    in
-    (* Small chunks keep the pool busy when per-item cost is uneven
-       (LPIP candidates near the top of the valuation order solve much
-       smaller LPs than the bottom ones). *)
-    let chunk = max 1 (n / (4 * jobs)) in
-    let work w =
-      let continue = ref true in
-      while !continue do
-        let start = Atomic.fetch_and_add next chunk in
-        if start >= n || Atomic.get failure <> None then continue := false
-        else begin
-          let stop = min n (start + chunk) in
-          let t0 = Unix.gettimeofday () in
-          (try
-             for i = start to stop - 1 do
-               results.(i) <- Some (task xs.(i))
-             done
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-          busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
-        end
-      done
-    in
-    let worker w () =
+  let traced = Qp_obs.enabled () in
+  let task i x =
+    if Qp_fault.enabled () then Qp_fault.maybe_fail ~key:i "parallel.task";
+    f x
+  in
+  let run i x =
+    match
+      if traced then Qp_obs.capture (fun () -> task i x)
+      else (task i x, Qp_obs.empty_buf)
+    with
+    | r -> Ok r
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  let results, stats =
+    if jobs <= 1 || Domain.DLS.get in_worker then begin
+      let t0 = Unix.gettimeofday () in
+      let results = Array.mapi run xs in
+      (results, { jobs = 1; busy = [| Unix.gettimeofday () -. t0 |] })
+    end
+    else begin
+      let results = Array.make n (Error (Exit, Printexc.get_raw_backtrace ())) in
+      let next = Atomic.make 0 in
+      let busy = Array.make jobs 0.0 in
+      (* Small chunks keep the pool busy when per-item cost is uneven
+         (LPIP candidates near the top of the valuation order solve much
+         smaller LPs than the bottom ones). *)
+      let chunk = max 1 (n / (4 * jobs)) in
+      let work w =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue := false
+          else begin
+            let stop = min n (start + chunk) in
+            let t0 = Unix.gettimeofday () in
+            for i = start to stop - 1 do
+              results.(i) <- run i xs.(i)
+            done;
+            busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
+          end
+        done
+      in
+      let worker w () =
+        Domain.DLS.set in_worker true;
+        work w
+      in
+      let domains =
+        Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1)))
+      in
+      (* The caller is the pool's last worker; flag it too so [f] itself
+         cannot recursively fan out. *)
       Domain.DLS.set in_worker true;
-      work w
-    in
-    let domains = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    (* The caller is the pool's last worker; flag it too so [f] itself
-       cannot recursively fan out. *)
-    Domain.DLS.set in_worker true;
-    Fun.protect
-      ~finally:(fun () -> Domain.DLS.set in_worker false)
-      (fun () -> work 0);
-    Array.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    let results =
-      Array.map (function Some v -> v | None -> assert false) results
-    in
-    if traced then
-      Array.iter (fun (_, b) -> Qp_obs.splice b) results;
-    (Array.map fst results, { jobs; busy })
-  end
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_worker false)
+        (fun () -> work 0);
+      Array.iter Domain.join domains;
+      (results, { jobs; busy })
+    end
+  in
+  if traced then
+    Array.iter (function Ok (_, b) -> Qp_obs.splice b | Error _ -> ()) results;
+  (results, stats)
+
+let map_result_stats ?jobs f xs =
+  let results, stats = map_contained ?jobs f xs in
+  let failed = ref 0 in
+  let results =
+    Array.mapi
+      (fun index -> function
+        | Ok (v, _) -> Ok v
+        | Error (e, _) ->
+            incr failed;
+            let message = Printexc.to_string e in
+            Qp_obs.event "parallel.task_failed"
+              ~args:(fun () ->
+                [ ("index", Qp_obs.Int index); ("error", Qp_obs.Str message) ]);
+            Error { index; message })
+      results
+  in
+  if !failed > 0 then Qp_obs.counter "parallel.task_failures" !failed;
+  (results, stats)
+
+let map_result ?jobs f xs = fst (map_result_stats ?jobs f xs)
+
+let map_stats ?jobs f xs =
+  let results, stats = map_contained ?jobs f xs in
+  (* Legacy raising interface: the lowest-index failure is re-raised
+     (with its original backtrace) after the pool has fully drained —
+     deterministic at any job count, unlike first-observed-wins. *)
+  Array.iter (function Ok _ -> () | Error (e, bt) -> Printexc.raise_with_backtrace e bt) results;
+  ( Array.map (function Ok (v, _) -> v | Error _ -> assert false) results,
+    stats )
 
 let map ?jobs f xs = fst (map_stats ?jobs f xs)
 

@@ -1,0 +1,108 @@
+(* Robustness lint: the solver and algorithm layers must not signal
+   solver-side failure with stringly exceptions. A [failwith] there is
+   an untyped give-up the callers cannot distinguish from infeasibility,
+   and a [Failure _] catch swallows give-ups from arbitrary depths —
+   exactly the bug class the typed {!Qp_lp.Simplex.outcome} replaced
+   (see docs/ROBUSTNESS.md).
+
+   Run as:  ocaml scripts/check_no_failwith.ml lib/lp lib/core
+   Flags every occurrence of the tokens [failwith] or [Failure] in code
+   (comments and nothing else are stripped; string literals are kept,
+   since an error message naming them is equally suspect). Exits 1 on
+   any hit outside the allowlist. Wired into `make check`. *)
+
+(* (path, substring-of-line) pairs that are knowingly tolerated. Keep
+   this empty unless a use is argued for in ROBUSTNESS.md. *)
+let allowlist : (string * string) list = []
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        Array.of_list (List.rev acc)
+  in
+  go []
+
+(* Remove comment spans (they nest) from a line, carrying the nesting
+   depth across lines. *)
+let strip_comments depth line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && line.[!i] = '(' && line.[!i + 1] = '*' then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = ')' && !depth > 0
+    then begin
+      decr depth;
+      i := !i + 2
+    end
+    else begin
+      if !depth = 0 then Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let allowlisted path line =
+  List.exists
+    (fun (p, sub) -> p = path && contains sub line)
+    allowlist
+
+let check_file path =
+  let lines = read_lines path in
+  let depth = ref 0 in
+  let hits = ref [] in
+  Array.iteri
+    (fun i line ->
+      let code = strip_comments depth line in
+      if
+        (contains "failwith" code || contains "Failure" code)
+        && not (allowlisted path line)
+      then hits := (i + 1, String.trim line) :: !hits)
+    lines;
+  List.rev !hits
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ -> [ "lib/lp"; "lib/core" ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun dir ->
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+        |> List.sort compare
+      in
+      List.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          List.iter
+            (fun (line, text) ->
+              incr failures;
+              Printf.printf "%s:%d: stringly failure: %s\n" path line text)
+            (check_file path))
+        files)
+    dirs;
+  if !failures > 0 then begin
+    Printf.printf
+      "failwith lint: %d stringly failure(s) — use a typed outcome \
+       (Qp_lp.Lp.error) or add an argued allowlist entry\n"
+      !failures;
+    exit 1
+  end
+  else print_endline "failwith lint: no stringly failures in the solver layers"

@@ -80,8 +80,8 @@ let test_must_sell_sells () =
     (* pick a random subset that must sell *)
     let ids = List.filter (fun _ -> Random.State.bool rand) (all_ids h) in
     match Class_lp.solve_must_sell h ~edge_ids:ids with
-    | None -> Alcotest.fail "LP should always solve"
-    | Some w ->
+    | Error _ -> Alcotest.fail "LP should always solve"
+    | Ok w ->
         let p = P.Item w in
         Alcotest.(check bool) "valid weights" true (P.is_valid p h);
         List.iter
@@ -98,12 +98,12 @@ let test_collapse_equivalent () =
     let ids = all_ids h in
     let rev collapse =
       match Class_lp.solve_must_sell ~collapse h ~edge_ids:ids with
-      | Some w ->
+      | Ok w ->
           (* objective = total price of the must-sell set *)
           List.fold_left
             (fun acc id -> acc +. P.price (P.Item w) (H.edge h id))
             0.0 ids
-      | None -> Alcotest.fail "LP failed"
+      | Error _ -> Alcotest.fail "LP failed"
     in
     Alcotest.(check (float 1e-5)) "same optimal objective" (rev false) (rev true)
   done

@@ -11,6 +11,8 @@ let solve_xy c rows =
   | Simplex.Optimal s -> s
   | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
   | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Budget_exhausted d | Simplex.Numerical_error d ->
+      Alcotest.fail ("unexpected solver failure: " ^ d.Simplex.detail)
 
 let checkf = Alcotest.check (Alcotest.float 1e-6)
 
@@ -150,6 +152,8 @@ let check_certificates c rows = function
         (Float.abs (!by -. objective) < 1e-5 *. Float.max 1.0 (Float.abs objective))
   | Simplex.Unbounded -> Alcotest.fail "bounded instance reported unbounded"
   | Simplex.Infeasible -> Alcotest.fail "feasible instance reported infeasible"
+  | Simplex.Budget_exhausted d | Simplex.Numerical_error d ->
+      Alcotest.fail ("bounded instance hit solver failure: " ^ d.Simplex.detail)
 
 let test_duality_property () =
   let rand = Random.State.make [| 2024 |] in
@@ -263,8 +267,9 @@ let test_pivot_budget () =
   let c = [| 1.0; 1.0 |] in
   let rows = [| ([| 1.0; 0.0 |], 1.0); ([| 0.0; 1.0 |], 1.0) |] in
   match Simplex.solve ~max_pivots:1 ~c ~rows () with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected pivot budget failure"
+  | Simplex.Budget_exhausted d ->
+      Alcotest.(check int) "stopped at the budget" 1 d.Simplex.pivots
+  | _ -> Alcotest.fail "expected Budget_exhausted"
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
