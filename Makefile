@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test chaos bench bench-full bench-json bench-conflict \
-        docs check-docs check-failwith check examples clean
+        bench-simplex docs check-docs check-failwith check-float-sort check \
+        examples clean
 
 all: build
 
@@ -35,8 +36,14 @@ check-docs:
 check-failwith:
 	ocaml scripts/check_no_failwith.ml lib/lp lib/core
 
-# The full pre-merge gate: build, tests, doc coverage, failure lint.
-check: build test check-docs check-failwith
+# No polymorphic compare in array sorts anywhere in lib/: its NaN
+# ordering is unspecified, which once skewed the float percentile and
+# valuation sorts. Use Float.compare / Int.compare instead.
+check-float-sort:
+	ocaml scripts/check_float_sort.ml lib
+
+# The full pre-merge gate: build, tests, doc coverage, failure lints.
+check: build test check-docs check-failwith check-float-sort
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:
@@ -46,14 +53,20 @@ bench:
 bench-full:
 	QP_BENCH_PROFILE=full dune exec bench/main.exe
 
-# Time the parallel layer (jobs=1 vs jobs=N) and write BENCH_parallel.json.
+# Time the parallel layer (jobs=1 vs jobs=N, BENCH_parallel.json) and
+# the simplex engines (dense vs revised, BENCH_simplex.json).
 bench-json:
-	dune exec bench/main.exe -- parallel
+	dune exec bench/main.exe -- parallel simplex
 
 # Time conflict-set construction (jobs=1 vs jobs=N), verify bit-identity
 # of the hypergraphs, and write BENCH_conflict.json.
 bench-conflict:
 	dune exec bench/main.exe -- conflict
+
+# Time the dense tableau vs the revised simplex across growing LP sizes
+# and write BENCH_simplex.json (records the crossover size).
+bench-simplex:
+	dune exec bench/main.exe -- simplex
 
 examples:
 	dune exec examples/quickstart.exe

@@ -2,17 +2,21 @@
    (via Qp_experiments.Registry) and finishes with bechamel
    micro-benchmarks of the core primitives.
 
-   Usage: main.exe [--jobs N] [--trace FILE] [micro] [parallel]
-          [conflict] [EXPERIMENT-IDS...]
+   Usage: main.exe [--jobs N] [--trace FILE] [--lp-engine E] [micro]
+          [parallel] [conflict] [simplex] [EXPERIMENT-IDS...]
    With no arguments every experiment runs, in the paper's order,
-   followed by the micro-benchmarks. "micro", "parallel" and "conflict"
-   are pseudo-ids that can be mixed freely with experiment ids: "micro"
-   appends the bechamel micro-benchmarks, "parallel" times the worker
-   pool at jobs=1 vs jobs=N and writes BENCH_parallel.json, "conflict"
-   times the parallel conflict-set construction per workload and writes
-   BENCH_conflict.json. Unknown ids abort upfront (exit 2) with the
-   list of valid experiment and pseudo ids. --jobs N sets QP_JOBS for
-   the whole process; --trace FILE records the whole run as Chrome
+   followed by the micro-benchmarks. "micro", "parallel", "conflict"
+   and "simplex" are pseudo-ids that can be mixed freely with
+   experiment ids: "micro" appends the bechamel micro-benchmarks,
+   "parallel" times the worker pool at jobs=1 vs jobs=N and writes
+   BENCH_parallel.json, "conflict" times the parallel conflict-set
+   construction per workload and writes BENCH_conflict.json, "simplex"
+   times the dense tableau against the revised simplex engine across
+   growing LP sizes and writes BENCH_simplex.json. Unknown ids abort
+   upfront (exit 2) with the list of valid experiment and pseudo ids.
+   --jobs N sets QP_JOBS for the whole process; --lp-engine selects the
+   simplex engine (dense, revised or check) for everything that runs;
+   --trace FILE records the whole run as Chrome
    trace-event JSONL (aggregate with 'qpricing report'). Every
    BENCH_*.json carries a "meta" block (git commit, QP_JOBS, profile,
    UTC timestamp) identifying the run. QP_BENCH_PROFILE=full switches
@@ -311,22 +315,140 @@ let parallel_bench ~meta ctx =
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n%!"
 
-let pseudo_ids = [ "micro"; "parallel"; "conflict" ]
+(* --- simplex engine benchmark ----------------------------------------- *)
+
+(* Times the dense tableau against the revised (sparse-column, eta-file)
+   engine on pricing-shaped LPs of growing size and writes
+   BENCH_simplex.json. Pricing LPs are sparse — a handful of nonzeros
+   per row regardless of the support size — which is exactly the regime
+   where the dense tableau's O(rows * cols) per pivot loses to pricing
+   over sparse columns. The "crossover" reported at the end is the
+   smallest benchmarked size at which the revised engine wins. *)
+let simplex_bench ~meta () =
+  let module Simplex = Qp_lp.Simplex in
+  (* Feasible at x = 0 (positive rhs), bounded by an all-ones capacity
+     row; ~[nnz_per_row] structural nonzeros per row. *)
+  let instance ~n ~seed =
+    let rand = Random.State.make [| seed; n |] in
+    let nvars = n and nrows = n + 1 in
+    let nnz_per_row = 6 in
+    let c =
+      Array.init nvars (fun _ -> Float.of_int (1 + Random.State.int rand 9))
+    in
+    let rows =
+      Array.init nrows (fun i ->
+          if i = nrows - 1 then (Array.make nvars 1.0, Float.of_int (4 * n))
+          else begin
+            let a = Array.make nvars 0.0 in
+            for _ = 1 to nnz_per_row do
+              a.(Random.State.int rand nvars) <-
+                Float.of_int (1 + Random.State.int rand 4)
+            done;
+            (a, Float.of_int (10 + Random.State.int rand 40))
+          end)
+    in
+    (c, rows)
+  in
+  let objective = function
+    | Simplex.Optimal s -> s.Simplex.objective
+    | _ -> Float.nan
+  in
+  let sizes = [ 16; 32; 64; 128; 256; 512 ] in
+  print_newline ();
+  print_endline "==================================================";
+  print_endline "== simplex engines: dense tableau vs revised";
+  print_endline "==================================================";
+  let results =
+    List.map
+      (fun n ->
+        let c, rows = instance ~n ~seed:11 in
+        (* Small instances solve in microseconds; repeat until the
+           timed block is long enough to trust, and report per-solve. *)
+        let reps = max 1 (20_000_000 / (n * n * n)) in
+        let run engine =
+          ignore (Sys.opaque_identity (Simplex.solve ~engine ~c ~rows ()));
+          let t0 = Unix.gettimeofday () in
+          let outcome = ref Simplex.Unbounded in
+          for _ = 1 to reps do
+            outcome := Simplex.solve ~engine ~c ~rows ()
+          done;
+          ((Unix.gettimeofday () -. t0) /. Float.of_int reps, !outcome)
+        in
+        let td, dense = run Simplex.Dense in
+        let tr, revised = run Simplex.Revised in
+        let od = objective dense and orv = objective revised in
+        if Float.abs (od -. orv) > 1e-6 *. Float.max 1.0 (Float.abs od)
+        then begin
+          Printf.eprintf "BUG: engines disagree at n=%d (%.9g vs %.9g)\n" n od
+            orv;
+          exit 1
+        end;
+        Printf.printf
+          "  n=%-4d dense %8.4fs   revised %8.4fs   ratio %5.2fx   obj %.1f\n%!"
+          n td tr (td /. Float.max 1e-9 tr) od;
+        (n, td, tr))
+      sizes
+  in
+  (* smallest size from which the revised engine wins at every larger
+     benchmarked size too — a single noise blip at ~10 microseconds per
+     solve must not count as the crossover *)
+  let crossover =
+    let arr = Array.of_list results in
+    let best = ref None and streak = ref true in
+    for i = Array.length arr - 1 downto 0 do
+      let n, td, tr = arr.(i) in
+      if !streak && tr < td then best := Some n else streak := false
+    done;
+    !best
+  in
+  (match crossover with
+  | Some n -> Printf.printf "  crossover: revised wins from n=%d up\n" n
+  | None -> Printf.printf "  crossover: not reached on these sizes\n");
+  let oc = open_out "BENCH_simplex.json" in
+  Printf.fprintf oc "{\n  %s,\n  \"crossover_n\": %s,\n  \"sizes\": ["
+    (meta ())
+    (match crossover with Some n -> string_of_int n | None -> "null");
+  List.iteri
+    (fun i (n, td, tr) ->
+      Printf.fprintf oc
+        "%s\n    { \"n\": %d, \"seconds_dense\": %.6f, \
+         \"seconds_revised\": %.6f, \"speedup\": %.3f }"
+        (if i = 0 then "" else ",")
+        n td tr
+        (td /. Float.max 1e-9 tr))
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_simplex.json\n%!"
+
+let pseudo_ids = [ "micro"; "parallel"; "conflict"; "simplex" ]
 
 let () =
-  let rec parse jobs trace ids = function
-    | [] -> (jobs, trace, List.rev ids)
-    | "--jobs" :: n :: rest -> parse (Some n) trace ids rest
+  let rec parse jobs trace lp_engine ids = function
+    | [] -> (jobs, trace, lp_engine, List.rev ids)
+    | "--jobs" :: n :: rest -> parse (Some n) trace lp_engine ids rest
     | arg :: rest
       when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-        parse (Some (String.sub arg 7 (String.length arg - 7))) trace ids rest
-    | "--trace" :: file :: rest -> parse jobs (Some file) ids rest
+        parse
+          (Some (String.sub arg 7 (String.length arg - 7)))
+          trace lp_engine ids rest
+    | "--trace" :: file :: rest -> parse jobs (Some file) lp_engine ids rest
     | arg :: rest
       when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
-        parse jobs (Some (String.sub arg 8 (String.length arg - 8))) ids rest
-    | arg :: rest -> parse jobs trace (arg :: ids) rest
+        parse jobs
+          (Some (String.sub arg 8 (String.length arg - 8)))
+          lp_engine ids rest
+    | "--lp-engine" :: name :: rest -> parse jobs trace (Some name) ids rest
+    | arg :: rest
+      when String.length arg > 12 && String.sub arg 0 12 = "--lp-engine=" ->
+        parse jobs trace
+          (Some (String.sub arg 12 (String.length arg - 12)))
+          ids rest
+    | arg :: rest -> parse jobs trace lp_engine (arg :: ids) rest
   in
-  let jobs, trace, ids = parse None None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs, trace, lp_engine, ids =
+    parse None None None [] (List.tl (Array.to_list Sys.argv))
+  in
   (match jobs with
   | None -> ()
   | Some n -> (
@@ -334,6 +456,15 @@ let () =
       | Some j when j >= 1 -> Unix.putenv "QP_JOBS" (string_of_int j)
       | Some _ | None ->
           Printf.eprintf "bad --jobs value %S (want a positive integer)\n" n;
+          exit 2));
+  (match lp_engine with
+  | None -> ()
+  | Some name -> (
+      match Qp_lp.Simplex.engine_of_string name with
+      | Some e -> Qp_lp.Simplex.set_default_engine e
+      | None ->
+          Printf.eprintf
+            "bad --lp-engine value %S (want dense, revised or check)\n" name;
           exit 2));
   (* "micro", "parallel" and "conflict" are pseudo-ids, usable alongside
      real ones. Every id is validated before anything runs, so a typo
@@ -354,6 +485,7 @@ let () =
   let micro = List.mem "micro" ids in
   let par = List.mem "parallel" ids in
   let conflict = List.mem "conflict" ids in
+  let simplex = List.mem "simplex" ids in
   let exp_ids = List.filter (fun id -> not (List.mem id pseudo_ids)) ids in
   let entries =
     match exp_ids with
@@ -382,5 +514,6 @@ let () =
       if exp_ids <> [] || ids = [] then run_experiments ctx entries;
       if conflict then conflict_bench ~meta ctx;
       if par then parallel_bench ~meta ctx;
+      if simplex then simplex_bench ~meta ();
       if micro || ids = [] then microbenchmarks ctx);
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -28,9 +28,9 @@ let create ~n_items specs =
           invalid_arg
             (Printf.sprintf "Hypergraph.create: negative valuation for %s" name);
         let items = Array.copy items in
-        Array.sort compare items;
+        Array.sort Int.compare items;
         let items =
-          Array.of_list (List.sort_uniq compare (Array.to_list items))
+          Array.of_list (List.sort_uniq Int.compare (Array.to_list items))
         in
         Array.iter
           (fun j ->
@@ -113,7 +113,7 @@ let compute_classes t =
       incr next;
       members.(c) <- Array.of_list items;
       let es = Array.of_list pattern in
-      Array.sort compare es;
+      Array.sort Int.compare es;
       class_edges.(c) <- es;
       List.iter (fun j -> class_of_item.(j) <- c) items)
     by_pattern;

@@ -8,7 +8,7 @@ let optimal_price h =
       |> List.filter_map (fun (e : Hypergraph.edge) ->
              if Array.length e.items = 0 then None else Some e.valuation))
   in
-  Array.sort (fun a b -> compare b a) vals;
+  Array.sort (fun a b -> Float.compare b a) vals;
   let best_price = ref 0.0 and best_revenue = ref 0.0 in
   Array.iteri
     (fun j v ->

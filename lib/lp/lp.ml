@@ -71,7 +71,7 @@ let dense_of_terms nvars terms =
     terms;
   a
 
-let solve ?max_pivots ?stall_threshold p =
+let solve ?engine ?max_pivots ?stall_threshold p =
   Qp_obs.with_span "lp.solve"
     ~args:(fun () ->
       [ ("vars", Qp_obs.Int p.nvars); ("constraints", Qp_obs.Int p.nrows) ])
@@ -100,7 +100,7 @@ let solve ?max_pivots ?stall_threshold p =
     user_rows;
   let rows = Array.of_list (List.rev !sim_rows) in
   let origin = Array.of_list (List.rev !origin) in
-  match Simplex.solve ?max_pivots ?stall_threshold ~c ~rows () with
+  match Simplex.solve ?engine ?max_pivots ?stall_threshold ~c ~rows () with
   | Simplex.Infeasible -> Error Infeasible
   | Simplex.Unbounded -> Error Unbounded
   | Simplex.Budget_exhausted d -> Error (Budget_exhausted d)

@@ -55,8 +55,13 @@ val add_le : t -> (float * var) list -> float -> constr
 val add_ge : t -> (float * var) list -> float -> constr
 val add_eq : t -> (float * var) list -> float -> constr
 
-val solve : ?max_pivots:int -> ?stall_threshold:int -> t -> (solution, error) result
-(** Solve the problem as built so far. [max_pivots] and
+val solve :
+  ?engine:Simplex.engine ->
+  ?max_pivots:int ->
+  ?stall_threshold:int ->
+  t ->
+  (solution, error) result
+(** Solve the problem as built so far. [engine], [max_pivots] and
     [stall_threshold] are passed through to {!Simplex.solve}. Solver
     give-ups surface as [Error (Budget_exhausted _ | Numerical_error _)]
     — never as an exception — so callers must not conflate them with

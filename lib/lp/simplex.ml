@@ -1,3 +1,22 @@
+(* Two-phase primal simplex with two interchangeable engines.
+
+   The default engine is a *revised* simplex: the constraint matrix is
+   held as sparse columns (Sparse), the basis inverse as an eta-file
+   factorization (Basis), and each iteration prices the non-basic
+   columns against freshly BTRAN'd duals. Per-pivot cost is the fill
+   of the eta file plus the nonzeros of the matrix, instead of the
+   dense tableau's O(rows * cols) elimination — which is what lifts
+   the LP scale wall for LPIP/CIP on larger supports.
+
+   The previous dense tableau survives as a reference oracle: select
+   it with QP_LP_ENGINE=dense (or ?engine / set_default_engine), and
+   QP_LP_ENGINE=check runs both engines on every solve and counts
+   disagreements (see cross_check_mismatches). Both engines share the
+   same pivot rules (Dantzig pricing, Bland's-rule stall fallback,
+   identical ratio-test tie-breaking) and the same scale-relative
+   Tolerance thresholds, so on well-conditioned instances they agree
+   to rounding. *)
+
 type diagnostics = {
   pivots : int;
   phase1_pivots : int;
@@ -19,110 +38,52 @@ and solution = {
   dual : float array;
 }
 
-let eps = 1e-9
+(* --- engine selection ------------------------------------------------- *)
 
-(* Tableau layout: columns [0, nvars) are structural variables, columns
-   [nvars, nvars + nrows) are slacks, then one artificial column per row
-   whose rhs was negative. Each row is stored with its rhs in the last
-   cell. [obj] holds the reduced costs of the current basis; [obj_val]
-   the current objective value. *)
-type tableau = {
-  nvars : int;
-  nrows : int;
-  ncols : int;
-  rows : float array array;
-  obj : float array;
-  mutable obj_val : float;
-  basis : int array;
-  art_first : int; (* index of the first artificial column *)
-  mutable pivots : int;
-  mutable degenerate : int; (* pivots whose leaving row had rhs ~ 0 *)
-  max_pivots : int;
-  stall_threshold : int;
-  mutable stall : int; (* consecutive degenerate pivots *)
-  mutable bland : bool; (* anti-cycling rule active in this phase *)
-  mutable bland_ever : bool;
-}
+type engine = Dense | Revised | Check
 
-let pivot t r col =
-  let row = t.rows.(r) in
-  let p = row.(col) in
-  if Float.abs row.(t.ncols) <= eps then begin
-    t.degenerate <- t.degenerate + 1;
-    t.stall <- t.stall + 1
-  end
-  else t.stall <- 0;
-  for j = 0 to t.ncols do
-    row.(j) <- row.(j) /. p
-  done;
-  let eliminate target =
-    let f = target.(col) in
-    if Float.abs f > 0.0 then
-      for j = 0 to t.ncols do
-        target.(j) <- target.(j) -. (f *. row.(j))
-      done
-  in
-  for i = 0 to t.nrows - 1 do
-    if i <> r then eliminate t.rows.(i)
-  done;
-  let f = t.obj.(col) in
-  if Float.abs f > 0.0 then begin
-    for j = 0 to t.ncols do
-      t.obj.(j) <- t.obj.(j) -. (f *. row.(j))
-    done;
-    t.obj_val <- t.obj_val +. (f *. row.(t.ncols))
-  end;
-  t.basis.(r) <- col;
-  t.pivots <- t.pivots + 1
+let engine_name = function
+  | Dense -> "dense"
+  | Revised -> "revised"
+  | Check -> "check"
 
-(* Entering-column choice: Dantzig's rule until the anti-cycling
-   fallback engages, then Bland's rule (smallest eligible index), which
-   guarantees termination under degeneracy. [allowed] filters out banned
-   columns (artificials during phase 2). *)
-let entering t ~allowed =
-  if t.bland then begin
-    let found = ref (-1) in
-    (try
-       for j = 0 to t.ncols - 1 do
-         if allowed j && t.obj.(j) > eps then begin
-           found := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    !found
-  end
-  else begin
-    let best = ref (-1) and best_val = ref eps in
-    for j = 0 to t.ncols - 1 do
-      if allowed j && t.obj.(j) > !best_val then begin
-        best := j;
-        best_val := t.obj.(j)
-      end
-    done;
-    !best
-  end
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dense" -> Some Dense
+  | "revised" | "sparse" -> Some Revised
+  | "check" | "cross-check" -> Some Check
+  | _ -> None
 
-(* Ratio test with lexicographic-ish tie-breaking on the basis index,
-   which in combination with Bland's entering rule prevents cycling. *)
-let leaving t col =
-  let best = ref (-1) and best_ratio = ref infinity in
-  for i = 0 to t.nrows - 1 do
-    let a = t.rows.(i).(col) in
-    if a > eps then begin
-      let ratio = t.rows.(i).(t.ncols) /. a in
-      if
-        ratio < !best_ratio -. eps
-        || (ratio < !best_ratio +. eps
-           && !best >= 0
-           && t.basis.(i) < t.basis.(!best))
-      then begin
-        best := i;
-        best_ratio := ratio
-      end
-    end
-  done;
-  !best
+(* Like QP_FAULTS: a malformed engine name aborts at load time, because
+   silently benchmarking the wrong engine is worse than exiting. *)
+let initial_engine =
+  match Sys.getenv_opt "QP_LP_ENGINE" with
+  | None | Some "" -> Revised
+  | Some s -> (
+      match engine_of_string s with
+      | Some e -> e
+      | None ->
+          Printf.eprintf
+            "QP_LP_ENGINE: unknown engine %S (known: dense, revised, check)\n%!"
+            s;
+          exit 2)
+
+let engine_ref = ref initial_engine
+let default_engine () = !engine_ref
+let set_default_engine e = engine_ref := e
+
+let with_engine e f =
+  let saved = !engine_ref in
+  engine_ref := e;
+  Fun.protect ~finally:(fun () -> engine_ref := saved) f
+
+(* Cross-check disagreements survive independently of tracing, so tests
+   can assert zero without enabling Qp_obs. *)
+let mismatches = ref 0
+let cross_check_mismatches () = !mismatches
+let reset_cross_check_mismatches () = mismatches := 0
+
+(* --- shared pieces ---------------------------------------------------- *)
 
 type phase_result =
   | Phase_optimal
@@ -130,246 +91,962 @@ type phase_result =
   | Phase_budget of string
   | Phase_numerical of string
 
-(* Anti-cycling: Bland's rule engages when the phase stalls — too many
-   consecutive degenerate pivots (a cycle is all-degenerate, so any
-   cycle trips this quickly) — or, as a legacy backstop, after an
-   absolute pivot count. [stall_threshold = max_int] disables both,
-   exposing the raw Dantzig rule for the cycling tests. *)
-let run_phase t ~allowed =
-  let start = t.pivots in
-  let bland_after =
-    if t.stall_threshold = max_int then max_int
-    else max 2000 (20 * (t.nrows + t.nvars))
-  in
-  t.bland <- false;
-  t.stall <- 0;
-  let rec loop () =
-    if Qp_fault.enabled () then
-      match Qp_fault.check ~key:t.pivots "simplex.pivot" with
-      | Some Qp_fault.Fail -> raise (Qp_fault.Injected "simplex.pivot")
-      | Some Qp_fault.Nan -> Phase_numerical "injected nan"
-      | Some Qp_fault.Stall -> Phase_budget "injected stall"
-      | None -> step ()
-    else step ()
-  and step () =
-    if t.pivots >= t.max_pivots then
-      Phase_budget (Printf.sprintf "pivot budget %d exceeded" t.max_pivots)
-    else begin
-      if
-        (not t.bland)
-        && (t.stall > t.stall_threshold || t.pivots - start > bland_after)
-      then begin
-        t.bland <- true;
-        t.bland_ever <- true;
-        Qp_obs.counter "simplex.bland_engaged" 1;
-        Qp_obs.event "simplex.bland_engaged"
-          ~args:(fun () ->
-            [
-              ("pivots", Qp_obs.Int t.pivots);
-              ("consecutive_degenerate", Qp_obs.Int t.stall);
-            ])
-      end;
-      let col = entering t ~allowed in
-      if col < 0 then Phase_optimal
-      else
-        let r = leaving t col in
-        if r < 0 then Phase_unbounded
-        else begin
-          pivot t r col;
-          if Float.is_finite t.obj_val then loop ()
-          else Phase_numerical "non-finite objective after pivot"
-        end
-    end
-  in
-  loop ()
+(* What an engine run reports back to the dispatcher for tracing. *)
+type run_stats = {
+  s_pivots : int;
+  s_phase1 : int;
+  s_degenerate : int;
+  s_bland : bool;
+  s_etas : int;
+  s_refactors : int;
+  s_fill : int;
+}
 
-let diagnostics t ~phase1_pivots ~detail =
+let mk_diagnostics ~pivots ~phase1_pivots ~degenerate ~bland ~detail =
   {
-    pivots = t.pivots;
+    pivots;
     phase1_pivots;
-    degenerate_pivots = t.degenerate;
-    bland_engaged = t.bland_ever;
+    degenerate_pivots = degenerate;
+    bland_engaged = bland;
     detail;
   }
 
-let solve ?(max_pivots = 50_000) ?(stall_threshold = 1024) ~c ~rows () =
+let bland_cutoff ~stall_threshold ~nrows ~nvars =
+  if stall_threshold = max_int then max_int
+  else max 2000 (20 * (nrows + nvars))
+
+let note_bland_engaged ~pivots ~stall =
+  Qp_obs.counter "simplex.bland_engaged" 1;
+  Qp_obs.event "simplex.bland_engaged"
+    ~args:(fun () ->
+      [
+        ("pivots", Qp_obs.Int pivots);
+        ("consecutive_degenerate", Qp_obs.Int stall);
+      ])
+
+(* --- dense tableau engine (reference oracle) --------------------------- *)
+
+module Dense_engine = struct
+  (* Tableau layout: columns [0, nvars) are structural variables, columns
+     [nvars, nvars + nrows) are slacks, then one artificial column per
+     row whose rhs was negative. Each row is stored with its rhs in the
+     last cell. [obj] holds the reduced costs of the current basis;
+     [obj_val] the current objective value. *)
+  type tableau = {
+    nvars : int;
+    nrows : int;
+    ncols : int;
+    rows : float array array;
+    obj : float array;
+    mutable obj_val : float;
+    basis : int array;
+    art_first : int; (* index of the first artificial column *)
+    mutable pivots : int;
+    mutable degenerate : int; (* pivots whose leaving row had rhs ~ 0 *)
+    max_pivots : int;
+    stall_threshold : int;
+    mutable stall : int; (* consecutive degenerate pivots *)
+    mutable bland : bool; (* anti-cycling rule active in this phase *)
+    mutable bland_ever : bool;
+    tol : Tolerance.t;
+  }
+
+  let pivot t r col =
+    let row = t.rows.(r) in
+    let p = row.(col) in
+    if Float.abs row.(t.ncols) <= t.tol.Tolerance.feasibility then begin
+      t.degenerate <- t.degenerate + 1;
+      t.stall <- t.stall + 1
+    end
+    else t.stall <- 0;
+    for j = 0 to t.ncols do
+      row.(j) <- row.(j) /. p
+    done;
+    let eliminate target =
+      let f = target.(col) in
+      if Float.abs f > 0.0 then
+        for j = 0 to t.ncols do
+          target.(j) <- target.(j) -. (f *. row.(j))
+        done
+    in
+    for i = 0 to t.nrows - 1 do
+      if i <> r then eliminate t.rows.(i)
+    done;
+    let f = t.obj.(col) in
+    if Float.abs f > 0.0 then begin
+      for j = 0 to t.ncols do
+        t.obj.(j) <- t.obj.(j) -. (f *. row.(j))
+      done;
+      t.obj_val <- t.obj_val +. (f *. row.(t.ncols))
+    end;
+    t.basis.(r) <- col;
+    t.pivots <- t.pivots + 1
+
+  (* Entering-column choice: Dantzig's rule until the anti-cycling
+     fallback engages, then Bland's rule (smallest eligible index), which
+     guarantees termination under degeneracy. [allowed] filters out banned
+     columns (artificials during phase 2). *)
+  let entering t ~allowed ~etol =
+    if t.bland then begin
+      let found = ref (-1) in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && t.obj.(j) > etol then begin
+             found := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+    else begin
+      let best = ref (-1) and best_val = ref etol in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && t.obj.(j) > !best_val then begin
+          best := j;
+          best_val := t.obj.(j)
+        end
+      done;
+      !best
+    end
+
+  (* Ratio test with lexicographic-ish tie-breaking on the basis index,
+     which in combination with Bland's entering rule prevents cycling. *)
+  let leaving t col =
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to t.nrows - 1 do
+      let a = t.rows.(i).(col) in
+      if a > t.tol.Tolerance.pivot then begin
+        let ratio = t.rows.(i).(t.ncols) /. a in
+        if
+          Tolerance.ratio_lt ratio !best_ratio
+          || (Tolerance.ratio_tied ratio !best_ratio
+             && !best >= 0
+             && t.basis.(i) < t.basis.(!best))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    !best
+
+  (* Anti-cycling: Bland's rule engages when the phase stalls — too many
+     consecutive degenerate pivots (a cycle is all-degenerate, so any
+     cycle trips this quickly) — or, as a legacy backstop, after an
+     absolute pivot count. [stall_threshold = max_int] disables both,
+     exposing the raw Dantzig rule for the cycling tests. *)
+  let run_phase t ~allowed ~etol =
+    let start = t.pivots in
+    let bland_after =
+      bland_cutoff ~stall_threshold:t.stall_threshold ~nrows:t.nrows
+        ~nvars:t.nvars
+    in
+    t.bland <- false;
+    t.stall <- 0;
+    let rec loop () =
+      if Qp_fault.enabled () then
+        match Qp_fault.check ~key:t.pivots "simplex.pivot" with
+        | Some Qp_fault.Fail -> raise (Qp_fault.Injected "simplex.pivot")
+        | Some Qp_fault.Nan -> Phase_numerical "injected nan"
+        | Some Qp_fault.Stall -> Phase_budget "injected stall"
+        | None -> step ()
+      else step ()
+    and step () =
+      if t.pivots >= t.max_pivots then
+        Phase_budget (Printf.sprintf "pivot budget %d exceeded" t.max_pivots)
+      else begin
+        if
+          (not t.bland)
+          && (t.stall > t.stall_threshold || t.pivots - start > bland_after)
+        then begin
+          t.bland <- true;
+          t.bland_ever <- true;
+          note_bland_engaged ~pivots:t.pivots ~stall:t.stall
+        end;
+        let col = entering t ~allowed ~etol in
+        if col < 0 then Phase_optimal
+        else
+          let r = leaving t col in
+          if r < 0 then Phase_unbounded
+          else begin
+            pivot t r col;
+            if Float.is_finite t.obj_val then loop ()
+            else Phase_numerical "non-finite objective after pivot"
+          end
+      end
+    in
+    loop ()
+
+  let diagnostics t ~phase1_pivots ~detail =
+    mk_diagnostics ~pivots:t.pivots ~phase1_pivots ~degenerate:t.degenerate
+      ~bland:t.bland_ever ~detail
+
+  let solve ~tol ~max_pivots ~stall_threshold ~c ~rows =
+    let nvars = Array.length c in
+    let nrows = Array.length rows in
+    let negated = Array.map (fun (_, b) -> b < 0.0) rows in
+    let n_art =
+      Array.fold_left (fun acc n -> if n then acc + 1 else acc) 0 negated
+    in
+    let art_first = nvars + nrows in
+    let ncols = nvars + nrows + n_art in
+    let t =
+      {
+        nvars;
+        nrows;
+        ncols;
+        rows = Array.init nrows (fun _ -> Array.make (ncols + 1) 0.0);
+        obj = Array.make (ncols + 1) 0.0;
+        obj_val = 0.0;
+        basis = Array.make nrows 0;
+        art_first;
+        pivots = 0;
+        degenerate = 0;
+        max_pivots;
+        stall_threshold;
+        stall = 0;
+        bland = false;
+        bland_ever = false;
+        tol;
+      }
+    in
+    let next_art = ref art_first in
+    Array.iteri
+      (fun i (a, b) ->
+        let row = t.rows.(i) in
+        let sign = if negated.(i) then -1.0 else 1.0 in
+        Array.iteri (fun j v -> row.(j) <- sign *. v) a;
+        row.(nvars + i) <- sign;
+        row.(ncols) <- sign *. b;
+        if negated.(i) then begin
+          row.(!next_art) <- 1.0;
+          t.basis.(i) <- !next_art;
+          incr next_art
+        end
+        else t.basis.(i) <- nvars + i)
+      rows;
+    let all_allowed _ = true in
+    let no_artificials j = j < t.art_first in
+    let phase1 =
+      if n_art = 0 then `Feasible
+      else begin
+        (* Phase 1: minimize the sum of artificials, expressed as
+           maximizing reduced costs built from the artificial rows. *)
+        for i = 0 to nrows - 1 do
+          if t.basis.(i) >= art_first then begin
+            let row = t.rows.(i) in
+            for j = 0 to ncols do
+              t.obj.(j) <- t.obj.(j) +. row.(j)
+            done
+          end
+        done;
+        for j = art_first to ncols - 1 do
+          t.obj.(j) <- 0.0
+        done;
+        match
+          run_phase t ~allowed:all_allowed ~etol:tol.Tolerance.entering_phase1
+        with
+        | Phase_unbounded ->
+            (* The phase-1 objective is bounded by 0; reaching this means
+               the arithmetic went bad, not the instance. *)
+            `Abort
+              (Numerical_error
+                 (diagnostics t ~phase1_pivots:t.pivots
+                    ~detail:"phase 1 reported unbounded"))
+        | Phase_budget detail ->
+            `Abort
+              (Budget_exhausted (diagnostics t ~phase1_pivots:t.pivots ~detail))
+        | Phase_numerical detail ->
+            `Abort
+              (Numerical_error (diagnostics t ~phase1_pivots:t.pivots ~detail))
+        | Phase_optimal ->
+            let residual = ref 0.0 in
+            for i = 0 to nrows - 1 do
+              if t.basis.(i) >= art_first then
+                residual := !residual +. t.rows.(i).(ncols)
+            done;
+            if !residual > tol.Tolerance.residual then `Infeasible
+            else begin
+              (* Drive any degenerate artificial out of the basis when a
+                 non-artificial pivot exists; a fully zero row is redundant
+                 and can safely keep its zero-valued artificial as long as
+                 artificial columns are banned from re-entering. *)
+              for i = 0 to nrows - 1 do
+                if t.basis.(i) >= art_first then begin
+                  let found = ref (-1) in
+                  (try
+                     for j = 0 to art_first - 1 do
+                       if Float.abs t.rows.(i).(j) > tol.Tolerance.pivot
+                       then begin
+                         found := j;
+                         raise Exit
+                       end
+                     done
+                   with Exit -> ());
+                  if !found >= 0 then pivot t i !found
+                end
+              done;
+              `Feasible
+            end
+      end
+    in
+    let phase1_pivots = t.pivots in
+    let outcome =
+      match phase1 with
+      | `Abort outcome -> outcome
+      | `Infeasible -> Infeasible
+      | `Feasible -> begin
+          (* Phase 2: rebuild reduced costs for the real objective under
+             the current basis. *)
+          Array.fill t.obj 0 (ncols + 1) 0.0;
+          t.obj_val <- 0.0;
+          Array.blit c 0 t.obj 0 nvars;
+          for i = 0 to nrows - 1 do
+            let b = t.basis.(i) in
+            if b < nvars && Float.abs c.(b) > 0.0 then begin
+              let cb = c.(b) in
+              let row = t.rows.(i) in
+              for j = 0 to ncols do
+                t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
+              done;
+              t.obj_val <- t.obj_val +. (cb *. row.(ncols))
+            end
+          done;
+          match
+            run_phase t ~allowed:no_artificials
+              ~etol:tol.Tolerance.entering_phase2
+          with
+          | Phase_unbounded -> Unbounded
+          | Phase_budget detail ->
+              Budget_exhausted (diagnostics t ~phase1_pivots ~detail)
+          | Phase_numerical detail ->
+              Numerical_error (diagnostics t ~phase1_pivots ~detail)
+          | Phase_optimal ->
+              let primal = Array.make nvars 0.0 in
+              for i = 0 to nrows - 1 do
+                if t.basis.(i) < nvars then
+                  primal.(t.basis.(i)) <- t.rows.(i).(ncols)
+              done;
+              let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
+              (* Final guard: NaN coefficients fail every comparison in
+                 the entering rule, so a poisoned tableau can "converge";
+                 refuse to report such a solution as optimal. *)
+              let finite =
+                Float.is_finite t.obj_val
+                && Array.for_all Float.is_finite primal
+                && Array.for_all Float.is_finite dual
+              in
+              if finite then Optimal { objective = t.obj_val; primal; dual }
+              else
+                Numerical_error
+                  (diagnostics t ~phase1_pivots
+                     ~detail:"non-finite value in reported solution")
+        end
+    in
+    let stats =
+      {
+        s_pivots = t.pivots;
+        s_phase1 = phase1_pivots;
+        s_degenerate = t.degenerate;
+        s_bland = t.bland_ever;
+        s_etas = 0;
+        s_refactors = 0;
+        s_fill = 0;
+      }
+    in
+    (outcome, stats)
+end
+
+(* --- revised engine (sparse columns, eta-file basis) ------------------- *)
+
+module Revised_engine = struct
+  (* Column layout matches the dense tableau: [0, nvars) structural,
+     [nvars, nvars + nrows) slacks (coefficient = row sign), then one
+     +1 artificial per negated row. The basis invariant is
+     ftran(cols.(basis.(i))) = e_i and xb = ftran(b'), maintained by
+     appending one eta per pivot and refreshed wholesale at
+     refactorization. *)
+  type state = {
+    nvars : int;
+    nrows : int;
+    ncols : int;
+    art_first : int;
+    cols : Sparse.col array;
+    cost2 : float array; (* phase-2 objective per column *)
+    b : float array; (* sign-transformed rhs, >= 0 *)
+    sign : float array; (* per-row +-1, for dual extraction *)
+    basis : int array; (* row -> column *)
+    in_basis : bool array; (* column -> basic? *)
+    xb : float array; (* current basic values, by row *)
+    bas : Basis.t;
+    y : float array; (* scratch: duals / btran workspace *)
+    d : float array; (* scratch: FTRAN'd entering column *)
+    mutable last_rebuild : int; (* eta count right after last reinversion *)
+    mutable obj_val : float;
+    mutable pivots : int;
+    mutable degenerate : int;
+    mutable stall : int;
+    mutable bland : bool;
+    mutable bland_ever : bool;
+    mutable refactors : int;
+    mutable max_fill : int;
+    max_pivots : int;
+    stall_threshold : int;
+    refactor_every : int;
+    tol : Tolerance.t;
+  }
+
+  let zero (a : float array) = Array.fill a 0 (Array.length a) 0.0
+
+  let phase_cost st ~phase1 j =
+    if phase1 then if j >= st.art_first then -1.0 else 0.0 else st.cost2.(j)
+
+  (* y := c_B B^-1 for the current phase's objective. *)
+  let compute_duals st ~phase1 =
+    zero st.y;
+    for i = 0 to st.nrows - 1 do
+      let cb = phase_cost st ~phase1 st.basis.(i) in
+      if cb <> 0.0 then st.y.(i) <- cb
+    done;
+    Basis.btran st.bas st.y
+
+  let reduced_cost st ~phase1 j =
+    phase_cost st ~phase1 j -. Sparse.dot st.cols.(j) st.y
+
+  (* Entering column under the current rule; returns (column, reduced
+     cost) or (-1, _). Mirrors the dense engine: Dantzig picks the most
+     positive reduced cost (first index on ties), Bland the smallest
+     eligible index. Basic columns price to exactly zero and are
+     skipped. *)
+  let entering st ~phase1 ~allowed ~etol =
+    compute_duals st ~phase1;
+    if st.bland then begin
+      let found = ref (-1) and rc = ref 0.0 in
+      (try
+         for j = 0 to st.ncols - 1 do
+           if (not st.in_basis.(j)) && allowed j then begin
+             let r = reduced_cost st ~phase1 j in
+             if r > etol then begin
+               found := j;
+               rc := r;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      (!found, !rc)
+    end
+    else begin
+      let best = ref (-1) and best_val = ref etol in
+      for j = 0 to st.ncols - 1 do
+        if (not st.in_basis.(j)) && allowed j then begin
+          let r = reduced_cost st ~phase1 j in
+          if r > !best_val then begin
+            best := j;
+            best_val := r
+          end
+        end
+      done;
+      (!best, !best_val)
+    end
+
+  (* d := B^-1 A_j (dense scratch). *)
+  let ftran_col st j =
+    zero st.d;
+    Sparse.scatter st.cols.(j) st.d;
+    Basis.ftran st.bas st.d
+
+  let leaving st =
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to st.nrows - 1 do
+      let a = st.d.(i) in
+      if a > st.tol.Tolerance.pivot then begin
+        let ratio = st.xb.(i) /. a in
+        if
+          Tolerance.ratio_lt ratio !best_ratio
+          || (Tolerance.ratio_tied ratio !best_ratio
+             && !best >= 0
+             && st.basis.(i) < st.basis.(!best))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    !best
+
+  let pivot st ~r ~q ~rc =
+    if Float.abs st.xb.(r) <= st.tol.Tolerance.feasibility then begin
+      st.degenerate <- st.degenerate + 1;
+      st.stall <- st.stall + 1
+    end
+    else st.stall <- 0;
+    let theta = st.xb.(r) /. st.d.(r) in
+    for i = 0 to st.nrows - 1 do
+      if i <> r && st.d.(i) <> 0.0 then
+        st.xb.(i) <- st.xb.(i) -. (theta *. st.d.(i))
+    done;
+    st.xb.(r) <- theta;
+    st.obj_val <- st.obj_val +. (theta *. rc);
+    Basis.push st.bas ~r st.d;
+    st.max_fill <- max st.max_fill (Basis.fill st.bas);
+    st.in_basis.(st.basis.(r)) <- false;
+    st.in_basis.(q) <- true;
+    st.basis.(r) <- q;
+    st.pivots <- st.pivots + 1
+
+  (* Reinversion: rebuild the eta file from the current basis columns,
+     cheapest (fewest-nonzero) columns first so identity columns create
+     no etas at all. Re-deriving xb from b' flushes the roundoff the
+     incremental updates accumulate. Returns false on a numerically
+     singular basis. *)
+  let refactorize st ~phase1 =
+    Basis.reset st.bas;
+    let order = Array.init st.nrows Fun.id in
+    Array.sort
+      (fun p1 p2 ->
+        let n1 = Sparse.nnz st.cols.(st.basis.(p1))
+        and n2 = Sparse.nnz st.cols.(st.basis.(p2)) in
+        if n1 <> n2 then Int.compare n1 n2
+        else Int.compare st.basis.(p1) st.basis.(p2))
+      order;
+    let assigned = Array.make st.nrows false in
+    let newbasis = Array.make st.nrows (-1) in
+    let ok = ref true in
+    (try
+       Array.iter
+         (fun p ->
+           let q = st.basis.(p) in
+           ftran_col st q;
+           let r = ref (-1) and mag = ref 0.0 in
+           for i = 0 to st.nrows - 1 do
+             let a = Float.abs st.d.(i) in
+             if (not assigned.(i)) && a > !mag then begin
+               r := i;
+               mag := a
+             end
+           done;
+           if !r < 0 || !mag <= st.tol.Tolerance.pivot then begin
+             ok := false;
+             raise Exit
+           end;
+           Basis.push st.bas ~r:!r st.d;
+           assigned.(!r) <- true;
+           newbasis.(!r) <- q)
+         order
+     with Exit -> ());
+    if !ok then begin
+      Array.blit newbasis 0 st.basis 0 st.nrows;
+      Array.blit st.b 0 st.xb 0 st.nrows;
+      Basis.ftran st.bas st.xb;
+      st.obj_val <- 0.0;
+      for i = 0 to st.nrows - 1 do
+        st.obj_val <-
+          st.obj_val +. (phase_cost st ~phase1 st.basis.(i) *. st.xb.(i))
+      done;
+      st.last_rebuild <- Basis.eta_count st.bas;
+      st.max_fill <- max st.max_fill (Basis.fill st.bas);
+      st.refactors <- st.refactors + 1;
+      Qp_obs.counter "simplex.refactorizations" 1
+    end;
+    !ok
+
+  let run_phase st ~phase1 ~allowed ~etol =
+    let start = st.pivots in
+    let bland_after =
+      bland_cutoff ~stall_threshold:st.stall_threshold ~nrows:st.nrows
+        ~nvars:st.nvars
+    in
+    st.bland <- false;
+    st.stall <- 0;
+    let rec loop () =
+      if Qp_fault.enabled () then
+        match Qp_fault.check ~key:st.pivots "simplex.pivot" with
+        | Some Qp_fault.Fail -> raise (Qp_fault.Injected "simplex.pivot")
+        | Some Qp_fault.Nan -> Phase_numerical "injected nan"
+        | Some Qp_fault.Stall -> Phase_budget "injected stall"
+        | None -> step ()
+      else step ()
+    and step () =
+      if st.pivots >= st.max_pivots then
+        Phase_budget (Printf.sprintf "pivot budget %d exceeded" st.max_pivots)
+      else begin
+        if
+          (not st.bland)
+          && (st.stall > st.stall_threshold || st.pivots - start > bland_after)
+        then begin
+          st.bland <- true;
+          st.bland_ever <- true;
+          note_bland_engaged ~pivots:st.pivots ~stall:st.stall
+        end;
+        if
+          Basis.eta_count st.bas - st.last_rebuild >= st.refactor_every
+          && not (refactorize st ~phase1)
+        then Phase_numerical "singular basis at refactorization"
+        else begin
+          let q, rc = entering st ~phase1 ~allowed ~etol in
+          if q < 0 then Phase_optimal
+          else begin
+            ftran_col st q;
+            let r = leaving st in
+            if r < 0 then Phase_unbounded
+            else begin
+              pivot st ~r ~q ~rc;
+              if Float.is_finite st.obj_val then loop ()
+              else Phase_numerical "non-finite objective after pivot"
+            end
+          end
+        end
+      end
+    in
+    loop ()
+
+  let diagnostics st ~phase1_pivots ~detail =
+    mk_diagnostics ~pivots:st.pivots ~phase1_pivots ~degenerate:st.degenerate
+      ~bland:st.bland_ever ~detail
+
+  (* Drive degenerate artificials out of the basis after phase 1, like
+     the dense engine's row scan: tableau row i is e_i B^-1 A, read off
+     one column at a time against the BTRAN'd unit vector. *)
+  let drive_out st =
+    for i = 0 to st.nrows - 1 do
+      if st.basis.(i) >= st.art_first then begin
+        zero st.y;
+        st.y.(i) <- 1.0;
+        Basis.btran st.bas st.y;
+        let found = ref (-1) in
+        (try
+           for j = 0 to st.art_first - 1 do
+             if
+               (not st.in_basis.(j))
+               && Float.abs (Sparse.dot st.cols.(j) st.y)
+                  > st.tol.Tolerance.pivot
+             then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then begin
+          ftran_col st !found;
+          pivot st ~r:i ~q:!found ~rc:0.0
+        end
+      end
+    done
+
+  let solve ~tol ~max_pivots ~stall_threshold ~refactor_every ~c ~rows =
+    let nvars = Array.length c in
+    let nrows = Array.length rows in
+    let negated = Array.map (fun (_, b) -> b < 0.0) rows in
+    let n_art =
+      Array.fold_left (fun acc n -> if n then acc + 1 else acc) 0 negated
+    in
+    let art_first = nvars + nrows in
+    let ncols = art_first + n_art in
+    (* Sparse structural columns, sign-transformed per row. *)
+    let counts = Array.make nvars 0 in
+    Array.iter
+      (fun (a, _) ->
+        Array.iteri (fun j v -> if v <> 0.0 then counts.(j) <- counts.(j) + 1) a)
+      rows;
+    let cols = Array.make ncols Sparse.empty in
+    let fillk = Array.make nvars 0 in
+    for j = 0 to nvars - 1 do
+      cols.(j) <-
+        (if counts.(j) = 0 then Sparse.empty
+         else { Sparse.idx = Array.make counts.(j) 0; v = Array.make counts.(j) 0.0 })
+    done;
+    Array.iteri
+      (fun i (a, _) ->
+        let s = if negated.(i) then -1.0 else 1.0 in
+        Array.iteri
+          (fun j v ->
+            if v <> 0.0 then begin
+              let col = cols.(j) in
+              let k = fillk.(j) in
+              col.Sparse.idx.(k) <- i;
+              col.Sparse.v.(k) <- s *. v;
+              fillk.(j) <- k + 1
+            end)
+          a)
+      rows;
+    let sign =
+      Array.init nrows (fun i -> if negated.(i) then -1.0 else 1.0)
+    in
+    let b = Array.make nrows 0.0 in
+    let basis = Array.make nrows 0 in
+    let in_basis = Array.make ncols false in
+    let next_art = ref art_first in
+    Array.iteri
+      (fun i (_, bi) ->
+        cols.(nvars + i) <- Sparse.unit i sign.(i);
+        b.(i) <- sign.(i) *. bi;
+        if negated.(i) then begin
+          cols.(!next_art) <- Sparse.unit i 1.0;
+          basis.(i) <- !next_art;
+          incr next_art
+        end
+        else basis.(i) <- nvars + i)
+      rows;
+    Array.iter (fun q -> in_basis.(q) <- true) basis;
+    let cost2 = Array.make ncols 0.0 in
+    Array.blit c 0 cost2 0 nvars;
+    let st =
+      {
+        nvars;
+        nrows;
+        ncols;
+        art_first;
+        cols;
+        cost2;
+        b;
+        sign;
+        basis;
+        in_basis;
+        xb = Array.copy b;
+        bas = Basis.create nrows;
+        y = Array.make nrows 0.0;
+        d = Array.make nrows 0.0;
+        last_rebuild = 0;
+        obj_val = 0.0;
+        pivots = 0;
+        degenerate = 0;
+        stall = 0;
+        bland = false;
+        bland_ever = false;
+        refactors = 0;
+        max_fill = 0;
+        max_pivots;
+        stall_threshold;
+        refactor_every;
+        tol;
+      }
+    in
+    let all_allowed _ = true in
+    let no_artificials j = j < st.art_first in
+    let phase1 =
+      if n_art = 0 then `Feasible
+      else begin
+        for i = 0 to nrows - 1 do
+          if st.basis.(i) >= art_first then
+            st.obj_val <- st.obj_val -. st.xb.(i)
+        done;
+        match
+          run_phase st ~phase1:true ~allowed:all_allowed
+            ~etol:tol.Tolerance.entering_phase1
+        with
+        | Phase_unbounded ->
+            (* The phase-1 objective is bounded by 0; reaching this means
+               the arithmetic went bad, not the instance. *)
+            `Abort
+              (Numerical_error
+                 (diagnostics st ~phase1_pivots:st.pivots
+                    ~detail:"phase 1 reported unbounded"))
+        | Phase_budget detail ->
+            `Abort
+              (Budget_exhausted
+                 (diagnostics st ~phase1_pivots:st.pivots ~detail))
+        | Phase_numerical detail ->
+            `Abort
+              (Numerical_error (diagnostics st ~phase1_pivots:st.pivots ~detail))
+        | Phase_optimal ->
+            let residual = ref 0.0 in
+            for i = 0 to nrows - 1 do
+              if st.basis.(i) >= art_first then
+                residual := !residual +. st.xb.(i)
+            done;
+            if !residual > tol.Tolerance.residual then `Infeasible
+            else begin
+              drive_out st;
+              `Feasible
+            end
+      end
+    in
+    let phase1_pivots = st.pivots in
+    let outcome =
+      match phase1 with
+      | `Abort outcome -> outcome
+      | `Infeasible -> Infeasible
+      | `Feasible -> begin
+          st.obj_val <- 0.0;
+          for i = 0 to nrows - 1 do
+            st.obj_val <-
+              st.obj_val +. (st.cost2.(st.basis.(i)) *. st.xb.(i))
+          done;
+          match
+            run_phase st ~phase1:false ~allowed:no_artificials
+              ~etol:tol.Tolerance.entering_phase2
+          with
+          | Phase_unbounded -> Unbounded
+          | Phase_budget detail ->
+              Budget_exhausted (diagnostics st ~phase1_pivots ~detail)
+          | Phase_numerical detail ->
+              Numerical_error (diagnostics st ~phase1_pivots ~detail)
+          | Phase_optimal ->
+              let primal = Array.make nvars 0.0 in
+              for i = 0 to nrows - 1 do
+                if st.basis.(i) < nvars then primal.(st.basis.(i)) <- st.xb.(i)
+              done;
+              (* Recompute the objective from the basis instead of
+                 trusting the running total. *)
+              let objective = ref 0.0 in
+              for i = 0 to nrows - 1 do
+                objective :=
+                  !objective +. (st.cost2.(st.basis.(i)) *. st.xb.(i))
+              done;
+              compute_duals st ~phase1:false;
+              let dual = Array.init nrows (fun i -> st.sign.(i) *. st.y.(i)) in
+              let finite =
+                Float.is_finite !objective
+                && Array.for_all Float.is_finite primal
+                && Array.for_all Float.is_finite dual
+              in
+              if finite then Optimal { objective = !objective; primal; dual }
+              else
+                Numerical_error
+                  (diagnostics st ~phase1_pivots
+                     ~detail:"non-finite value in reported solution")
+        end
+    in
+    let stats =
+      {
+        s_pivots = st.pivots;
+        s_phase1 = phase1_pivots;
+        s_degenerate = st.degenerate;
+        s_bland = st.bland_ever;
+        s_etas = Basis.eta_count st.bas;
+        s_refactors = st.refactors;
+        s_fill = st.max_fill;
+      }
+    in
+    (outcome, stats)
+end
+
+(* --- cross-check ------------------------------------------------------- *)
+
+(* Engines may legitimately differ on give-ups (pivot budgets bite at
+   different counts), and alternate optima make primal/dual vectors
+   non-unique — so the check compares what is mathematically pinned:
+   the outcome constructor and the optimal objective, plus strong
+   duality of each engine's own certificate. *)
+let cross_check ~rows revised dense =
+  let check_tol o =
+    1e-6 *. Float.max 1.0 (Float.abs o)
+  in
+  let dual_gap { objective; dual; _ } =
+    let by = ref 0.0 in
+    Array.iteri (fun i (_, b) -> by := !by +. (b *. dual.(i))) rows;
+    Float.abs (!by -. objective)
+  in
+  match (revised, dense) with
+  | Budget_exhausted _, _
+  | _, Budget_exhausted _
+  | Numerical_error _, _
+  | _, Numerical_error _ ->
+      None (* give-ups are path-dependent; no verdict *)
+  | Unbounded, Unbounded | Infeasible, Infeasible -> None
+  | Optimal r, Optimal d ->
+      if Float.abs (r.objective -. d.objective) > check_tol r.objective then
+        Some
+          (Printf.sprintf "objectives differ: revised %.12g vs dense %.12g"
+             r.objective d.objective)
+      else if dual_gap r > 10.0 *. check_tol r.objective then
+        Some
+          (Printf.sprintf "revised dual certificate gap %.3g" (dual_gap r))
+      else if dual_gap d > 10.0 *. check_tol d.objective then
+        Some (Printf.sprintf "dense dual certificate gap %.3g" (dual_gap d))
+      else None
+  | r, d ->
+      let tag = function
+        | Optimal _ -> "optimal"
+        | Unbounded -> "unbounded"
+        | Infeasible -> "infeasible"
+        | Budget_exhausted _ -> "budget_exhausted"
+        | Numerical_error _ -> "numerical_error"
+      in
+      Some (Printf.sprintf "outcomes differ: revised %s vs dense %s" (tag r) (tag d))
+
+(* --- dispatcher -------------------------------------------------------- *)
+
+let outcome_tag = function
+  | Optimal _ -> "optimal"
+  | Unbounded -> "unbounded"
+  | Infeasible -> "infeasible"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Numerical_error _ -> "numerical_error"
+
+let solve ?engine ?(max_pivots = 50_000) ?(stall_threshold = 1024)
+    ?refactor_every ~c ~rows () =
+  let engine = match engine with Some e -> e | None -> !engine_ref in
   let nvars = Array.length c in
   let nrows = Array.length rows in
   Qp_obs.with_span "simplex.solve"
-    ~args:(fun () -> [ ("rows", Qp_obs.Int nrows); ("vars", Qp_obs.Int nvars) ])
+    ~args:(fun () ->
+      [
+        ("rows", Qp_obs.Int nrows);
+        ("vars", Qp_obs.Int nvars);
+        ("engine", Qp_obs.Str (engine_name engine));
+      ])
   @@ fun () ->
   Array.iter (fun (a, _) -> assert (Array.length a = nvars)) rows;
-  let negated = Array.map (fun (_, b) -> b < 0.0) rows in
-  let n_art = Array.fold_left (fun acc n -> if n then acc + 1 else acc) 0 negated in
-  let art_first = nvars + nrows in
-  let ncols = nvars + nrows + n_art in
-  let t =
-    {
-      nvars;
-      nrows;
-      ncols;
-      rows = Array.init nrows (fun _ -> Array.make (ncols + 1) 0.0);
-      obj = Array.make (ncols + 1) 0.0;
-      obj_val = 0.0;
-      basis = Array.make nrows 0;
-      art_first;
-      pivots = 0;
-      degenerate = 0;
-      max_pivots;
-      stall_threshold;
-      stall = 0;
-      bland = false;
-      bland_ever = false;
-    }
+  let tol = Tolerance.make ~c ~rows in
+  let refactor_every =
+    match refactor_every with Some k -> max 1 k | None -> max 64 (nrows / 2)
   in
   Qp_obs.counter "simplex.solves" 1;
   if Qp_obs.enabled () then begin
+    let n_art =
+      Array.fold_left (fun acc (_, b) -> if b < 0.0 then acc + 1 else acc) 0 rows
+    in
     Qp_obs.gauge_max "simplex.max_rows" (Float.of_int nrows);
-    Qp_obs.gauge_max "simplex.max_cols" (Float.of_int ncols)
+    Qp_obs.gauge_max "simplex.max_cols" (Float.of_int (nvars + nrows + n_art))
   end;
-  let next_art = ref art_first in
-  Array.iteri
-    (fun i (a, b) ->
-      let row = t.rows.(i) in
-      let sign = if negated.(i) then -1.0 else 1.0 in
-      Array.iteri (fun j v -> row.(j) <- sign *. v) a;
-      row.(nvars + i) <- sign;
-      row.(ncols) <- sign *. b;
-      if negated.(i) then begin
-        row.(!next_art) <- 1.0;
-        t.basis.(i) <- !next_art;
-        incr next_art
-      end
-      else t.basis.(i) <- nvars + i)
-    rows;
-  let all_allowed _ = true in
-  let no_artificials j = j < t.art_first in
-  let phase1 =
-    if n_art = 0 then `Feasible
-    else begin
-      (* Phase 1: minimize the sum of artificials, expressed as
-         maximizing reduced costs built from the artificial rows. *)
-      for i = 0 to nrows - 1 do
-        if t.basis.(i) >= art_first then begin
-          let row = t.rows.(i) in
-          for j = 0 to ncols do
-            t.obj.(j) <- t.obj.(j) +. row.(j)
-          done
-        end
-      done;
-      for j = art_first to ncols - 1 do
-        t.obj.(j) <- 0.0
-      done;
-      match run_phase t ~allowed:all_allowed with
-      | Phase_unbounded ->
-          (* The phase-1 objective is bounded by 0; reaching this means
-             the arithmetic went bad, not the instance. *)
-          `Abort
-            (Numerical_error
-               (diagnostics t ~phase1_pivots:t.pivots
-                  ~detail:"phase 1 reported unbounded"))
-      | Phase_budget detail ->
-          `Abort (Budget_exhausted (diagnostics t ~phase1_pivots:t.pivots ~detail))
-      | Phase_numerical detail ->
-          `Abort (Numerical_error (diagnostics t ~phase1_pivots:t.pivots ~detail))
-      | Phase_optimal ->
-          let residual = ref 0.0 in
-          for i = 0 to nrows - 1 do
-            if t.basis.(i) >= art_first then
-              residual := !residual +. t.rows.(i).(ncols)
-          done;
-          if !residual > 1e-7 then `Infeasible
-          else begin
-            (* Drive any degenerate artificial out of the basis when a
-               non-artificial pivot exists; a fully zero row is redundant
-               and can safely keep its zero-valued artificial as long as
-               artificial columns are banned from re-entering. *)
-            for i = 0 to nrows - 1 do
-              if t.basis.(i) >= art_first then begin
-                let found = ref (-1) in
-                (try
-                   for j = 0 to art_first - 1 do
-                     if Float.abs t.rows.(i).(j) > eps then begin
-                       found := j;
-                       raise Exit
-                     end
-                   done
-                 with Exit -> ());
-                if !found >= 0 then pivot t i !found
-              end
-            done;
-            `Feasible
-          end
-    end
+  let run_dense () =
+    Dense_engine.solve ~tol ~max_pivots ~stall_threshold ~c ~rows
   in
-  let phase1_pivots = t.pivots in
-  let outcome =
-    match phase1 with
-    | `Abort outcome -> outcome
-    | `Infeasible -> Infeasible
-    | `Feasible -> begin
-        (* Phase 2: rebuild reduced costs for the real objective under
-           the current basis. *)
-        Array.fill t.obj 0 (ncols + 1) 0.0;
-        t.obj_val <- 0.0;
-        Array.blit c 0 t.obj 0 nvars;
-        for i = 0 to nrows - 1 do
-          let b = t.basis.(i) in
-          if b < nvars && Float.abs c.(b) > 0.0 then begin
-            let cb = c.(b) in
-            let row = t.rows.(i) in
-            for j = 0 to ncols do
-              t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
-            done;
-            t.obj_val <- t.obj_val +. (cb *. row.(ncols))
-          end
-        done;
-        match run_phase t ~allowed:no_artificials with
-        | Phase_unbounded -> Unbounded
-        | Phase_budget detail ->
-            Budget_exhausted (diagnostics t ~phase1_pivots ~detail)
-        | Phase_numerical detail ->
-            Numerical_error (diagnostics t ~phase1_pivots ~detail)
-        | Phase_optimal ->
-            let primal = Array.make nvars 0.0 in
-            for i = 0 to nrows - 1 do
-              if t.basis.(i) < nvars then
-                primal.(t.basis.(i)) <- t.rows.(i).(ncols)
-            done;
-            let dual = Array.init nrows (fun i -> -.t.obj.(nvars + i)) in
-            (* Final guard: NaN coefficients fail every comparison in
-               the entering rule, so a poisoned tableau can "converge";
-               refuse to report such a solution as optimal. *)
-            let finite =
-              Float.is_finite t.obj_val
-              && Array.for_all Float.is_finite primal
-              && Array.for_all Float.is_finite dual
-            in
-            if finite then Optimal { objective = t.obj_val; primal; dual }
-            else
-              Numerical_error
-                (diagnostics t ~phase1_pivots
-                   ~detail:"non-finite value in reported solution")
-      end
+  let run_revised () =
+    Revised_engine.solve ~tol ~max_pivots ~stall_threshold ~refactor_every ~c
+      ~rows
+  in
+  let outcome, stats =
+    match engine with
+    | Dense -> run_dense ()
+    | Revised -> run_revised ()
+    | Check ->
+        let ((revised, _) as result) = run_revised () in
+        (* Under injected faults the two runs draw different fault
+           schedules (key = pivot count, and paths differ), so there is
+           no meaningful verdict. *)
+        if not (Qp_fault.enabled ()) then begin
+          let dense, _ = run_dense () in
+          match cross_check ~rows revised dense with
+          | None -> ()
+          | Some detail ->
+              incr mismatches;
+              Qp_obs.counter "simplex.cross_check_mismatch" 1;
+              Qp_obs.event "simplex.cross_check_mismatch"
+                ~args:(fun () -> [ ("detail", Qp_obs.Str detail) ])
+        end;
+        result
   in
   (match outcome with
   | Budget_exhausted _ -> Qp_obs.counter "simplex.budget_exhausted" 1
   | Numerical_error _ -> Qp_obs.counter "simplex.numerical_error" 1
   | Optimal _ | Unbounded | Infeasible -> ());
-  Qp_obs.counter "simplex.pivots" t.pivots;
+  Qp_obs.counter "simplex.pivots" stats.s_pivots;
+  if Qp_obs.enabled () && stats.s_etas > 0 then begin
+    Qp_obs.gauge_max "simplex.max_eta_len" (Float.of_int stats.s_etas);
+    Qp_obs.gauge_max "simplex.max_eta_fill" (Float.of_int stats.s_fill)
+  end;
   Qp_obs.annotate (fun () ->
       [
-        ("phase1_pivots", Qp_obs.Int phase1_pivots);
-        ("phase2_pivots", Qp_obs.Int (t.pivots - phase1_pivots));
-        ("degenerate_pivots", Qp_obs.Int t.degenerate);
-        ("bland_engaged", Qp_obs.Bool t.bland_ever);
-        ( "outcome",
-          Qp_obs.Str
-            (match outcome with
-            | Optimal _ -> "optimal"
-            | Unbounded -> "unbounded"
-            | Infeasible -> "infeasible"
-            | Budget_exhausted _ -> "budget_exhausted"
-            | Numerical_error _ -> "numerical_error") );
+        ("phase1_pivots", Qp_obs.Int stats.s_phase1);
+        ("phase2_pivots", Qp_obs.Int (stats.s_pivots - stats.s_phase1));
+        ("degenerate_pivots", Qp_obs.Int stats.s_degenerate);
+        ("bland_engaged", Qp_obs.Bool stats.s_bland);
+        ("etas", Qp_obs.Int stats.s_etas);
+        ("refactorizations", Qp_obs.Int stats.s_refactors);
+        ("outcome", Qp_obs.Str (outcome_tag outcome));
       ]);
   outcome

@@ -1,16 +1,20 @@
-(** Dense two-phase primal simplex.
+(** Two-phase primal simplex with two interchangeable engines.
 
     Solves {b maximize} [c . x] subject to [A x <= b], [x >= 0], where
     [b] may have negative entries (phase 1 introduces artificial
     variables for the infeasible slack rows). This is the raw engine;
     {!Lp} offers a friendlier incremental problem builder.
 
-    The implementation is a textbook dense tableau: Dantzig pricing with
-    an anti-cycling switch to Bland's rule once the iteration stalls (a
-    run of consecutive degenerate pivots — see {!solve}'s
-    [stall_threshold]). It is intended for the mid-size LPs of the
-    pricing algorithms (up to a few thousand rows/columns), not for
-    sparse industrial instances.
+    The default engine is a {e revised} simplex: the constraint matrix
+    is stored as sparse columns ({!Sparse}) and the basis inverse as an
+    eta-file factorization ({!Basis}) with periodic reinversion, so the
+    per-pivot cost tracks the nonzero structure rather than the dense
+    [O(rows * cols)] elimination. The previous dense tableau survives as
+    a reference oracle ({!Dense}), and {!Check} runs both engines on
+    every solve and counts disagreements. Both engines share the same
+    pivot rules — Dantzig pricing with an anti-cycling switch to Bland's
+    rule once the iteration stalls — and the same scale-relative
+    {!Tolerance} thresholds.
 
     The solver never raises on solver-side failure: exceeding the pivot
     budget or detecting non-finite arithmetic is reported as a typed
@@ -45,9 +49,52 @@ and solution = {
           (shadow prices); non-negative for binding [<=] rows *)
 }
 
+type engine =
+  | Dense  (** the original dense tableau — reference oracle *)
+  | Revised  (** sparse columns + eta-file basis (default) *)
+  | Check
+      (** run [Revised], then re-solve with [Dense] and compare: the
+          outcome constructor must match and optimal objectives must
+          agree (primal/dual vectors are {e not} compared — alternate
+          optima make them non-unique; instead each engine's dual
+          certificate is checked against strong duality). Disagreements
+          bump {!cross_check_mismatches} and, under tracing, the
+          ["simplex.cross_check_mismatch"] counter. Solves where either
+          engine gives up ([Budget_exhausted]/[Numerical_error]) and
+          solves under active {!Qp_fault} injection yield no verdict. *)
+
+val default_engine : unit -> engine
+(** The engine used when {!solve} gets no [?engine]. Initialized from
+    the [QP_LP_ENGINE] environment variable ([dense], [revised],
+    [check]; default [revised]); an unknown value aborts the process at
+    load time with exit code 2, mirroring [QP_FAULTS]. *)
+
+val set_default_engine : engine -> unit
+(** Override the default engine for subsequent solves (the [--lp-engine]
+    CLI flag lands here). *)
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** [with_engine e f] runs [f] with the default engine set to [e],
+    restoring the previous default afterwards (also on exceptions). *)
+
+val engine_of_string : string -> engine option
+(** Parse an engine name as accepted by [QP_LP_ENGINE]/[--lp-engine]. *)
+
+val engine_name : engine -> string
+(** Canonical lowercase name, inverse of {!engine_of_string}. *)
+
+val cross_check_mismatches : unit -> int
+(** Number of {!Check}-mode disagreements observed since program start
+    (or the last {!reset_cross_check_mismatches}). Independent of
+    {!Qp_obs} tracing, so tests can assert it is zero. *)
+
+val reset_cross_check_mismatches : unit -> unit
+
 val solve :
+  ?engine:engine ->
   ?max_pivots:int ->
   ?stall_threshold:int ->
+  ?refactor_every:int ->
   c:float array ->
   rows:(float array * float) array ->
   unit ->
@@ -57,6 +104,8 @@ val solve :
     [c]. [max_pivots] (default [50_000]) bounds the total pivot count;
     exceeding it yields [Budget_exhausted] (never an exception).
 
+    [engine] overrides the process default for this solve only.
+
     [stall_threshold] (default [1024]) is the number of {e consecutive}
     degenerate pivots tolerated before Bland's anti-cycling rule takes
     over for the remainder of the phase (a cycle consists solely of
@@ -65,15 +114,28 @@ val solve :
     [max_int] disables the fallback entirely, exposing the raw Dantzig
     rule — useful only for demonstrating cycling in tests.
 
+    [refactor_every] (revised engine only; default [max 64 (rows / 2)])
+    caps how many etas accumulate before the basis is reinverted from
+    scratch. Small values stress-test reinversion; the default balances
+    eta-file fill against rebuild cost.
+
+    All numeric thresholds are scale-relative ({!Tolerance.make}): they
+    grow with the magnitudes of [c], [A] and [b], so feasible but
+    badly-scaled instances (rhs around [1e10]) are not misclassified as
+    [Infeasible] by an absolute phase-1 residual check.
+
     When {!Qp_obs} tracing is enabled, every solve records a
-    ["simplex.solve"] span carrying the tableau dimensions on open and
-    phase-1/phase-2 pivot counts, degenerate pivots, whether Bland's
-    rule engaged and the outcome on close, plus the ["simplex.solves"] /
-    ["simplex.pivots"] counters and tableau-size gauges. Failures bump
+    ["simplex.solve"] span carrying the dimensions and engine on open
+    and phase-1/phase-2 pivot counts, degenerate pivots, whether Bland's
+    rule engaged, eta count, reinversion count and the outcome on close,
+    plus the ["simplex.solves"] / ["simplex.pivots"] /
+    ["simplex.refactorizations"] counters, problem-size gauges and the
+    eta-file length/fill gauges ["simplex.max_eta_len"] /
+    ["simplex.max_eta_fill"]. Failures bump
     ["simplex.budget_exhausted"] / ["simplex.numerical_error"]; the
     fallback bumps ["simplex.bland_engaged"].
 
-    Fault injection: each pivot iteration consults the
+    Fault injection: each pivot iteration of either engine consults the
     ["simplex.pivot"] site of {!Qp_fault} (key = current pivot count);
     [fail] raises {!Qp_fault.Injected}, [nan] yields [Numerical_error],
     [stall] yields [Budget_exhausted]. *)

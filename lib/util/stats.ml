@@ -21,7 +21,7 @@ let stddev xs =
 let percentile xs p =
   assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100.0 *. Float.of_int (n - 1) in
   let lo = int_of_float (floor rank) in
@@ -34,10 +34,14 @@ let percentile xs p =
 (* Nearest-rank percentile: the ceil(p/100 * n)-th order statistic,
    always an observed value — the convention latency summaries use
    (a p95 that was never measured is misleading). *)
+(* Float.compare, not polymorphic compare: the latter's NaN ordering is
+   unspecified, so a NaN-carrying sample could land anywhere in the
+   sorted array and silently shift every rank. Float.compare totals the
+   order (NaN below everything), making NaN's effect deterministic. *)
 let percentile_nearest xs p =
   assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = int_of_float (Float.ceil (p /. 100.0 *. Float.of_int n)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))

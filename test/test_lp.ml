@@ -6,8 +6,12 @@
 module Simplex = Qp_lp.Simplex
 module Lp = Qp_lp.Lp
 
+(* Solver-level tests run once per engine (see [suite]); builder tests
+   run on the process default. *)
+let engine = ref Simplex.Revised
+
 let solve_xy c rows =
-  match Simplex.solve ~c ~rows () with
+  match Simplex.solve ~engine:!engine ~c ~rows () with
   | Simplex.Optimal s -> s
   | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
   | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
@@ -39,13 +43,18 @@ let test_zero_objective () =
   checkf "objective" 0.0 s.objective
 
 let test_unbounded () =
-  match Simplex.solve ~c:[| 1.; 0. |] ~rows:[| ([| 0.; 1. |], 4.) |] () with
+  match
+    Simplex.solve ~engine:!engine ~c:[| 1.; 0. |]
+      ~rows:[| ([| 0.; 1. |], 4.) |] ()
+  with
   | Simplex.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_infeasible () =
   (* x <= -1 with x >= 0 *)
-  match Simplex.solve ~c:[| 1. |] ~rows:[| ([| 1. |], -1.) |] () with
+  match
+    Simplex.solve ~engine:!engine ~c:[| 1. |] ~rows:[| ([| 1. |], -1.) |] ()
+  with
   | Simplex.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
@@ -91,7 +100,7 @@ let test_duals_pinned_variable () =
   checkf "strong duality" 3.0 ((3.0 *. s.dual.(0)) -. (3.0 *. s.dual.(1)))
 
 let test_empty_rows_bounded_by_nothing () =
-  match Simplex.solve ~c:[| 0.0 |] ~rows:[||] () with
+  match Simplex.solve ~engine:!engine ~c:[| 0.0 |] ~rows:[||] () with
   | Simplex.Optimal s -> checkf "objective" 0.0 s.objective
   | _ -> Alcotest.fail "expected optimal"
 
@@ -159,7 +168,7 @@ let test_duality_property () =
   let rand = Random.State.make [| 2024 |] in
   for _ = 1 to 300 do
     let c, rows = random_instance rand in
-    check_certificates c rows (Simplex.solve ~c ~rows ())
+    check_certificates c rows (Simplex.solve ~engine:!engine ~c ~rows ())
   done
 
 (* Mixed-sign generator: rows pass through a known feasible point x0, so
@@ -189,7 +198,7 @@ let test_duality_property_mixed_sign () =
   let rand = Random.State.make [| 77 |] in
   for _ = 1 to 300 do
     let c, rows = random_mixed_instance rand in
-    check_certificates c rows (Simplex.solve ~c ~rows ())
+    check_certificates c rows (Simplex.solve ~engine:!engine ~c ~rows ())
   done
 
 (* --- Lp builder --- *)
@@ -266,33 +275,50 @@ let test_pivot_budget () =
   (* max x + y with x <= 1, y <= 1 needs one pivot per variable. *)
   let c = [| 1.0; 1.0 |] in
   let rows = [| ([| 1.0; 0.0 |], 1.0); ([| 0.0; 1.0 |], 1.0) |] in
-  match Simplex.solve ~max_pivots:1 ~c ~rows () with
+  match Simplex.solve ~engine:!engine ~max_pivots:1 ~c ~rows () with
   | Simplex.Budget_exhausted d ->
       Alcotest.(check int) "stopped at the budget" 1 d.Simplex.pivots
   | _ -> Alcotest.fail "expected Budget_exhausted"
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
+  (* Every solver-level test runs once per engine; the [engine] ref is
+     set just before the test body so helper functions pick it up. *)
+  let per_engine =
+    List.concat_map
+      (fun e ->
+        let te name f =
+          t
+            (Printf.sprintf "%s [%s]" name (Simplex.engine_name e))
+            (fun () ->
+              engine := e;
+              f ())
+        in
+        [
+          te "textbook optimum" test_textbook;
+          te "degenerate constraints" test_degenerate_ok;
+          te "zero objective" test_zero_objective;
+          te "unbounded" test_unbounded;
+          te "infeasible" test_infeasible;
+          te "negative rhs feasible (phase 1)" test_negative_rhs_feasible;
+          te "duals on textbook instance" test_duals_textbook;
+          te "duals on negative-rhs rows" test_duals_negative_rhs;
+          te "duals on a pinned variable" test_duals_pinned_variable;
+          te "no rows" test_empty_rows_bounded_by_nothing;
+          te "duality property on 300 random LPs" test_duality_property;
+          te "duality property, mixed-sign rhs" test_duality_property_mixed_sign;
+          te "pivot budget enforced" test_pivot_budget;
+        ])
+      [ Simplex.Revised; Simplex.Dense ]
+  in
   ( "lp",
-    [
-      t "textbook optimum" test_textbook;
-      t "degenerate constraints" test_degenerate_ok;
-      t "zero objective" test_zero_objective;
-      t "unbounded" test_unbounded;
-      t "infeasible" test_infeasible;
-      t "negative rhs feasible (phase 1)" test_negative_rhs_feasible;
-      t "duals on textbook instance" test_duals_textbook;
-      t "duals on negative-rhs rows" test_duals_negative_rhs;
-      t "duals on a pinned variable" test_duals_pinned_variable;
-      t "no rows" test_empty_rows_bounded_by_nothing;
-      t "duality property on 300 random LPs" test_duality_property;
-      t "duality property, mixed-sign rhs" test_duality_property_mixed_sign;
-      t "builder: minimize with >=" test_lp_minimize;
-      t "builder: equality constraint" test_lp_eq_constraint;
-      t "builder: infeasible" test_lp_infeasible;
-      t "builder: unbounded" test_lp_unbounded;
-      t "builder: repeated terms summed" test_lp_repeated_terms;
-      t "builder: dual sign for >= in min" test_lp_dual_sign_ge;
-      t "builder: counts" test_lp_counts;
-      t "pivot budget enforced" test_pivot_budget;
-    ] )
+    per_engine
+    @ [
+        t "builder: minimize with >=" test_lp_minimize;
+        t "builder: equality constraint" test_lp_eq_constraint;
+        t "builder: infeasible" test_lp_infeasible;
+        t "builder: unbounded" test_lp_unbounded;
+        t "builder: repeated terms summed" test_lp_repeated_terms;
+        t "builder: dual sign for >= in min" test_lp_dual_sign_ge;
+        t "builder: counts" test_lp_counts;
+      ] )

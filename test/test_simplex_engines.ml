@@ -1,0 +1,330 @@
+(* Engine-agreement tests for the simplex rewrite: the dense tableau is
+   the reference oracle, the revised (sparse-column, eta-file) engine is
+   the default — this suite pins them to each other. Constructors must
+   match on every instance; on optimal instances the objectives must
+   agree and each engine's own dual certificate must satisfy strong
+   duality (primal/dual vectors are NOT compared entry-wise: alternate
+   optima make them non-unique). *)
+
+module Simplex = Qp_lp.Simplex
+module Lp = Qp_lp.Lp
+
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let outcome_tag = function
+  | Simplex.Optimal _ -> "optimal"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Budget_exhausted _ -> "budget_exhausted"
+  | Simplex.Numerical_error _ -> "numerical_error"
+
+(* Primal feasibility + dual feasibility + strong duality for one
+   engine's reported optimum, with scale-relative slack. *)
+let check_certificates ~label c rows = function
+  | Simplex.Optimal { Simplex.objective; primal; dual } ->
+      let scale =
+        Array.fold_left
+          (fun acc (_, b) -> Float.max acc (Float.abs b))
+          (Float.max 1.0 (Float.abs objective))
+          rows
+      in
+      let tol = 1e-6 *. scale in
+      Array.iter
+        (fun x ->
+          Alcotest.(check bool) (label ^ ": x >= 0") true (x >= -.tol))
+        primal;
+      Array.iter
+        (fun (a, b) ->
+          let lhs = ref 0.0 in
+          Array.iteri (fun j aj -> lhs := !lhs +. (aj *. primal.(j))) a;
+          Alcotest.(check bool) (label ^ ": Ax <= b") true (!lhs <= b +. tol))
+        rows;
+      Array.iter
+        (fun y ->
+          Alcotest.(check bool) (label ^ ": y >= 0") true (y >= -.tol))
+        dual;
+      Array.iteri
+        (fun j cj ->
+          let col = ref 0.0 in
+          Array.iteri (fun i (a, _) -> col := !col +. (a.(j) *. dual.(i))) rows;
+          Alcotest.(check bool) (label ^ ": A'y >= c") true (!col >= cj -. tol))
+        c;
+      let by = ref 0.0 in
+      Array.iteri (fun i (_, b) -> by := !by +. (b *. dual.(i))) rows;
+      Alcotest.(check bool)
+        (label ^ ": strong duality")
+        true
+        (Float.abs (!by -. objective) < tol)
+  | _ -> ()
+
+let agree ?(what = "instance") c rows =
+  let revised = Simplex.solve ~engine:Simplex.Revised ~c ~rows () in
+  let dense = Simplex.solve ~engine:Simplex.Dense ~c ~rows () in
+  Alcotest.(check string)
+    (what ^ ": same outcome constructor")
+    (outcome_tag dense) (outcome_tag revised);
+  (match (revised, dense) with
+  | Simplex.Optimal r, Simplex.Optimal d ->
+      let tol = 1e-6 *. Float.max 1.0 (Float.abs d.Simplex.objective) in
+      Alcotest.(check bool)
+        (what ^ ": objectives agree")
+        true
+        (Float.abs (r.Simplex.objective -. d.Simplex.objective) < tol)
+  | _ -> ());
+  check_certificates ~label:(what ^ " [revised]") c rows revised;
+  check_certificates ~label:(what ^ " [dense]") c rows dense;
+  revised
+
+(* --- random families -------------------------------------------------- *)
+
+(* Feasible at x = 0, bounded by construction. *)
+let gen_bounded rand =
+  let nvars = 1 + Random.State.int rand 7 in
+  let nrows = 1 + Random.State.int rand 9 in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 9)) in
+  let rows =
+    Array.init nrows (fun _ ->
+        ( Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 5)),
+          Float.of_int (1 + Random.State.int rand 50) ))
+  in
+  Array.iteri
+    (fun j cj ->
+      if cj > 0.0 && not (Array.exists (fun (a, _) -> a.(j) > 0.0) rows) then
+        (fst rows.(0)).(j) <- 1.0)
+    c;
+  (c, rows)
+
+(* Rows pass through a known point x0 so rhs can go negative (phase-1
+   path) while staying feasible; a capacity row keeps it bounded. *)
+let gen_mixed rand =
+  let nvars = 1 + Random.State.int rand 5 in
+  let nrows = 1 + Random.State.int rand 7 in
+  let x0 = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 4)) in
+  let c =
+    Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 9 - 3))
+  in
+  let rows =
+    Array.init (nrows + 1) (fun i ->
+        if i = nrows then (Array.make nvars 1.0, 100.0)
+        else begin
+          let a =
+            Array.init nvars (fun _ ->
+                Float.of_int (Random.State.int rand 7 - 3))
+          in
+          let ax = ref 0.0 in
+          Array.iteri (fun j aj -> ax := !ax +. (aj *. x0.(j))) a;
+          (a, !ax +. Float.of_int (Random.State.int rand 4))
+        end)
+  in
+  (c, rows)
+
+(* Degenerate: several rows bind at the same vertex (integer data,
+   duplicated and scaled rows). *)
+let gen_degenerate rand =
+  let nvars = 2 + Random.State.int rand 3 in
+  let base =
+    Array.init nvars (fun _ -> Float.of_int (1 + Random.State.int rand 3))
+  in
+  let b0 = Float.of_int (2 + Random.State.int rand 6) in
+  let nrows = 3 + Random.State.int rand 4 in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 5)) in
+  let rows =
+    Array.init nrows (fun i ->
+        if i = 0 then (Array.copy base, b0)
+        else begin
+          let s = Float.of_int (1 + Random.State.int rand 3) in
+          let a = Array.map (fun x -> s *. x) base in
+          (* same hyperplane scaled, or a unit cap through the same face *)
+          if Random.State.bool rand then (a, s *. b0)
+          else begin
+            let a = Array.make nvars 0.0 in
+            a.(Random.State.int rand nvars) <- 1.0;
+            (a, b0)
+          end
+        end)
+  in
+  (c, rows)
+
+(* A variable with positive objective and no positive row coefficient
+   escapes to infinity (when the instance is feasible at all). *)
+let gen_unbounded rand =
+  let nvars = 2 + Random.State.int rand 4 in
+  let nrows = 1 + Random.State.int rand 5 in
+  let free = Random.State.int rand nvars in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 6)) in
+  c.(free) <- 1.0 +. Float.of_int (Random.State.int rand 5);
+  let rows =
+    Array.init nrows (fun _ ->
+        ( Array.init nvars (fun j ->
+              if j = free then 0.0
+              else Float.of_int (Random.State.int rand 5)),
+          Float.of_int (1 + Random.State.int rand 30) ))
+  in
+  (c, rows)
+
+(* Contradictory box: x_j <= u and -x_j <= -(u + gap). *)
+let gen_infeasible rand =
+  let nvars = 1 + Random.State.int rand 4 in
+  let j = Random.State.int rand nvars in
+  let u = Float.of_int (Random.State.int rand 10) in
+  let gap = Float.of_int (1 + Random.State.int rand 10) in
+  let c = Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 5)) in
+  let cap = (Array.make nvars 0.0, u) in
+  (fst cap).(j) <- 1.0;
+  let floor_row = (Array.make nvars 0.0, -.(u +. gap)) in
+  (fst floor_row).(j) <- -1.0;
+  let extra =
+    Array.init
+      (Random.State.int rand 4)
+      (fun _ ->
+        ( Array.init nvars (fun _ -> Float.of_int (Random.State.int rand 5)),
+          Float.of_int (1 + Random.State.int rand 40) ))
+  in
+  (c, Array.concat [ [| cap; floor_row |]; extra ])
+
+let test_engines_agree_property () =
+  let rand = Random.State.make [| 6021 |] in
+  let families =
+    [
+      ("bounded", gen_bounded);
+      ("mixed", gen_mixed);
+      ("degenerate", gen_degenerate);
+      ("unbounded", gen_unbounded);
+      ("infeasible", gen_infeasible);
+    ]
+  in
+  (* 5 families x 40 = 200 instances *)
+  List.iter
+    (fun (name, gen) ->
+      for k = 1 to 40 do
+        let c, rows = gen rand in
+        ignore (agree ~what:(Printf.sprintf "%s #%d" name k) c rows)
+      done)
+    families
+
+(* Found by randomized search against the pre-rewrite solver: feasible
+   by construction (every row passes through a point at scale ~1e10),
+   yet the old absolute 1e-7 phase-1 residual check declared it
+   Infeasible — the roundoff left after phase 1 is proportional to the
+   rhs magnitude. With scale-relative tolerances both engines solve it. *)
+let test_badly_scaled_regression () =
+  let c = [| 0.69861744147364191; 0.41134030724646875 |] in
+  let rows =
+    [|
+      ([| -0.49084234032611529; 0.56002241678752807 |], 393272411.17074287);
+      ([| -0.67679049511022926; -0.38986598716564758 |], -2232245924.2874694);
+      ([| 0.7549952407714986; 0.079212869417379261 |], 1640908639.4301953);
+      ([| 0.44006041664870166; 0.55541408944295267 |], 2172301473.5817833);
+      ([| 1.0; 1.0 |], 200000000000.0);
+    |]
+  in
+  match agree ~what:"badly scaled" c rows with
+  | Simplex.Optimal _ -> ()
+  | o -> Alcotest.fail ("expected optimal, got " ^ outcome_tag o)
+
+(* --- degenerate problem shapes (the dense engine's behavior is the
+   contract; both engines must honor it) ------------------------------- *)
+
+let test_empty_problems () =
+  (* no variables, no constraints: the zero optimum over a point *)
+  (match agree ~what:"0x0" [||] [||] with
+  | Simplex.Optimal s ->
+      checkf "0x0 objective" 0.0 s.Simplex.objective;
+      Alcotest.(check int) "0x0 primal size" 0 (Array.length s.Simplex.primal)
+  | o -> Alcotest.fail ("0x0: expected optimal, got " ^ outcome_tag o));
+  (* no variables, satisfiable row: 0 <= 1 *)
+  (match agree ~what:"0 vars sat" [||] [| ([||], 1.0) |] with
+  | Simplex.Optimal s -> checkf "objective" 0.0 s.Simplex.objective
+  | o -> Alcotest.fail ("0 vars sat: expected optimal, got " ^ outcome_tag o));
+  (* no variables, unsatisfiable row: 0 <= -1 *)
+  (match agree ~what:"0 vars unsat" [||] [| ([||], -1.0) |] with
+  | Simplex.Infeasible -> ()
+  | o -> Alcotest.fail ("0 vars unsat: expected infeasible, got " ^ outcome_tag o));
+  (* all-zero objective over a non-trivial polytope *)
+  (match
+     agree ~what:"zero objective" [| 0.0; 0.0 |]
+       [| ([| 1.0; 2.0 |], 4.0); ([| -1.0; 1.0 |], -1.0) |]
+   with
+  | Simplex.Optimal s -> checkf "objective" 0.0 s.Simplex.objective
+  | o -> Alcotest.fail ("zero objective: expected optimal, got " ^ outcome_tag o));
+  (* zero-row constraint matrix entries but positive rhs *)
+  match agree ~what:"zero row" [| 1.0 |] [| ([| 0.0 |], 3.0); ([| 1.0 |], 2.0) |] with
+  | Simplex.Optimal s -> checkf "objective" 2.0 s.Simplex.objective
+  | o -> Alcotest.fail ("zero row: expected optimal, got " ^ outcome_tag o)
+
+let test_lp_builder_empty () =
+  (* the builder with nothing in it: a zero optimum, not an error *)
+  (match Lp.solve (Lp.create ()) with
+  | Ok s -> checkf "empty builder objective" 0.0 (Lp.objective_value s)
+  | Error _ -> Alcotest.fail "empty problem must solve");
+  (* constraints but no variables *)
+  let p = Lp.create () in
+  let _ = Lp.add_le p [] 1.0 in
+  (match Lp.solve p with
+  | Ok s -> checkf "no-vars objective" 0.0 (Lp.objective_value s)
+  | Error _ -> Alcotest.fail "0 <= 1 must solve");
+  let q = Lp.create () in
+  let _ = Lp.add_ge q [] 1.0 in
+  match Lp.solve q with
+  | Error Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "0 >= 1 must be infeasible"
+
+(* --- revised-engine internals ----------------------------------------- *)
+
+(* Forcing a reinversion every 4 etas exercises the rebuild path (basis
+   reordering, pivot selection, xb refresh) hundreds of times across the
+   random families; certificates must still hold. *)
+let test_frequent_refactorization () =
+  let rand = Random.State.make [| 413 |] in
+  for k = 1 to 60 do
+    let c, rows = (if k mod 2 = 0 then gen_mixed else gen_bounded) rand in
+    let outcome =
+      Simplex.solve ~engine:Simplex.Revised ~refactor_every:4 ~c ~rows ()
+    in
+    (match outcome with
+    | Simplex.Optimal _ | Simplex.Unbounded | Simplex.Infeasible -> ()
+    | Simplex.Budget_exhausted d | Simplex.Numerical_error d ->
+        Alcotest.fail ("refactor stress: solver failure: " ^ d.Simplex.detail));
+    check_certificates
+      ~label:(Printf.sprintf "refactor stress #%d" k)
+      c rows outcome
+  done
+
+(* --- check engine over a real workload --------------------------------- *)
+
+(* Run one full experiment cell with QP_LP_ENGINE=check semantics: every
+   LP the pricing pipeline generates is solved by both engines and
+   compared. Any disagreement shows up in the mismatch counter. *)
+let test_check_engine_on_experiment_cell () =
+  let module WI = Qp_experiments.Workload_instances in
+  let module Runner = Qp_experiments.Runner in
+  let module V = Qp_workloads.Valuations in
+  Simplex.reset_cross_check_mismatches ();
+  let inst = WI.skewed ~scale:WI.Tiny ~support:100 ~seed:9 () in
+  let cell =
+    Simplex.with_engine Simplex.Check (fun () ->
+        Runner.run_cell ~profile:Runner.Quick ~seed:1 (V.Uniform_val 100.0)
+          inst)
+  in
+  Alcotest.(check bool)
+    "cell produced measurements" true
+    (List.length cell.Runner.measurements > 0);
+  Alcotest.(check int)
+    "no engine disagreements" 0
+    (Simplex.cross_check_mismatches ())
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "simplex-engines",
+    [
+      t "engines agree on 200 random LPs (5 families)"
+        test_engines_agree_property;
+      t "badly-scaled LP no longer misclassified infeasible"
+        test_badly_scaled_regression;
+      t "empty/degenerate problem shapes" test_empty_problems;
+      t "builder: empty problems" test_lp_builder_empty;
+      t "revised engine under frequent reinversion"
+        test_frequent_refactorization;
+      t "check engine over a full experiment cell"
+        test_check_engine_on_experiment_cell;
+    ] )

@@ -182,6 +182,21 @@ let test_stats_percentile_nearest () =
   checkf "odd-length median" 3.0
     (Stats.percentile_nearest [| 5.; 4.; 3.; 2.; 1. |] 50.0)
 
+(* The sorts inside the percentile helpers must use Float.compare, whose
+   total order places NaN below every number: a NaN sample then shifts
+   ranks deterministically (and surfaces at p0) instead of landing at an
+   unspecified position, as it may under polymorphic compare. *)
+let test_stats_percentile_nearest_nan () =
+  let xs = [| 30.; nan; 10.; 20. |] in
+  Alcotest.(check bool) "NaN sorts first" true
+    (Float.is_nan (Stats.percentile_nearest xs 0.0));
+  checkf "p50 is 10 (NaN occupies rank 1)" 10.0
+    (Stats.percentile_nearest xs 50.0);
+  checkf "p100 unaffected" 30.0 (Stats.percentile_nearest xs 100.0);
+  (* position of the NaN in the input must not matter *)
+  checkf "NaN placement deterministic" 10.0
+    (Stats.percentile_nearest [| nan; 30.; 20.; 10. |] 50.0)
+
 let test_stats_minmax () =
   checkf "min" 1.0 (Stats.minimum [| 3.; 1.; 2. |]);
   checkf "max" 3.0 (Stats.maximum [| 3.; 1.; 2. |]);
@@ -256,6 +271,8 @@ let suite =
       t "stats stddev degenerate sizes" test_stats_stddev_degenerate;
       t "stats percentile" test_stats_percentile;
       t "stats percentile nearest-rank" test_stats_percentile_nearest;
+      t "stats percentile nearest-rank NaN propagation"
+        test_stats_percentile_nearest_nan;
       t "stats min/max/sum" test_stats_minmax;
       t "histogram counts" test_histogram_counts;
       t "histogram empty" test_histogram_empty;
