@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test chaos bench bench-full bench-json bench-conflict \
-        bench-simplex docs check-docs check-failwith check-float-sort check \
-        examples clean
+        bench-simplex bench-warmstart docs check-docs check-failwith \
+        check-float-sort check-cold-lp check examples clean
 
 all: build
 
@@ -42,8 +42,13 @@ check-failwith:
 check-float-sort:
 	ocaml scripts/check_float_sort.ml lib
 
+# No cold Lp.solve calls inside the sweep modules: sweeps must go
+# through Lp.Batch / Simplex.resolve so the warm-start path is used.
+check-cold-lp:
+	ocaml scripts/check_cold_lp_sweeps.ml lib/core
+
 # The full pre-merge gate: build, tests, doc coverage, failure lints.
-check: build test check-docs check-failwith check-float-sort
+check: build test check-docs check-failwith check-float-sort check-cold-lp
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:
@@ -53,10 +58,11 @@ bench:
 bench-full:
 	QP_BENCH_PROFILE=full dune exec bench/main.exe
 
-# Time the parallel layer (jobs=1 vs jobs=N, BENCH_parallel.json) and
-# the simplex engines (dense vs revised, BENCH_simplex.json).
+# Time the parallel layer (jobs=1 vs jobs=N, BENCH_parallel.json), the
+# simplex engines (dense vs revised, BENCH_simplex.json) and the
+# warm-started sweeps (cold vs warm, BENCH_warmstart.json).
 bench-json:
-	dune exec bench/main.exe -- parallel simplex
+	dune exec bench/main.exe -- parallel simplex warmstart
 
 # Time conflict-set construction (jobs=1 vs jobs=N), verify bit-identity
 # of the hypergraphs, and write BENCH_conflict.json.
@@ -67,6 +73,11 @@ bench-conflict:
 # and write BENCH_simplex.json (records the crossover size).
 bench-simplex:
 	dune exec bench/main.exe -- simplex
+
+# Time the CIP/LPIP sweeps with warm starting off vs on (pivot counts
+# from the "simplex.pivots" counter) and write BENCH_warmstart.json.
+bench-warmstart:
+	dune exec bench/main.exe -- warmstart
 
 examples:
 	dune exec examples/quickstart.exe

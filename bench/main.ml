@@ -3,16 +3,18 @@
    micro-benchmarks of the core primitives.
 
    Usage: main.exe [--jobs N] [--trace FILE] [--lp-engine E] [micro]
-          [parallel] [conflict] [simplex] [EXPERIMENT-IDS...]
+          [parallel] [conflict] [simplex] [warmstart] [EXPERIMENT-IDS...]
    With no arguments every experiment runs, in the paper's order,
-   followed by the micro-benchmarks. "micro", "parallel", "conflict"
-   and "simplex" are pseudo-ids that can be mixed freely with
-   experiment ids: "micro" appends the bechamel micro-benchmarks,
+   followed by the micro-benchmarks. "micro", "parallel", "conflict",
+   "simplex" and "warmstart" are pseudo-ids that can be mixed freely
+   with experiment ids: "micro" appends the bechamel micro-benchmarks,
    "parallel" times the worker pool at jobs=1 vs jobs=N and writes
    BENCH_parallel.json, "conflict" times the parallel conflict-set
    construction per workload and writes BENCH_conflict.json, "simplex"
    times the dense tableau against the revised simplex engine across
-   growing LP sizes and writes BENCH_simplex.json. Unknown ids abort
+   growing LP sizes and writes BENCH_simplex.json, "warmstart" times
+   the CIP/LPIP sweeps cold vs warm-started and writes
+   BENCH_warmstart.json. Unknown ids abort
    upfront (exit 2) with the list of valid experiment and pseudo ids.
    --jobs N sets QP_JOBS for the whole process; --lp-engine selects the
    simplex engine (dense, revised or check) for everything that runs;
@@ -421,7 +423,115 @@ let simplex_bench ~meta () =
   close_out oc;
   Printf.printf "  wrote BENCH_simplex.json\n%!"
 
-let pseudo_ids = [ "micro"; "parallel"; "conflict"; "simplex" ]
+(* --- warm-start benchmark ---------------------------------------------- *)
+
+(* Times the CIP capacity sweep and the LPIP candidate sweep with warm
+   starting disabled (every family member solved cold) and enabled (the
+   optimal basis carried from member to member), and writes
+   BENCH_warmstart.json. Pivot counts come from the "simplex.pivots"
+   counter, so the comparison is meaningful even on a single-CPU box
+   where wall time is noisy; a final warm-started CIP run under the
+   Check engine re-solves every member on the dense oracle and records
+   the mismatch count (must be 0: warm starting never changes answers). *)
+let warmstart_bench ~meta ctx =
+  let module Simplex = Qp_lp.Simplex in
+  let inst = Context.instance ctx "skewed" in
+  let h =
+    V.apply ~rng:(Rng.create 1) (V.Uniform_val 100.0) inst.WI.hypergraph
+  in
+  ignore (H.classes h);
+  (* Warm starting pays off proportionally to the sweep length, so the
+     bench runs the fine grids (the library-default ε, the Full-profile
+     candidate cap) rather than the Quick profile's coarsened ones —
+     Quick's ε = 4 leaves a 3-point grid with nothing to warm-start.
+     jobs = 1 keeps the pivot counters free of worker-scheduling noise
+     on small machines. *)
+  let cip () =
+    ignore
+      (Qp_core.Cip.solve_with_trace
+         ~options:
+           { Qp_core.Cip.epsilon = 0.25; max_pivots = 200_000;
+             time_budget = None; jobs = Some 1 }
+         h)
+  in
+  let lpip () =
+    ignore
+      (Qp_core.Lpip.solve_with_trace
+         ~options:
+           { Qp_core.Lpip.max_candidates = Some 48; max_pivots = 200_000;
+             jobs = Some 1 }
+         h)
+  in
+  print_newline ();
+  print_endline "==================================================";
+  print_endline "== warm-started LP sweeps: cold vs warm";
+  print_endline "==================================================";
+  let obs_was = Qp_obs.enabled () in
+  let warm_was = Simplex.warm_starts () in
+  let counter name =
+    match List.assoc_opt name (Qp_obs.counters ()) with
+    | Some n -> n
+    | None -> 0
+  in
+  let results, mismatches =
+    Fun.protect
+      ~finally:(fun () ->
+        Simplex.set_warm_starts warm_was;
+        Qp_obs.set_enabled obs_was)
+      (fun () ->
+        Qp_obs.set_enabled true;
+        let measure (name, f) =
+          Simplex.set_warm_starts false;
+          Qp_obs.reset ();
+          let tc = time f in
+          let pc = counter "simplex.pivots" in
+          Simplex.set_warm_starts true;
+          Qp_obs.reset ();
+          let tw = time f in
+          let pw = counter "simplex.pivots" in
+          let hits = counter "simplex.warm_hit" in
+          let misses = counter "simplex.warm_miss" in
+          let saved = counter "simplex.warm_pivots_saved" in
+          Printf.printf
+            "  %-6s cold %8.3fs %7d pivots   warm %8.3fs %7d pivots   \
+             pivots %5.2fx  wall %5.2fx   (%d hits, %d misses)\n%!"
+            name tc pc tw pw
+            (Float.of_int pc /. Float.max 1.0 (Float.of_int pw))
+            (tc /. Float.max 1e-9 tw)
+            hits misses;
+          (name, tc, pc, tw, pw, hits, misses, saved)
+        in
+        let results = List.map measure [ ("cip", cip); ("lpip", lpip) ] in
+        (* correctness sentinel: warm-started CIP under the Check engine *)
+        Simplex.set_warm_starts true;
+        Simplex.reset_cross_check_mismatches ();
+        Simplex.with_engine Simplex.Check cip;
+        let mismatches = Simplex.cross_check_mismatches () in
+        Printf.printf "  check: %d warm/cold mismatches over a CIP sweep\n%!"
+          mismatches;
+        (results, mismatches))
+  in
+  let oc = open_out "BENCH_warmstart.json" in
+  Printf.fprintf oc "{\n  %s,\n  \"check_mismatches\": %d,\n  \"families\": ["
+    (meta ()) mismatches;
+  List.iteri
+    (fun i (name, tc, pc, tw, pw, hits, misses, saved) ->
+      Printf.fprintf oc
+        "%s\n    { \"name\": %S, \"seconds_cold\": %.6f, \"pivots_cold\": %d,\n\
+        \      \"seconds_warm\": %.6f, \"pivots_warm\": %d,\n\
+        \      \"pivot_ratio\": %.3f, \"wall_speedup\": %.3f,\n\
+        \      \"warm_hits\": %d, \"warm_misses\": %d, \"pivots_saved\": %d }"
+        (if i = 0 then "" else ",")
+        name tc pc tw pw
+        (Float.of_int pc /. Float.max 1.0 (Float.of_int pw))
+        (tc /. Float.max 1e-9 tw)
+        hits misses saved)
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_warmstart.json\n%!"
+
+let pseudo_ids = [ "micro"; "parallel"; "conflict"; "simplex"; "warmstart" ]
 
 let () =
   let rec parse jobs trace lp_engine ids = function
@@ -486,6 +596,7 @@ let () =
   let par = List.mem "parallel" ids in
   let conflict = List.mem "conflict" ids in
   let simplex = List.mem "simplex" ids in
+  let warmstart = List.mem "warmstart" ids in
   let exp_ids = List.filter (fun id -> not (List.mem id pseudo_ids)) ids in
   let entries =
     match exp_ids with
@@ -515,5 +626,6 @@ let () =
       if conflict then conflict_bench ~meta ctx;
       if par then parallel_bench ~meta ctx;
       if simplex then simplex_bench ~meta ();
+      if warmstart then warmstart_bench ~meta ctx;
       if micro || ids = [] then microbenchmarks ctx);
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

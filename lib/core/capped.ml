@@ -25,23 +25,63 @@ let optimal ?(cap_candidates = 32) ?jobs h =
       let caps =
         infinity :: quantiles cap_candidates (List.map snd sized)
       in
-      let revenue_of w cap =
-        List.fold_left
-          (fun acc (s, v) ->
-            let price = Float.min (w *. Float.of_int s) cap in
-            if price <= v +. 1e-12 then acc +. price else acc)
-          0.0 sized
-      in
       (* Each worker sweeps the cap grid for one slope; merging the
          per-slope winners in slope order with strict [>] reproduces the
-         sequential slope-then-cap iteration exactly. *)
+         sequential slope-then-cap iteration exactly.
+
+         The cap sweep is batched: for a fixed slope, an edge with base
+         price w*s <= v_e + tol buys at every cap (paying min(w*s, cap))
+         and any other edge buys exactly when cap <= v_e + tol (paying
+         cap). Sorting once per slope turns the per-cap fold over all
+         edges into two binary searches against prefix sums. *)
       let per_slope =
         Qp_util.Parallel.map ?jobs
           (fun w ->
+            let always = ref [] and capped_only = ref [] in
+            List.iter
+              (fun (s, v) ->
+                let p = w *. Float.of_int s in
+                if p <= v +. 1e-12 then always := p :: !always
+                else capped_only := v :: !capped_only)
+              sized;
+            let always = Array.of_list !always in
+            Array.sort Float.compare always;
+            let n_a = Array.length always in
+            let prefix = Array.make (n_a + 1) 0.0 in
+            for i = 0 to n_a - 1 do
+              prefix.(i + 1) <- prefix.(i) +. always.(i)
+            done;
+            let vals = Array.of_list !capped_only in
+            Array.sort Float.compare vals;
+            let n_b = Array.length vals in
+            let revenue_of cap =
+              (* first index with always.(i) > cap *)
+              let lo = ref 0 and hi = ref n_a in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                if always.(mid) <= cap then lo := mid + 1 else hi := mid
+              done;
+              let below = !lo in
+              let acc = prefix.(below) in
+              let acc =
+                if n_a > below then acc +. (cap *. Float.of_int (n_a - below))
+                else acc
+              in
+              (* first index with cap <= vals.(i) + 1e-12 — the exact
+                 per-edge buying test, kept verbatim so boundary edges
+                 land on the same side as the unbatched fold *)
+              let lo = ref 0 and hi = ref n_b in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                if cap <= vals.(mid) +. 1e-12 then hi := mid else lo := mid + 1
+              done;
+              let buyers = n_b - !lo in
+              if buyers > 0 then acc +. (cap *. Float.of_int buyers) else acc
+            in
             let best = ref ((w, infinity), 0.0) in
             List.iter
               (fun cap ->
-                let r = revenue_of w cap in
+                let r = revenue_of cap in
                 let _, br = !best in
                 if r > br then best := ((w, cap), r))
               caps;

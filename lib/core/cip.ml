@@ -23,7 +23,18 @@ let capacity_grid ~epsilon ~max_degree =
   let b = Float.of_int max_degree in
   let rec grow k acc = if k >= b then acc else grow (k *. (1.0 +. epsilon)) (k :: acc) in
   if max_degree <= 0 then []
-  else List.rev (b :: grow 1.0 [])
+  else
+    (* The largest grown point can land a relative hair below [b]
+       (e.g. 1.0 * (1+eps)^t = b * (1 - 1e-13) from rounding), in which
+       case keeping both it and the appended [b] spends a full LP solve
+       on a capacity that prices identically. Dedupe by relative
+       tolerance. *)
+    let grown =
+      match grow 1.0 [] with
+      | k :: rest when k >= b *. (1.0 -. 1e-9) -> rest
+      | grown -> grown
+    in
+    List.rev (b :: grown)
 
 (* Item prices are the capacity constraints' optimal duals, so we solve
    the welfare LP's *dual* directly — the prices become structural
@@ -32,14 +43,18 @@ let capacity_grid ~epsilon ~max_degree =
 
    minimize    k * sum_c y_c + sum_e z_e
    subject to  sum_{c inside e} y_c + z_e >= v_e    for every edge e
-               y, z >= 0 *)
-let prices_for_capacity ~max_pivots h k =
+               y, z >= 0
+
+   The constraint matrix is identical across the whole capacity grid —
+   only the y-objective k moves — so the sweep solves each chunk of
+   capacities through one warm-started Lp.Batch. *)
+let build_dual h =
   let classes = Hypergraph.classes h in
   let p = Lp.create ~minimize:true () in
   let y =
     Array.init classes.Hypergraph.n_classes (fun c ->
         if Array.length classes.Hypergraph.class_edges.(c) = 0 then None
-        else Some (Lp.add_var p ~obj:k ()))
+        else Some (Lp.add_var p ~obj:1.0 ()))
   in
   Array.iter
     (fun (e : Hypergraph.edge) ->
@@ -51,22 +66,68 @@ let prices_for_capacity ~max_pivots h k =
       in
       ignore (Lp.add_ge p terms e.valuation))
     (Hypergraph.edges h);
-  match Lp.solve ~max_pivots p with
-  | Ok sol ->
-      let w_class = Array.make classes.Hypergraph.n_classes 0.0 in
-      let rounded = ref 0 in
-      Array.iteri
-        (fun c var ->
-          match var with
-          | Some v ->
-              let raw = Lp.value sol v in
-              if raw < 0.0 then incr rounded;
-              w_class.(c) <- Float.max 0.0 raw
-          | None -> ())
-        y;
-      Qp_obs.counter "cip.rounded_weights" !rounded;
-      Ok (Hypergraph.spread_class_weights h w_class)
-  | Error e -> Error e
+  (p, y)
+
+let prices_of_solution h y sol =
+  let classes = Hypergraph.classes h in
+  let w_class = Array.make classes.Hypergraph.n_classes 0.0 in
+  let rounded = ref 0 in
+  Array.iteri
+    (fun c var ->
+      match var with
+      | Some v ->
+          let raw = Lp.value sol v in
+          if raw < 0.0 then incr rounded;
+          w_class.(c) <- Float.max 0.0 raw
+      | None -> ())
+    y;
+  Qp_obs.counter "cip.rounded_weights" !rounded;
+  Hypergraph.spread_class_weights h w_class
+
+(* Fixed, job-count-independent chunking: each worker owns one batch and
+   sweeps its capacities through it, so results (and warm-start chains)
+   are bit-identical at any QP_JOBS. *)
+let chunk_size = 8
+
+let chunked n arr =
+  let len = Array.length arr in
+  Array.init
+    ((len + n - 1) / n)
+    (fun i -> Array.sub arr (i * n) (min n (len - (i * n))))
+
+let prices_for_chunk ~max_pivots h ks ~in_budget =
+  let p, y = build_dual h in
+  let y_idx =
+    Array.to_list y
+    |> List.filter_map (Option.map Lp.var_index)
+    |> Array.of_list
+  in
+  let base_obj = Array.make (Lp.var_count p) 1.0 in
+  let batch = Lp.Batch.prepare ~max_pivots p in
+  Array.map
+    (fun k ->
+      if not (in_budget ()) then begin
+        Qp_obs.event "cip.capacity_skipped"
+          ~args:(fun () -> [ ("k", Qp_obs.Float k) ]);
+        `Skipped
+      end
+      else
+        Qp_obs.with_span "cip.capacity"
+          ~args:(fun () -> [ ("k", Qp_obs.Float k) ])
+        @@ fun () ->
+        let obj = Array.copy base_obj in
+        Array.iter (fun i -> obj.(i) <- k) y_idx;
+        match Lp.Batch.resolve ~obj batch with
+        | Error e ->
+            Qp_obs.annotate (fun () ->
+                [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
+            `Failed e
+        | Ok sol ->
+            let pricing = Pricing.Item (prices_of_solution h y sol) in
+            let revenue = Pricing.revenue pricing h in
+            Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
+            `Solved (pricing, revenue))
+    ks
 
 let solve_report ?(options = default_options) h =
   Qp_obs.with_span "cip.solve"
@@ -93,28 +154,12 @@ let solve_report ?(options = default_options) h =
   in
   Qp_obs.annotate (fun () -> [ ("capacities", Qp_obs.Int (List.length grid)) ]);
   let solutions =
-    Qp_util.Parallel.map ?jobs:options.jobs
-      (fun k ->
-        if not (in_budget ()) then begin
-          Qp_obs.event "cip.capacity_skipped"
-            ~args:(fun () -> [ ("k", Qp_obs.Float k) ]);
-          `Skipped
-        end
-        else
-          Qp_obs.with_span "cip.capacity"
-            ~args:(fun () -> [ ("k", Qp_obs.Float k) ])
-          @@ fun () ->
-          match prices_for_capacity ~max_pivots:options.max_pivots h k with
-          | Error e ->
-              Qp_obs.annotate (fun () ->
-                  [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
-              `Failed e
-          | Ok w ->
-              let pricing = Pricing.Item w in
-              let revenue = Pricing.revenue pricing h in
-              Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
-              `Solved (pricing, revenue))
-      (Array.of_list grid)
+    Array.concat
+      (Array.to_list
+         (Qp_util.Parallel.map ?jobs:options.jobs
+            (fun ks ->
+              prices_for_chunk ~max_pivots:options.max_pivots h ks ~in_budget)
+            (chunked chunk_size (Array.of_list grid))))
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
   let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in
@@ -146,12 +191,24 @@ let solve_report ?(options = default_options) h =
                 ~reason:("all welfare LPs failed: " ^ Degrade.pp_tally failures))) )
     else (!best, None)
   in
+  (* The closing annotation must describe the pricing actually returned:
+     on a degraded run that is the UBP fallback's revenue, not the
+     abandoned zero/best pricing's. *)
+  let reported_revenue =
+    match degraded with
+    | None -> !best_revenue
+    | Some _ -> Pricing.revenue pricing h
+  in
   Qp_obs.annotate (fun () ->
       [
         ("solved", Qp_obs.Int !solved);
         ("failed", Qp_obs.Int (List.length !errors));
-        ("best_revenue", Qp_obs.Float !best_revenue);
-      ]);
+        ("best_revenue", Qp_obs.Float reported_revenue);
+      ]
+      @
+      match degraded with
+      | None -> []
+      | Some _ -> [ ("fallback", Qp_obs.Str "ubp") ]);
   {
     pricing;
     solved = !solved;

@@ -88,3 +88,119 @@ let solve_must_sell ?(max_pivots = 200_000) ?(collapse = true) h ~edge_ids =
       | `Collapsed -> Ok (Hypergraph.spread_class_weights h w_class)
       | `Identity -> Ok w_class)
   | Error e -> Error e
+
+(* --- warm-started must-sell family ------------------------------------- *)
+
+(* One shared matrix for every must-sell set S over the same hypergraph:
+   all classes as variables, all edge rows, with row e's bound toggling
+   between v_e (e in S) and a relaxation wide enough to never bind
+   (e outside S). The per-candidate optimum is preserved exactly:
+
+   - every class appearing in an active row intersects S (c lists e iff
+     e lists c), so restricting a family solution to S-intersecting
+     classes is feasible for the small per-candidate LP;
+   - conversely any per-candidate solution extends by zeros, and each
+     relaxed row's left side is at most |classes(e)| * v_max, below the
+     relaxation;
+   - classes not intersecting S carry zero objective, so their values
+     are junk the extraction below discards.
+
+   The relaxation stays within a degree factor of v_max on purpose: a
+   big-M rhs would inflate the scale-relative feasibility/residual
+   tolerances (Tolerance.make folds in max |b|) and loosen the solve for
+   every member. *)
+type family = {
+  fam_h : Hypergraph.t;
+  fam_m : int;
+  fam_n_classes : int;
+  fam_class_edges : int array array;
+  fam_vars : Lp.var array;
+  fam_valuations : float array;
+  fam_relax : float array;
+  fam_batch : Lp.Batch.t;
+}
+
+let prepare_family ?(max_pivots = 200_000) h =
+  let classes = Hypergraph.classes h in
+  let n_classes = classes.Hypergraph.n_classes in
+  let class_edges = classes.Hypergraph.class_edges in
+  let edge_classes = classes.Hypergraph.edge_classes in
+  let m = Hypergraph.m h in
+  let valuations =
+    Array.map
+      (fun (e : Hypergraph.edge) -> e.valuation)
+      (Hypergraph.edges h)
+  in
+  let vmax = Array.fold_left Float.max 0.0 valuations in
+  let relax =
+    Array.init m (fun e ->
+        ((Float.of_int (Array.length edge_classes.(e)) +. 1.0) *. vmax) +. 1.0)
+  in
+  (* Objectives and bounds here only pin the family's tolerance scale
+     (full degrees, relaxed rhs); every resolve overrides both. *)
+  let p = Lp.create () in
+  let vars =
+    Array.init n_classes (fun c ->
+        Lp.add_var p ~obj:(Float.of_int (Array.length class_edges.(c))) ())
+  in
+  for e = 0 to m - 1 do
+    let terms =
+      Array.to_list edge_classes.(e) |> List.map (fun c -> (1.0, vars.(c)))
+    in
+    ignore (Lp.add_le p terms relax.(e))
+  done;
+  {
+    fam_h = h;
+    fam_m = m;
+    fam_n_classes = n_classes;
+    fam_class_edges = class_edges;
+    fam_vars = vars;
+    fam_valuations = valuations;
+    fam_relax = relax;
+    fam_batch = Lp.Batch.prepare ~max_pivots p;
+  }
+
+let family_must_sell fam ~edge_ids =
+  Qp_obs.with_span "class_lp.must_sell"
+    ~args:(fun () ->
+      [
+        ("must_sell", Qp_obs.Int (List.length edge_ids));
+        ("collapse", Qp_obs.Bool true);
+        ("warm", Qp_obs.Bool true);
+      ])
+  @@ fun () ->
+  let in_s = Array.make fam.fam_m false in
+  List.iter (fun e -> in_s.(e) <- true) edge_ids;
+  let obj = Array.make fam.fam_n_classes 0.0 in
+  let active = ref 0 in
+  for c = 0 to fam.fam_n_classes - 1 do
+    let s_degree =
+      Array.fold_left
+        (fun acc e -> if in_s.(e) then acc + 1 else acc)
+        0 fam.fam_class_edges.(c)
+    in
+    if s_degree > 0 then begin
+      incr active;
+      obj.(c) <- Float.of_int s_degree
+    end
+  done;
+  let bounds =
+    Array.init fam.fam_m (fun e ->
+        if in_s.(e) then fam.fam_valuations.(e) else fam.fam_relax.(e))
+  in
+  Qp_obs.annotate (fun () ->
+      [ ("active_classes", Qp_obs.Int !active) ]);
+  match Lp.Batch.resolve ~obj ~bounds fam.fam_batch with
+  | Error e -> Error e
+  | Ok sol ->
+      let w_class = Array.make fam.fam_n_classes 0.0 in
+      let rounded = ref 0 in
+      for c = 0 to fam.fam_n_classes - 1 do
+        if obj.(c) > 0.0 then begin
+          let raw = Lp.value sol fam.fam_vars.(c) in
+          if raw < 0.0 then incr rounded;
+          w_class.(c) <- Float.max 0.0 raw
+        end
+      done;
+      Qp_obs.counter "class_lp.rounded_weights" !rounded;
+      Ok (Hypergraph.spread_class_weights fam.fam_h w_class)

@@ -22,3 +22,26 @@ val solve_must_sell :
     (default true) enables the membership-class variable aggregation;
     disabling it reproduces the naive one-variable-per-item LP and
     exists for the ablation bench. *)
+
+(** {1 Warm-started families}
+
+    LPIP's candidate sweep solves the must-sell LP for a long chain of
+    nested sets [S] over one hypergraph. A family phrases every member
+    over a single shared matrix — all classes, all edge rows, with
+    non-[S] rows relaxed to a bound that never binds — so the sweep
+    warm-starts each member from the previous optimum via
+    {!Qp_lp.Lp.Batch} instead of rebuilding and cold-solving. Optimal
+    objectives (and the returned weights' revenue guarantees) are
+    identical to {!solve_must_sell} with [collapse:true]. *)
+
+type family
+
+val prepare_family : ?max_pivots:int -> Hypergraph.t -> family
+(** Build the shared matrix once (forces the {!Hypergraph.classes}
+    cache). No LP is solved yet. Not thread-safe: use one family per
+    worker. *)
+
+val family_must_sell :
+  family -> edge_ids:int list -> (float array, Qp_lp.Lp.error) result
+(** Same contract as {!solve_must_sell} ([collapse:true]) for the given
+    must-sell set, warm-started from the family's previous solve. *)

@@ -71,33 +71,54 @@ let solve_report ?(options = default_options) h =
   (* Force the shared class cache before fanning out: workers would
      otherwise race to fill it (harmless but redundant work). *)
   ignore (Hypergraph.classes h);
-  (* One LP per candidate, embarrassingly parallel. Each worker also
-     evaluates its candidate's revenue; the index-ordered merge with a
-     strict [>] keeps the earliest (highest-valuation) candidate on
-     ties, exactly like the sequential sweep. *)
+  (* The candidates share one constraint matrix (only which rows bind
+     changes between nested prefixes), so the sweep runs in fixed-size
+     chunks, each chunk warm-starting through its own must-sell family.
+     The chunk size is deliberately independent of the job count: warm
+     chains alter which optimal vertex an LP reports (alternate optima),
+     so job-count-dependent chunking would break bit-identical results
+     across QP_JOBS. Each worker also evaluates its candidates' revenue;
+     the index-ordered merge with a strict [>] keeps the earliest
+     (highest-valuation) candidate on ties, exactly like the sequential
+     sweep. *)
   Qp_obs.annotate (fun () ->
       [ ("candidates", Qp_obs.Int (List.length candidates)) ]);
+  let chunk_size = 8 in
+  let cands = Array.of_list candidates in
+  let chunks =
+    Array.init
+      ((Array.length cands + chunk_size - 1) / chunk_size)
+      (fun i ->
+        Array.sub cands (i * chunk_size)
+          (min chunk_size (Array.length cands - (i * chunk_size))))
+  in
   let solutions =
-    Qp_util.Parallel.map ?jobs:options.jobs
-      (fun (_, must_sell) ->
-        Qp_obs.with_span "lpip.candidate"
-          ~args:(fun () ->
-            [ ("must_sell", Qp_obs.Int (List.length must_sell)) ])
-        @@ fun () ->
-        match
-          Class_lp.solve_must_sell ~max_pivots:options.max_pivots h
-            ~edge_ids:must_sell
-        with
-        | Error e ->
-            Qp_obs.annotate (fun () ->
-                [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
-            `Failed e
-        | Ok w ->
-            let pricing = Pricing.Item w in
-            let revenue = Pricing.revenue pricing h in
-            Qp_obs.annotate (fun () -> [ ("revenue", Qp_obs.Float revenue) ]);
-            `Solved (pricing, revenue))
-      (Array.of_list candidates)
+    Array.concat
+      (Array.to_list
+         (Qp_util.Parallel.map ?jobs:options.jobs
+            (fun chunk ->
+              let fam =
+                Class_lp.prepare_family ~max_pivots:options.max_pivots h
+              in
+              Array.map
+                (fun (_, must_sell) ->
+                  Qp_obs.with_span "lpip.candidate"
+                    ~args:(fun () ->
+                      [ ("must_sell", Qp_obs.Int (List.length must_sell)) ])
+                  @@ fun () ->
+                  match Class_lp.family_must_sell fam ~edge_ids:must_sell with
+                  | Error e ->
+                      Qp_obs.annotate (fun () ->
+                          [ ("lp_failure", Qp_obs.Str (Qp_lp.Lp.error_tag e)) ]);
+                      `Failed e
+                  | Ok w ->
+                      let pricing = Pricing.Item w in
+                      let revenue = Pricing.revenue pricing h in
+                      Qp_obs.annotate (fun () ->
+                          [ ("revenue", Qp_obs.Float revenue) ]);
+                      `Solved (pricing, revenue))
+                chunk)
+            chunks))
   in
   let zero = Pricing.Item (Array.make (Hypergraph.n_items h) 0.0) in
   let best = ref zero and best_revenue = ref (Pricing.revenue zero h) in

@@ -71,18 +71,16 @@ let dense_of_terms nvars terms =
     terms;
   a
 
-let solve ?engine ?max_pivots ?stall_threshold p =
-  Qp_obs.with_span "lp.solve"
-    ~args:(fun () ->
-      [ ("vars", Qp_obs.Int p.nvars); ("constraints", Qp_obs.Int p.nrows) ])
-  @@ fun () ->
+(* Expansion into <= form. [origin.(k)] records which user constraint
+   produced simplex row [k] and with which dual sign; note that for
+   every generated row, rhs = dual_sign * user_bound, which is what lets
+   [Batch.resolve] retarget bounds without re-expanding. *)
+let expand p =
   let nvars = p.nvars in
   let sign = if p.minimize then -1.0 else 1.0 in
   let c = Array.make nvars 0.0 in
   List.iteri (fun i obj -> c.(nvars - 1 - i) <- sign *. obj) p.objs;
   let user_rows = Array.of_list (List.rev p.rows) in
-  (* Expansion into <= form. [origin.(k)] records which user constraint
-     produced simplex row [k] and with which dual sign. *)
   let sim_rows = ref [] and origin = ref [] in
   Array.iteri
     (fun i { terms; bound; sense } ->
@@ -100,19 +98,80 @@ let solve ?engine ?max_pivots ?stall_threshold p =
     user_rows;
   let rows = Array.of_list (List.rev !sim_rows) in
   let origin = Array.of_list (List.rev !origin) in
+  (sign, c, rows, origin, Array.length user_rows)
+
+let solution_of_optimal ~sign ~origin ~nuser
+    ({ objective; primal; dual } : Simplex.solution) =
+  let row_dual = Array.make nuser 0.0 in
+  Array.iteri
+    (fun k (i, sgn) -> row_dual.(i) <- row_dual.(i) +. (sgn *. sign *. dual.(k)))
+    origin;
+  { objective = sign *. objective; primal; row_dual }
+
+let solve ?engine ?max_pivots ?stall_threshold p =
+  Qp_obs.with_span "lp.solve"
+    ~args:(fun () ->
+      [ ("vars", Qp_obs.Int p.nvars); ("constraints", Qp_obs.Int p.nrows) ])
+  @@ fun () ->
+  let sign, c, rows, origin, nuser = expand p in
   match Simplex.solve ?engine ?max_pivots ?stall_threshold ~c ~rows () with
   | Simplex.Infeasible -> Error Infeasible
   | Simplex.Unbounded -> Error Unbounded
   | Simplex.Budget_exhausted d -> Error (Budget_exhausted d)
   | Simplex.Numerical_error d -> Error (Numerical_error d)
-  | Simplex.Optimal { objective; primal; dual } ->
-      let row_dual = Array.make (Array.length user_rows) 0.0 in
-      Array.iteri
-        (fun k (i, sgn) ->
-          row_dual.(i) <- row_dual.(i) +. (sgn *. sign *. dual.(k)))
-        origin;
-      Ok { objective = sign *. objective; primal; row_dual }
+  | Simplex.Optimal sol -> Ok (solution_of_optimal ~sign ~origin ~nuser sol)
+
+module Batch = struct
+  type problem = t
+
+  type t = {
+    sign : float;
+    nvars : int;
+    nuser : int;
+    origin : (int * float) array;
+    fam : Simplex.family;
+  }
+
+  let prepare ?max_pivots ?stall_threshold (p : problem) =
+    let sign, c, rows, origin, nuser = expand p in
+    {
+      sign;
+      nvars = p.nvars;
+      nuser;
+      origin;
+      fam = Simplex.prepare ?max_pivots ?stall_threshold ~c ~rows ();
+    }
+
+  let resolve ?engine ?obj ?bounds bt =
+    Qp_obs.with_span "lp.resolve"
+      ~args:(fun () ->
+        [ ("vars", Qp_obs.Int bt.nvars); ("constraints", Qp_obs.Int bt.nuser) ])
+    @@ fun () ->
+    let c =
+      Option.map
+        (fun o ->
+          assert (Array.length o = bt.nvars);
+          Array.map (fun x -> bt.sign *. x) o)
+        obj
+    in
+    let rhs =
+      Option.map
+        (fun bounds ->
+          assert (Array.length bounds = bt.nuser);
+          Array.map (fun (i, sgn) -> sgn *. bounds.(i)) bt.origin)
+        bounds
+    in
+    match Simplex.resolve ?engine ?c ?rhs bt.fam with
+    | Simplex.Infeasible -> Error Infeasible
+    | Simplex.Unbounded -> Error Unbounded
+    | Simplex.Budget_exhausted d -> Error (Budget_exhausted d)
+    | Simplex.Numerical_error d -> Error (Numerical_error d)
+    | Simplex.Optimal sol ->
+        Ok (solution_of_optimal ~sign:bt.sign ~origin:bt.origin ~nuser:bt.nuser sol)
+end
 
 let objective_value s = s.objective
 let value s v = s.primal.(v)
 let dual s cid = s.row_dual.(cid)
+let var_index (v : var) = v
+let constr_index (c : constr) = c

@@ -67,6 +67,40 @@ val solve :
     — never as an exception — so callers must not conflate them with
     [Infeasible]. *)
 
+(** Warm-started solving of builder-level LP families: capture the
+    expanded matrix of a problem once, then re-solve with new objective
+    coefficients and/or constraint bounds, reusing the previous optimal
+    basis via {!Simplex.resolve}. The variable/constraint handles of the
+    captured problem keep working against every solution the batch
+    produces. *)
+module Batch : sig
+  type problem := t
+
+  type t
+  (** A prepared family: the expanded [<=]-form matrix plus the warm
+      state. Not thread-safe; use one batch per worker. *)
+
+  val prepare : ?max_pivots:int -> ?stall_threshold:int -> problem -> t
+  (** Snapshot the problem as built so far (later [add_var]/[add_*] calls
+      on the source problem are not reflected). No solve happens yet. *)
+
+  val resolve :
+    ?engine:Simplex.engine ->
+    ?obj:float array ->
+    ?bounds:float array ->
+    t ->
+    (solution, error) result
+  (** [resolve ?obj ?bounds bt] solves the family member with objective
+      [obj] (one coefficient per variable, in [add_var] order; defaults
+      to the previous member's) and constraint bounds [bounds] (one per
+      user constraint in [add_*] order, replacing each row's original
+      bound; senses are fixed at {!prepare} time). The first call runs
+      cold; subsequent calls warm-start from the previous optimal basis
+      and silently fall back to a cold solve on any warm-path failure —
+      outcomes are identical to rebuilding and calling {!solve}, only
+      faster. [engine] is per-call, as in {!solve}. *)
+end
+
 val objective_value : solution -> float
 
 val value : solution -> var -> float
@@ -77,3 +111,11 @@ val dual : solution -> constr -> float
     maximization this is the non-negative shadow price; for [>=] rows
     the sign convention is flipped accordingly; for [=] rows it is the
     net multiplier of the two generated inequalities. *)
+
+val var_index : var -> int
+(** Position of a variable in [add_var] order — the slot it occupies in
+    {!Batch.resolve}'s [obj] array. *)
+
+val constr_index : constr -> int
+(** Position of a constraint in [add_le]/[add_ge]/[add_eq] order — the
+    slot it occupies in {!Batch.resolve}'s [bounds] array. *)

@@ -83,6 +83,22 @@ let mismatches = ref 0
 let cross_check_mismatches () = !mismatches
 let reset_cross_check_mismatches () = mismatches := 0
 
+(* Warm starts can be disabled globally (QP_LP_WARMSTART=off or
+   set_warm_starts false): every resolve then runs the cold path, which
+   is how `bench warmstart` measures its baseline and how a suspected
+   warm-path bug can be ruled out in the field. *)
+let warm_ref =
+  ref
+    (match Sys.getenv_opt "QP_LP_WARMSTART" with
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "off" | "0" | "false" | "no" -> false
+        | _ -> true)
+    | None -> true)
+
+let warm_starts () = !warm_ref
+let set_warm_starts b = warm_ref := b
+
 (* --- shared pieces ---------------------------------------------------- *)
 
 type phase_result =
@@ -735,7 +751,11 @@ module Revised_engine = struct
       end
     done
 
-  let solve ~tol ~max_pivots ~stall_threshold ~refactor_every ~c ~rows =
+  (* Build a fresh state: sparse columns factored from [rows], slack
+     basis (artificials on negated rows), xb = b. Shared by the one-shot
+     cold solve and the warm-started family path, which keeps the state
+     alive across solves. *)
+  let make_state ~tol ~max_pivots ~stall_threshold ~refactor_every ~c ~rows =
     let nvars = Array.length c in
     let nrows = Array.length rows in
     let negated = Array.map (fun (_, b) -> b < 0.0) rows in
@@ -823,6 +843,49 @@ module Revised_engine = struct
         tol;
       }
     in
+    st
+
+  let stats_of st ~phase1_pivots =
+    {
+      s_pivots = st.pivots;
+      s_phase1 = phase1_pivots;
+      s_degenerate = st.degenerate;
+      s_bland = st.bland_ever;
+      s_etas = Basis.eta_count st.bas;
+      s_refactors = st.refactors;
+      s_fill = st.max_fill;
+    }
+
+  (* Read the optimal solution out of the current basis. The objective
+     is recomputed from scratch instead of trusting the running total,
+     and a non-finite value anywhere downgrades the verdict. *)
+  let extract_optimal st ~phase1_pivots =
+    let primal = Array.make st.nvars 0.0 in
+    for i = 0 to st.nrows - 1 do
+      if st.basis.(i) < st.nvars then primal.(st.basis.(i)) <- st.xb.(i)
+    done;
+    let objective = ref 0.0 in
+    for i = 0 to st.nrows - 1 do
+      objective := !objective +. (st.cost2.(st.basis.(i)) *. st.xb.(i))
+    done;
+    compute_duals st ~phase1:false;
+    let dual = Array.init st.nrows (fun i -> st.sign.(i) *. st.y.(i)) in
+    let finite =
+      Float.is_finite !objective
+      && Array.for_all Float.is_finite primal
+      && Array.for_all Float.is_finite dual
+    in
+    if finite then Optimal { objective = !objective; primal; dual }
+    else
+      Numerical_error
+        (diagnostics st ~phase1_pivots
+           ~detail:"non-finite value in reported solution")
+
+  let cold_solve st =
+    let nrows = st.nrows in
+    let art_first = st.art_first in
+    let n_art = st.ncols - st.art_first in
+    let tol = st.tol in
     let all_allowed _ = true in
     let no_artificials j = j < st.art_first in
     let phase1 =
@@ -883,44 +946,218 @@ module Revised_engine = struct
               Budget_exhausted (diagnostics st ~phase1_pivots ~detail)
           | Phase_numerical detail ->
               Numerical_error (diagnostics st ~phase1_pivots ~detail)
-          | Phase_optimal ->
-              let primal = Array.make nvars 0.0 in
-              for i = 0 to nrows - 1 do
-                if st.basis.(i) < nvars then primal.(st.basis.(i)) <- st.xb.(i)
-              done;
-              (* Recompute the objective from the basis instead of
-                 trusting the running total. *)
-              let objective = ref 0.0 in
-              for i = 0 to nrows - 1 do
-                objective :=
-                  !objective +. (st.cost2.(st.basis.(i)) *. st.xb.(i))
-              done;
-              compute_duals st ~phase1:false;
-              let dual = Array.init nrows (fun i -> st.sign.(i) *. st.y.(i)) in
-              let finite =
-                Float.is_finite !objective
-                && Array.for_all Float.is_finite primal
-                && Array.for_all Float.is_finite dual
-              in
-              if finite then Optimal { objective = !objective; primal; dual }
-              else
-                Numerical_error
-                  (diagnostics st ~phase1_pivots
-                     ~detail:"non-finite value in reported solution")
+          | Phase_optimal -> extract_optimal st ~phase1_pivots
         end
     in
-    let stats =
-      {
-        s_pivots = st.pivots;
-        s_phase1 = phase1_pivots;
-        s_degenerate = st.degenerate;
-        s_bland = st.bland_ever;
-        s_etas = Basis.eta_count st.bas;
-        s_refactors = st.refactors;
-        s_fill = st.max_fill;
-      }
+    (outcome, stats_of st ~phase1_pivots)
+
+  let solve ~tol ~max_pivots ~stall_threshold ~refactor_every ~c ~rows =
+    cold_solve
+      (make_state ~tol ~max_pivots ~stall_threshold ~refactor_every ~c ~rows)
+
+  (* --- warm re-solve --------------------------------------------------- *)
+
+  (* Dual simplex: from a dual-feasible basis (all phase-2 reduced costs
+     <= 0) whose basic solution violates primal feasibility (some
+     xb < 0), repeatedly drop the most negative basic variable and bring
+     in the column minimizing the dual ratio d_j / alpha_j over
+     alpha_j < 0 in the pivot row — which preserves dual feasibility
+     while shrinking the primal violation. Terminates Phase_optimal with
+     a primal-feasible (hence optimal) basis, or Phase_unbounded when a
+     negative row has no negative tableau entry, i.e. the LP is primal
+     infeasible. Artificial columns never re-enter. *)
+  let run_dual_phase st =
+    Qp_obs.with_span "simplex.dual_phase"
+      ~args:(fun () -> [ ("rows", Qp_obs.Int st.nrows) ])
+    @@ fun () ->
+    let before = st.pivots in
+    let rho = Array.make st.nrows 0.0 in
+    let rec loop () =
+      if Qp_fault.enabled () then
+        match Qp_fault.check ~key:st.pivots "simplex.pivot" with
+        | Some Qp_fault.Fail -> raise (Qp_fault.Injected "simplex.pivot")
+        | Some Qp_fault.Nan -> Phase_numerical "injected nan"
+        | Some Qp_fault.Stall -> Phase_budget "injected stall"
+        | None -> step ()
+      else step ()
+    and step () =
+      if st.pivots >= st.max_pivots then
+        Phase_budget (Printf.sprintf "pivot budget %d exceeded" st.max_pivots)
+      else if
+        Basis.eta_count st.bas - st.last_rebuild >= st.refactor_every
+        && not (refactorize st ~phase1:false)
+      then Phase_numerical "singular basis at refactorization"
+      else begin
+        let r = ref (-1) and worst = ref (-.st.tol.Tolerance.feasibility) in
+        for i = 0 to st.nrows - 1 do
+          if st.xb.(i) < !worst then begin
+            r := i;
+            worst := st.xb.(i)
+          end
+        done;
+        if !r < 0 then Phase_optimal
+        else begin
+          let r = !r in
+          (* rho := e_r B^-1; alpha_j = rho . A_j is the pivot-row entry
+             of column j, read one sparse column at a time. *)
+          zero rho;
+          rho.(r) <- 1.0;
+          Basis.btran st.bas rho;
+          compute_duals st ~phase1:false;
+          let q = ref (-1) and best = ref infinity and q_rc = ref 0.0 in
+          for j = 0 to st.ncols - 1 do
+            if (not st.in_basis.(j)) && j < st.art_first then begin
+              let alpha = Sparse.dot st.cols.(j) rho in
+              if alpha < -.st.tol.Tolerance.pivot then begin
+                let dj = reduced_cost st ~phase1:false j in
+                let ratio = dj /. alpha in
+                if Tolerance.ratio_lt ratio !best then begin
+                  q := j;
+                  best := ratio;
+                  q_rc := dj
+                end
+              end
+            end
+          done;
+          if !q < 0 then Phase_unbounded
+          else begin
+            ftran_col st !q;
+            if Float.abs st.d.(r) <= st.tol.Tolerance.pivot then
+              Phase_numerical "vanishing dual pivot"
+            else begin
+              pivot st ~r ~q:!q ~rc:!q_rc;
+              if Float.is_finite st.obj_val then loop ()
+              else Phase_numerical "non-finite objective after pivot"
+            end
+          end
+        end
+      end
     in
-    (outcome, stats)
+    let result = loop () in
+    Qp_obs.annotate (fun () ->
+        [
+          ("dual_pivots", Qp_obs.Int (st.pivots - before));
+          ( "result",
+            Qp_obs.Str
+              (match result with
+              | Phase_optimal -> "optimal"
+              | Phase_unbounded -> "infeasible"
+              | Phase_budget _ -> "budget"
+              | Phase_numerical _ -> "numerical") );
+        ]);
+    result
+
+  let recompute_obj st =
+    st.obj_val <- 0.0;
+    for i = 0 to st.nrows - 1 do
+      st.obj_val <- st.obj_val +. (st.cost2.(st.basis.(i)) *. st.xb.(i))
+    done
+
+  type warm_result =
+    | Warm of outcome * run_stats * int (* dual-phase pivots *)
+    | Warm_fallback of string
+
+  (* Re-solve from the previous optimal basis after the objective and/or
+     rhs moved. Order of operations matters:
+
+     1. objective change, OLD rhs: the basis is still primal feasible,
+        so a primal phase-2 run restores optimality — and with it dual
+        feasibility for the new objective, which step 2 requires;
+     2. rhs change: xb := B^-1 b'. If primal feasibility survives we are
+        already optimal (duals depend only on basis and objective);
+        otherwise the dual phase restores it without touching phase 1;
+     3. a final primal phase-2 sweep mops up roundoff-scale dual
+        infeasibility left behind by refactorizations in the dual phase.
+
+     Any non-optimal phase outcome (and a basic artificial drifting off
+     zero, which would silently violate a dependent row) surfaces as
+     Warm_fallback; the caller then runs a cold solve, so warm-starting
+     never changes which outcomes are reachable — only how fast the
+     Optimal ones are found. *)
+  let warm_solve st ~c ~rhs =
+    st.pivots <- 0;
+    st.degenerate <- 0;
+    st.stall <- 0;
+    st.bland <- false;
+    st.bland_ever <- false;
+    st.refactors <- 0;
+    let c_changed = ref false in
+    for j = 0 to st.nvars - 1 do
+      if st.cost2.(j) <> c.(j) then begin
+        st.cost2.(j) <- c.(j);
+        c_changed := true
+      end
+    done;
+    let rhs_changed = ref false in
+    for i = 0 to st.nrows - 1 do
+      if st.b.(i) <> st.sign.(i) *. rhs.(i) then rhs_changed := true
+    done;
+    let no_artificials j = j < st.art_first in
+    let primal2 () =
+      recompute_obj st;
+      run_phase st ~phase1:false ~allowed:no_artificials
+        ~etol:st.tol.Tolerance.entering_phase2
+    in
+    let finish ~dual_pivots =
+      (* Guard: a basic artificial off zero means this basis no longer
+         satisfies a dependent row under the new rhs. *)
+      let art_bad = ref false in
+      for i = 0 to st.nrows - 1 do
+        if
+          st.basis.(i) >= st.art_first
+          && Float.abs st.xb.(i) > st.tol.Tolerance.residual
+        then art_bad := true
+      done;
+      if !art_bad then Warm_fallback "basic artificial off zero"
+      else
+        Warm
+          (extract_optimal st ~phase1_pivots:0, stats_of st ~phase1_pivots:0,
+           dual_pivots)
+    in
+    let step1 = if !c_changed then primal2 () else Phase_optimal in
+    match step1 with
+    | Phase_budget detail -> Warm_fallback ("phase 2 on old rhs: " ^ detail)
+    | Phase_numerical detail -> Warm_fallback detail
+    | Phase_unbounded ->
+        if !rhs_changed then
+          (* the certificate ray is rhs-independent, but feasibility of
+             the new rhs is unknown from here — let the cold path decide
+             between Unbounded and Infeasible *)
+          Warm_fallback "unbounded under old rhs"
+        else Warm (Unbounded, stats_of st ~phase1_pivots:0, 0)
+    | Phase_optimal ->
+        if not !rhs_changed then finish ~dual_pivots:0
+        else begin
+          for i = 0 to st.nrows - 1 do
+            st.b.(i) <- st.sign.(i) *. rhs.(i)
+          done;
+          Array.blit st.b 0 st.xb 0 st.nrows;
+          Basis.ftran st.bas st.xb;
+          recompute_obj st;
+          let feasible = ref true in
+          for i = 0 to st.nrows - 1 do
+            if st.xb.(i) < -.st.tol.Tolerance.feasibility then feasible := false
+          done;
+          if !feasible then finish ~dual_pivots:0
+          else begin
+            let before = st.pivots in
+            match run_dual_phase st with
+            | Phase_budget detail -> Warm_fallback ("dual phase: " ^ detail)
+            | Phase_numerical detail -> Warm_fallback detail
+            | Phase_unbounded ->
+                (* dual ray = primal infeasibility certificate *)
+                Warm (Infeasible, stats_of st ~phase1_pivots:0, st.pivots - before)
+            | Phase_optimal -> (
+                let dual_pivots = st.pivots - before in
+                match primal2 () with
+                | Phase_optimal -> finish ~dual_pivots
+                | Phase_unbounded ->
+                    Warm (Unbounded, stats_of st ~phase1_pivots:0, dual_pivots)
+                | Phase_budget detail ->
+                    Warm_fallback ("cleanup phase 2: " ^ detail)
+                | Phase_numerical detail -> Warm_fallback detail)
+          end
+        end
 end
 
 (* --- cross-check ------------------------------------------------------- *)
@@ -1047,6 +1284,166 @@ let solve ?engine ?(max_pivots = 50_000) ?(stall_threshold = 1024)
         ("bland_engaged", Qp_obs.Bool stats.s_bland);
         ("etas", Qp_obs.Int stats.s_etas);
         ("refactorizations", Qp_obs.Int stats.s_refactors);
+        ("outcome", Qp_obs.Str (outcome_tag outcome));
+      ]);
+  outcome
+
+(* --- warm-started families --------------------------------------------- *)
+
+(* A family is a sequence of LPs over one shared constraint matrix whose
+   members differ only in objective and/or rhs. The sparse columns are
+   factored once (at the first resolve) and the optimal basis of member
+   k seeds member k+1, so a typical sweep step costs a handful of
+   primal/dual pivots instead of a full two-phase solve. *)
+type family = {
+  f_nvars : int;
+  f_nrows : int;
+  f_c : float array; (* current objective *)
+  f_coeffs : float array array; (* shared row coefficients, never mutated *)
+  f_rhs : float array; (* current rhs *)
+  f_max_pivots : int;
+  f_stall : int;
+  f_refactor : int option;
+  (* Some iff the previous resolve ended Optimal on the revised engine,
+     i.e. the saved basis is a valid warm-start seed. *)
+  mutable f_state : Revised_engine.state option;
+  (* pivot count of the family's last cold revised solve — the yardstick
+     for the pivots-saved accounting of subsequent warm hits *)
+  mutable f_cold_pivots : int;
+}
+
+let prepare ?(max_pivots = 50_000) ?(stall_threshold = 1024) ?refactor_every
+    ~c ~rows () =
+  let nvars = Array.length c in
+  Array.iter (fun (a, _) -> assert (Array.length a = nvars)) rows;
+  {
+    f_nvars = nvars;
+    f_nrows = Array.length rows;
+    f_c = Array.copy c;
+    f_coeffs = Array.map fst rows;
+    f_rhs = Array.map snd rows;
+    f_max_pivots = max_pivots;
+    f_stall = stall_threshold;
+    f_refactor = refactor_every;
+    f_state = None;
+    f_cold_pivots = 0;
+  }
+
+let family_rows fam =
+  Array.init fam.f_nrows (fun i -> (fam.f_coeffs.(i), fam.f_rhs.(i)))
+
+let family_size fam = (fam.f_nrows, fam.f_nvars)
+
+let resolve ?engine ?c ?rhs fam =
+  let engine = match engine with Some e -> e | None -> !engine_ref in
+  (match c with
+  | None -> ()
+  | Some c ->
+      assert (Array.length c = fam.f_nvars);
+      Array.blit c 0 fam.f_c 0 fam.f_nvars);
+  (match rhs with
+  | None -> ()
+  | Some r ->
+      assert (Array.length r = fam.f_nrows);
+      Array.blit r 0 fam.f_rhs 0 fam.f_nrows);
+  let warm_enabled = !warm_ref && engine <> Dense in
+  (* Same span label as the one-shot path: report tooling aggregates by
+     label, and a resolve is a solve — [warm_seed]/[warm_hit] args and
+     the resolve counter tell the two apart. *)
+  Qp_obs.with_span "simplex.solve"
+    ~args:(fun () ->
+      [
+        ("rows", Qp_obs.Int fam.f_nrows);
+        ("vars", Qp_obs.Int fam.f_nvars);
+        ("engine", Qp_obs.Str (engine_name engine));
+        ("warm_seed", Qp_obs.Bool (warm_enabled && fam.f_state <> None));
+      ])
+  @@ fun () ->
+  Qp_obs.counter "simplex.solves" 1;
+  Qp_obs.counter "simplex.resolves" 1;
+  let cold_revised () =
+    let rows = family_rows fam in
+    let tol = Tolerance.make ~c:fam.f_c ~rows in
+    let refactor_every =
+      match fam.f_refactor with
+      | Some k -> max 1 k
+      | None -> max 64 (fam.f_nrows / 2)
+    in
+    let st =
+      Revised_engine.make_state ~tol ~max_pivots:fam.f_max_pivots
+        ~stall_threshold:fam.f_stall ~refactor_every ~c:fam.f_c ~rows
+    in
+    let outcome, stats = Revised_engine.cold_solve st in
+    fam.f_state <-
+      (match outcome with Optimal _ -> Some st | _ -> None);
+    fam.f_cold_pivots <- stats.s_pivots;
+    (outcome, stats)
+  in
+  let outcome, stats, warm_hit, dual_pivots =
+    match engine with
+    | Dense ->
+        let rows = family_rows fam in
+        let tol = Tolerance.make ~c:fam.f_c ~rows in
+        let outcome, stats =
+          Dense_engine.solve ~tol ~max_pivots:fam.f_max_pivots
+            ~stall_threshold:fam.f_stall ~c:fam.f_c ~rows
+        in
+        (outcome, stats, false, 0)
+    | Revised | Check -> (
+        match fam.f_state with
+        | Some st when warm_enabled -> (
+            match Revised_engine.warm_solve st ~c:fam.f_c ~rhs:fam.f_rhs with
+            | Revised_engine.Warm (outcome, stats, dp) ->
+                (match outcome with
+                | Optimal _ -> ()
+                | _ -> fam.f_state <- None);
+                (outcome, stats, true, dp)
+            | Revised_engine.Warm_fallback reason ->
+                fam.f_state <- None;
+                Qp_obs.event "simplex.warm_fallback"
+                  ~args:(fun () -> [ ("reason", Qp_obs.Str reason) ]);
+                let outcome, stats = cold_revised () in
+                (outcome, stats, false, 0))
+        | _ ->
+            let outcome, stats = cold_revised () in
+            (outcome, stats, false, 0))
+  in
+  (* check mode keeps the dense oracle over the *warm-started* result:
+     the exact cross-check used for one-shot solves, applied to the
+     family member currently loaded. *)
+  if engine = Check && not (Qp_fault.enabled ()) then begin
+    let rows = family_rows fam in
+    let tol = Tolerance.make ~c:fam.f_c ~rows in
+    let dense, _ =
+      Dense_engine.solve ~tol ~max_pivots:fam.f_max_pivots
+        ~stall_threshold:fam.f_stall ~c:fam.f_c ~rows
+    in
+    match cross_check ~rows outcome dense with
+    | None -> ()
+    | Some detail ->
+        incr mismatches;
+        Qp_obs.counter "simplex.cross_check_mismatch" 1;
+        Qp_obs.event "simplex.cross_check_mismatch"
+          ~args:(fun () -> [ ("detail", Qp_obs.Str detail) ])
+  end;
+  (match outcome with
+  | Budget_exhausted _ -> Qp_obs.counter "simplex.budget_exhausted" 1
+  | Numerical_error _ -> Qp_obs.counter "simplex.numerical_error" 1
+  | Optimal _ | Unbounded | Infeasible -> ());
+  Qp_obs.counter "simplex.pivots" stats.s_pivots;
+  Qp_obs.counter
+    (if warm_hit then "simplex.warm_hit" else "simplex.warm_miss")
+    1;
+  if warm_hit then begin
+    let saved = max 0 (fam.f_cold_pivots - stats.s_pivots) in
+    Qp_obs.counter "simplex.warm_pivots_saved" saved;
+    Qp_obs.gauge_max "simplex.warm_pivots_saved_max" (Float.of_int saved)
+  end;
+  Qp_obs.annotate (fun () ->
+      [
+        ("pivots", Qp_obs.Int stats.s_pivots);
+        ("dual_pivots", Qp_obs.Int dual_pivots);
+        ("warm_hit", Qp_obs.Bool warm_hit);
         ("outcome", Qp_obs.Str (outcome_tag outcome));
       ]);
   outcome

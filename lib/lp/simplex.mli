@@ -139,3 +139,84 @@ val solve :
     ["simplex.pivot"] site of {!Qp_fault} (key = current pivot count);
     [fail] raises {!Qp_fault.Injected}, [nan] yields [Numerical_error],
     [stall] yields [Budget_exhausted]. *)
+
+(** {1 Warm-started families}
+
+    Sweeps (CIP's capacity grid, LPIP's candidate prefixes, the
+    must-sell families) solve long sequences of LPs over {e one shared
+    constraint matrix}, with only the objective and/or rhs moving
+    between steps. A {!family} factors the sparse columns once and
+    carries the optimal basis from member [k] into member [k+1]:
+
+    - objective change only: the saved basis stays primal feasible, so
+      a primal phase-2 run restores optimality — no phase 1;
+    - rhs change only: the saved basis stays {e dual} feasible, so a
+      dual-simplex phase repairs primal feasibility — no phase 1;
+    - both: primal phase 2 against the old rhs first, then the dual
+      phase, then a roundoff-cleanup phase-2 sweep.
+
+    Warm solving is a pure optimization: any warm-path failure (budget,
+    numerics, a basic artificial drifting off zero) silently falls back
+    to a cold solve, so {!resolve} reaches exactly the outcomes a cold
+    {!solve} of the same member would. *)
+
+type family
+(** A mutable handle over one shared-matrix LP family: current
+    objective/rhs, the factored columns, and (when the previous resolve
+    ended [Optimal] on the revised engine) the saved basis. Not
+    thread-safe; use one family per worker. *)
+
+val prepare :
+  ?max_pivots:int ->
+  ?stall_threshold:int ->
+  ?refactor_every:int ->
+  c:float array ->
+  rows:(float array * float) array ->
+  unit ->
+  family
+(** [prepare ~c ~rows ()] captures the family's shared matrix together
+    with its first member's objective [c] and rhs (the [b_i] of
+    [rows]). No solving happens yet; the optional knobs mean the same
+    as in {!solve} and apply to every subsequent {!resolve}. The row
+    coefficient arrays are shared, not copied — callers must not mutate
+    them. *)
+
+val resolve : ?engine:engine -> ?c:float array -> ?rhs:float array -> family -> outcome
+(** [resolve ?c ?rhs fam] solves the family member obtained by
+    replacing the current objective and/or rhs, then remembers the
+    optimal basis for the next call. The first resolve (and any resolve
+    after a non-[Optimal] outcome) runs cold; later ones warm-start as
+    described above. Semantically equivalent to
+    [solve ~c ~rows:(current rows) ()] — same typed outcomes, same
+    tolerances, same fault-injection site.
+
+    [engine] behaves as in {!solve}: [Dense] solves cold on the dense
+    oracle (no warm state is kept), and [Check] cross-checks the
+    {e warm-started} revised result against a cold dense solve,
+    bumping {!cross_check_mismatches} on disagreement — the oracle for
+    asserting that warm-starting never changes answers.
+
+    Under tracing each call records a ["simplex.solve"] span — the same
+    label as one-shot solves, so reports aggregate all solver activity
+    together — with [warm_seed] on open and pivots, dual-phase pivots,
+    [warm_hit] and the outcome on close, the ["simplex.solves"] and
+    ["simplex.resolves"] counters, a
+    ["simplex.warm_hit"] / ["simplex.warm_miss"] counter, the
+    ["simplex.warm_pivots_saved"] counter plus
+    ["simplex.warm_pivots_saved_max"] gauge (vs the family's last cold
+    solve), and — when the dual phase runs — a ["simplex.dual_phase"]
+    span. Warm-path failures emit a ["simplex.warm_fallback"] event and
+    re-solve cold. *)
+
+val family_size : family -> int * int
+(** [(rows, vars)] of the shared matrix. *)
+
+val warm_starts : unit -> bool
+(** Whether {!resolve} may reuse saved bases. Initialized from
+    [QP_LP_WARMSTART] (any of [off]/[0]/[false]/[no] disables; default
+    enabled). *)
+
+val set_warm_starts : bool -> unit
+(** Kill switch: [set_warm_starts false] makes every {!resolve} run the
+    cold path — the baseline for [bench warmstart] and a field
+    diagnostic for suspected warm-path bugs. *)

@@ -75,8 +75,18 @@ let fresh_name rng used =
   attempt ()
 
 let code_of_name used name =
+  let up = String.uppercase_ascii name in
   let base =
-    String.uppercase_ascii (String.sub (name ^ "XXX") 0 3)
+    if String.length up >= 3 then String.sub up 0 3
+    else
+      (* Short names are padded with a digit encoding the name length,
+         not a literal letter: an "XXX" suffix made distinct short names
+         collide ("A" and "AX" both gave "AXX", leaving one of them an
+         arbitrary disambiguated code), while a digit pad is injective
+         on short names and can never equal any 3-letter prefix of a
+         longer name. *)
+      let n = String.length up in
+      up ^ String.make (3 - n) (Char.chr (Char.code '0' + n))
   in
   let rec disambiguate i =
     let code =

@@ -29,3 +29,11 @@ val continents : string array
 val country_codes : Database.t -> string list
 val language_names : Database.t -> string list
 (** Active domains used to expand the query templates. *)
+
+val code_of_name : (string, unit) Hashtbl.t -> string -> string
+(** 3-character country code for a name, unique against (and recorded
+    in) [used]. Longer names take their uppercased 3-letter prefix,
+    short names are padded with a digit encoding their length (["A"] →
+    ["A11"], ["AX"] → ["AX2"]) so distinct short names never share a
+    base; remaining clashes rotate the final character. Exposed for the
+    regression test. *)

@@ -195,6 +195,42 @@ let test_cip_grid () =
   Alcotest.(check (list (float 1e-9))) "empty grid for degree 0" []
     (Cip.capacity_grid ~epsilon:0.5 ~max_degree:0)
 
+(* Adversarial (epsilon, max_degree) pairs where the grown point
+   1*(1+eps)^t lands a relative hair under B: the grid used to keep both
+   it and the appended B, spending a full LP solve on a duplicate
+   capacity. *)
+let test_cip_grid_dedupe () =
+  let pairs =
+    [
+      (1.0 -. 1e-13, 2);
+      ((2.0 *. (1.0 -. 5e-14)) -. 1.0, 8);
+      (1.0, 8);
+      (0.25, 5);
+      (4.0, 3);
+    ]
+  in
+  List.iter
+    (fun (epsilon, max_degree) ->
+      let grid = Cip.capacity_grid ~epsilon ~max_degree in
+      let b = Float.of_int max_degree in
+      Alcotest.(check bool)
+        (Printf.sprintf "ends at B (eps=%.17g B=%d)" epsilon max_degree)
+        true
+        (List.rev grid |> List.hd = b);
+      let rec gaps = function
+        | x :: (y :: _ as rest) ->
+            Alcotest.(check bool)
+              (Printf.sprintf
+                 "grid points relatively distinct (eps=%.17g B=%d): %.17g vs %.17g"
+                 epsilon max_degree x y)
+              true
+              (y -. x > 1e-9 *. y);
+            gaps rest
+        | _ -> ()
+      in
+      gaps grid)
+    pairs
+
 let test_xos_combine () =
   let p = Xos.combine [ P.Item [| 1.0 |]; P.Item [| 2.0 |] ] in
   (match p with
@@ -285,6 +321,7 @@ let suite =
       t "LPIP full extraction on single edge" test_lpip_dominates_trivial;
       t "LPIP candidate cap" test_lpip_candidate_cap;
       t "CIP capacity grid" test_cip_grid;
+      t "CIP capacity grid dedupes near-B point" test_cip_grid_dedupe;
       t "XOS combine" test_xos_combine;
       t "XOS dominates components" test_xos_at_least_components;
       t "lemma 2 behavior" test_lemma2_behavior;

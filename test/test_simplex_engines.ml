@@ -313,6 +313,119 @@ let test_check_engine_on_experiment_cell () =
     "no engine disagreements" 0
     (Simplex.cross_check_mismatches ())
 
+(* --- warm-started families --------------------------------------------- *)
+
+(* Warm-starting is a pure optimization: a warm resolve must land in the
+   same outcome constructor as a cold solve of the same member, with the
+   same optimal objective and a valid duality certificate. Chains of
+   objective-only, rhs-only and combined perturbations exercise the
+   primal-phase-2, dual-simplex and mixed warm paths across all five
+   random families. *)
+let test_warm_vs_cold_property () =
+  let rand = Random.State.make [| 7177 |] in
+  let families =
+    [
+      ("bounded", gen_bounded);
+      ("mixed", gen_mixed);
+      ("degenerate", gen_degenerate);
+      ("unbounded", gen_unbounded);
+      ("infeasible", gen_infeasible);
+    ]
+  in
+  (* 5 families x 10 chains x 6 steps = 300 warm/cold comparisons *)
+  List.iter
+    (fun (name, gen) ->
+      for k = 1 to 10 do
+        let c0, rows = gen rand in
+        let nvars = Array.length c0 and nrows = Array.length rows in
+        let fam = Simplex.prepare ~c:c0 ~rows () in
+        let cur_c = Array.copy c0 in
+        let cur_b = Array.map snd rows in
+        for step = 0 to 5 do
+          let what = Printf.sprintf "%s #%d step %d" name k step in
+          (* step 0 solves as prepared; then cycle obj-only / rhs-only /
+             both so every warm path gets traffic *)
+          let obj_change = step > 0 && step mod 3 <> 2 in
+          let rhs_change = step > 0 && step mod 3 <> 1 in
+          if obj_change then
+            for j = 0 to nvars - 1 do
+              cur_c.(j) <-
+                Float.max 0.0
+                  (cur_c.(j) +. Float.of_int (Random.State.int rand 5 - 2))
+            done;
+          if rhs_change then
+            for i = 0 to nrows - 1 do
+              cur_b.(i) <- cur_b.(i) +. Float.of_int (Random.State.int rand 7 - 3)
+            done;
+          let warm =
+            Simplex.resolve
+              ?c:(if obj_change then Some (Array.copy cur_c) else None)
+              ?rhs:(if rhs_change then Some (Array.copy cur_b) else None)
+              fam
+          in
+          let rows_now = Array.mapi (fun i (a, _) -> (a, cur_b.(i))) rows in
+          let cold =
+            Simplex.solve ~engine:Simplex.Revised ~c:cur_c ~rows:rows_now ()
+          in
+          let dense =
+            Simplex.solve ~engine:Simplex.Dense ~c:cur_c ~rows:rows_now ()
+          in
+          Alcotest.(check string)
+            (what ^ ": warm = cold constructor")
+            (outcome_tag cold) (outcome_tag warm);
+          Alcotest.(check string)
+            (what ^ ": warm = dense constructor")
+            (outcome_tag dense) (outcome_tag warm);
+          (match (warm, cold) with
+          | Simplex.Optimal w, Simplex.Optimal cc ->
+              let tol =
+                1e-6 *. Float.max 1.0 (Float.abs cc.Simplex.objective)
+              in
+              Alcotest.(check bool)
+                (what ^ ": warm objective = cold objective")
+                true
+                (Float.abs (w.Simplex.objective -. cc.Simplex.objective) < tol)
+          | _ -> ());
+          check_certificates ~label:(what ^ " [warm]") cur_c rows_now warm
+        done
+      done)
+    families
+
+(* The cross-engine oracle must hold over warm-started sweeps too: a
+   full CIP capacity sweep under [Check] compares every warm resolve
+   against a cold dense solve, so any divergence introduced by basis
+   reuse lands in the mismatch counter. *)
+let test_check_mode_warm_cip () =
+  let module H = Qp_core.Hypergraph in
+  let module Cip = Qp_core.Cip in
+  let rand = Random.State.make [| 4242 |] in
+  Simplex.reset_cross_check_mismatches ();
+  let was = Simplex.warm_starts () in
+  Simplex.set_warm_starts true;
+  Fun.protect
+    ~finally:(fun () -> Simplex.set_warm_starts was)
+    (fun () ->
+      for _ = 1 to 3 do
+        let n = 4 + Random.State.int rand 4 in
+        let m = 6 + Random.State.int rand 6 in
+        let specs =
+          Array.init m (fun i ->
+              let size = 1 + Random.State.int rand n in
+              let items = Array.init size (fun _ -> Random.State.int rand n) in
+              ( Printf.sprintf "e%d" i,
+                items,
+                Float.of_int (1 + Random.State.int rand 30) ))
+        in
+        let h = H.create ~n_items:n specs in
+        let report =
+          Simplex.with_engine Simplex.Check (fun () -> Cip.solve_report h)
+        in
+        Alcotest.(check bool) "CIP solved some LPs" true (report.Cip.solved > 0)
+      done);
+  Alcotest.(check int)
+    "no warm/cold disagreements" 0
+    (Simplex.cross_check_mismatches ())
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "simplex-engines",
@@ -327,4 +440,7 @@ let suite =
         test_frequent_refactorization;
       t "check engine over a full experiment cell"
         test_check_engine_on_experiment_cell;
+      t "warm resolve = cold solve on 300 perturbation chains"
+        test_warm_vs_cold_property;
+      t "check mode over warm-started CIP sweeps" test_check_mode_warm_cip;
     ] )

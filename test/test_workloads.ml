@@ -105,6 +105,27 @@ let test_world_query_names_unique () =
   Alcotest.(check int) "unique names" (List.length names)
     (List.length (List.sort_uniq compare names))
 
+(* Regression: the literal "XXX" padding made distinct 1–2 character
+   names share a base code ("A" and "AX" both gave "AXX"), leaving one
+   of them an arbitrary rotated code. Digit padding keeps them apart. *)
+let test_world_code_padding () =
+  let used = Hashtbl.create 8 in
+  Alcotest.(check string) "1-char pad" "A11" (World.code_of_name used "A");
+  Alcotest.(check string) "2-char pad" "AX2" (World.code_of_name used "AX");
+  Alcotest.(check string) "3-letter prefix untouched" "AXE"
+    (World.code_of_name used "Axe");
+  (* a repeated name still rotates into a fresh code, and padded codes
+     never collide with any alphabetic prefix *)
+  let again = World.code_of_name used "A" in
+  Alcotest.(check bool) "repeat disambiguates" true
+    (again <> "A11" && String.length again = 3);
+  let used2 = Hashtbl.create 8 in
+  let all =
+    List.map (World.code_of_name used2) [ "A"; "AX"; "B"; "BX"; "C"; "CX" ]
+  in
+  Alcotest.(check int) "all distinct" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
 (* --- uniform workload --- *)
 
 let test_uniform_workload () =
@@ -232,6 +253,7 @@ let suite =
       t "world query expansion count" test_world_queries_count;
       t "world queries all evaluate" test_world_queries_evaluate;
       t "world query names unique" test_world_query_names_unique;
+      t "world code padding collision-free" test_world_code_padding;
       t "uniform workload selectivity" test_uniform_workload;
       t "tpch structure" test_tpch_structure;
       t "tpch 220 queries" test_tpch_queries_count;
