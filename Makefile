@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test chaos bench bench-full bench-json bench-conflict \
-        bench-simplex bench-warmstart docs check-docs check-failwith \
-        check-float-sort check-cold-lp check examples clean
+        bench-simplex bench-warmstart bench-serve docs check-docs \
+        check-failwith check-float-sort check-cold-lp serve-smoke check \
+        examples clean
 
 all: build
 
@@ -16,11 +17,16 @@ test:
 # (deterministic schedules, degradation fallbacks, Bland's rule on
 # Beale's example), then one benchmark cell under a canned QP_FAULTS
 # schedule aggressive enough to trip every degradation path — the cell
-# must still complete, annotating each fallback with a "!" line.
+# must still complete, annotating each fallback with a "!" line — and
+# finally the serving smoke test with request-level faults armed: the
+# broker must answer every request (typed ERR replies, no drops) and
+# every clean reply must still match the one-shot oracle.
 chaos:
 	dune exec test/main.exe -- test fault
 	QP_FAULTS="simplex.pivot:stall:p=0.02:seed=7, conflict.query:fail:p=0.2:seed=3" \
 	dune exec bin/qpricing.exe -- run skewed --scale tiny --support 100 --seed 9
+	QP_FAULTS="serve.request:fail:p=0.3:seed=11" \
+	dune exec bin/qpricing.exe -- serve skewed --scale tiny --support 100 --smoke 20
 
 # Build API documentation (odoc, when installed; a no-op alias otherwise).
 docs:
@@ -29,7 +35,7 @@ docs:
 # Every exported value in the market and relational interfaces must
 # carry a doc comment.
 check-docs:
-	ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments lib/fault
+	ocaml scripts/check_mli_docs.ml lib/market lib/relational lib/obs lib/core lib/experiments lib/fault lib/online lib/serve
 
 # No stringly failures (failwith / Failure catches) in the solver and
 # algorithm layers — see docs/ROBUSTNESS.md.
@@ -47,8 +53,15 @@ check-float-sort:
 check-cold-lp:
 	ocaml scripts/check_cold_lp_sweeps.ml lib/core
 
-# The full pre-merge gate: build, tests, doc coverage, failure lints.
-check: build test check-docs check-failwith check-float-sort check-cold-lp
+# Stand a broker on a temp socket, pull 20 quotes through it, and
+# require each to be bit-identical to the in-process pricing — the
+# serving layer's end-to-end identity gate (see docs/SERVING.md).
+serve-smoke:
+	dune exec bin/qpricing.exe -- serve skewed --scale tiny --support 100 --smoke 20
+
+# The full pre-merge gate: build, tests, doc coverage, failure lints,
+# serving smoke.
+check: build test check-docs check-failwith check-float-sort check-cold-lp serve-smoke
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:
@@ -59,10 +72,11 @@ bench-full:
 	QP_BENCH_PROFILE=full dune exec bench/main.exe
 
 # Time the parallel layer (jobs=1 vs jobs=N, BENCH_parallel.json), the
-# simplex engines (dense vs revised, BENCH_simplex.json) and the
-# warm-started sweeps (cold vs warm, BENCH_warmstart.json).
+# simplex engines (dense vs revised, BENCH_simplex.json), the
+# warm-started sweeps (cold vs warm, BENCH_warmstart.json) and the
+# serving layer under load (BENCH_serve.json).
 bench-json:
-	dune exec bench/main.exe -- parallel simplex warmstart
+	dune exec bench/main.exe -- parallel simplex warmstart serve
 
 # Time conflict-set construction (jobs=1 vs jobs=N), verify bit-identity
 # of the hypergraphs, and write BENCH_conflict.json.
@@ -74,10 +88,11 @@ bench-conflict:
 bench-simplex:
 	dune exec bench/main.exe -- simplex
 
-# Time the CIP/LPIP sweeps with warm starting off vs on (pivot counts
-# from the "simplex.pivots" counter) and write BENCH_warmstart.json.
-bench-warmstart:
-	dune exec bench/main.exe -- warmstart
+# Replay the skewed workload through a standing broker at 1/2/4/8
+# clients, check served quotes against the one-shot oracle bit-for-bit,
+# and write BENCH_serve.json (latency percentiles + quotes/sec).
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 examples:
 	dune exec examples/quickstart.exe

@@ -531,7 +531,140 @@ let warmstart_bench ~meta ctx =
   close_out oc;
   Printf.printf "  wrote BENCH_warmstart.json\n%!"
 
-let pseudo_ids = [ "micro"; "parallel"; "conflict"; "simplex"; "warmstart" ]
+(* --- serving-throughput benchmark ------------------------------------- *)
+
+(* Stands a broker on the skewed workload (LPIP pricing), replays the
+   full query set through the socket at increasing client counts, and
+   writes BENCH_serve.json with quote-latency percentiles and
+   throughput per level. Before any timing, one client walks every
+   query and compares the served price against the broker's in-process
+   oracle bit-for-bit — the latency numbers are only worth keeping if
+   the answers are the one-shot answers. *)
+let serve_bench ~meta ctx =
+  let module SB = Qp_serve.Broker in
+  let module SS = Qp_serve.Server in
+  let module SP = Qp_serve.Protocol in
+  print_newline ();
+  print_endline "==================================================";
+  print_endline "== serving throughput: qpricing serve under load";
+  print_endline "==================================================";
+  let inst = Context.instance ctx "skewed" in
+  let t0 = Unix.gettimeofday () in
+  let broker =
+    SB.of_instance ~profile:(Context.profile ctx) ~model:(V.Uniform_val 100.0)
+      ~pricing:"lpip" ~seed:(Context.seed ctx) inst
+  in
+  let precompute = Unix.gettimeofday () -. t0 in
+  let n = SB.queries broker in
+  Printf.printf "  broker up: %d queries, %d items, precompute %.2fs\n%!" n
+    (SB.items broker) precompute;
+  let listen =
+    SS.Unix_socket
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "qpserve-bench-%d.sock" (Unix.getpid ())))
+  in
+  let finished = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        SS.serve ~should_stop:(fun () -> Atomic.get finished) listen broker)
+  in
+  let quote c idx =
+    match SS.call c (SP.Price idx) with
+    | Ok (SP.Quote_reply q) -> Some q
+    | Ok _ | Error _ -> None
+  in
+  (* identity pass: every query, one client, bit-compared to the oracle *)
+  let identity_mismatches =
+    let c = SS.connect listen in
+    Fun.protect ~finally:(fun () -> SS.close_client c) @@ fun () ->
+    let bad = ref 0 in
+    for idx = 0 to n - 1 do
+      let expect = SB.quote_index broker idx in
+      match quote c idx with
+      | Some q
+        when Int64.bits_of_float q.SP.price
+             = Int64.bits_of_float expect.SP.price
+             && q.SP.size = expect.SP.size
+             && q.SP.sold = expect.SP.sold ->
+          ()
+      | Some _ | None -> incr bad
+    done;
+    !bad
+  in
+  if identity_mismatches > 0 then begin
+    Printf.eprintf "BUG: %d served quotes differ from the broker oracle\n"
+      identity_mismatches;
+    exit 1
+  end;
+  Printf.printf "  identity: %d/%d served quotes bit-identical\n%!" n n;
+  (* load levels: each client owns the round-robin slice idx ≡ c (mod
+     clients), so every level prices the same 986 queries exactly once *)
+  let run_level clients =
+    let t0 = Unix.gettimeofday () in
+    let per_client =
+      Qp_util.Parallel.map ~jobs:clients
+        (fun c ->
+          let conn = SS.connect listen in
+          Fun.protect ~finally:(fun () -> SS.close_client conn) @@ fun () ->
+          let lats = ref [] and errors = ref 0 and quotes = ref 0 in
+          let idx = ref c in
+          while !idx < n do
+            let q0 = Unix.gettimeofday () in
+            (match quote conn !idx with
+            | Some _ -> incr quotes
+            | None -> incr errors);
+            lats := (Unix.gettimeofday () -. q0) *. 1000.0 :: !lats;
+            idx := !idx + clients
+          done;
+          (!lats, !quotes, !errors))
+        (Array.init clients (fun c -> c))
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let lats =
+      Array.of_list
+        (Array.to_list per_client |> List.concat_map (fun (l, _, _) -> l))
+    in
+    Array.sort compare lats;
+    let quotes = Array.fold_left (fun a (_, q, _) -> a + q) 0 per_client in
+    let errors = Array.fold_left (fun a (_, _, e) -> a + e) 0 per_client in
+    let pct p = Qp_util.Stats.percentile_nearest lats p in
+    let qps = Float.of_int quotes /. Float.max 1e-9 seconds in
+    Printf.printf
+      "  clients=%d  %4d quotes in %6.2fs  %8.0f quotes/s   p50 %6.3fms  \
+       p95 %6.3fms  p99 %6.3fms%s\n%!"
+      clients quotes seconds qps (pct 50.0) (pct 95.0) (pct 99.0)
+      (if errors = 0 then "" else Printf.sprintf "  (%d errors)" errors);
+    (clients, quotes, errors, seconds, qps, pct 50.0, pct 95.0, pct 99.0)
+  in
+  let results = List.map run_level [ 1; 2; 4; 8 ] in
+  (* stop the loop even if the SHUTDOWN reply is eaten by a fault *)
+  let c = SS.connect listen in
+  ignore (SS.call c SP.Shutdown);
+  SS.close_client c;
+  Atomic.set finished true;
+  Domain.join server;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  %s,\n  \"workload\": %S,\n  \"pricing\": %S,\n  \"queries\": %d,\n\
+    \  \"identity_mismatches\": %d,\n  \"precompute_seconds\": %.6f,\n\
+    \  \"levels\": ["
+    (meta ()) (SB.workload broker) (SB.pricing_key broker) n
+    identity_mismatches precompute;
+  List.iteri
+    (fun i (clients, quotes, errors, seconds, qps, p50, p95, p99) ->
+      Printf.fprintf oc
+        "%s\n    { \"clients\": %d, \"quotes\": %d, \"errors\": %d,\n\
+        \      \"seconds\": %.6f, \"quotes_per_sec\": %.1f,\n\
+        \      \"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f }"
+        (if i = 0 then "" else ",")
+        clients quotes errors seconds qps p50 p95 p99)
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_serve.json\n%!"
+
+let pseudo_ids =
+  [ "micro"; "parallel"; "conflict"; "simplex"; "warmstart"; "serve" ]
 
 let () =
   let rec parse jobs trace lp_engine ids = function
@@ -597,6 +730,7 @@ let () =
   let conflict = List.mem "conflict" ids in
   let simplex = List.mem "simplex" ids in
   let warmstart = List.mem "warmstart" ids in
+  let serve = List.mem "serve" ids in
   let exp_ids = List.filter (fun id -> not (List.mem id pseudo_ids)) ids in
   let entries =
     match exp_ids with
@@ -627,5 +761,6 @@ let () =
       if par then parallel_bench ~meta ctx;
       if simplex then simplex_bench ~meta ();
       if warmstart then warmstart_bench ~meta ctx;
+      if serve then serve_bench ~meta ctx;
       if micro || ids = [] then microbenchmarks ctx);
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -393,6 +393,140 @@ let quote_cmd =
          "Parse a SQL query, build a broker over the named workload's tiny           dataset, and quote the query's arbitrage-free price.")
     Term.(const run $ workload_arg $ seed_arg $ lp_engine_arg $ sql_arg)
 
+(* --- serve: the persistent pricing broker ---------------------------- *)
+
+let serve_cmd =
+  let module SB = Qp_serve.Broker in
+  let module SS = Qp_serve.Server in
+  let module SP = Qp_serve.Protocol in
+  let pricing_arg =
+    let keys = List.map (fun k -> (k, k)) SB.pricing_keys in
+    Arg.(value & opt (enum keys) "lpip"
+         & info [ "pricing" ]
+             ~doc:
+               "Pricing family to precompute and serve: ubp, uip, lpip, cip, \
+                layering, xos or capped.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:
+               "Unix socket path to listen on (default: qpricing-<pid>.sock \
+                in the system temp dir).")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Listen on 127.0.0.1:$(docv) instead of a Unix socket.")
+  in
+  let max_requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Stop (drain and exit) after handling $(docv) request lines.")
+  in
+  let smoke_arg =
+    Arg.(value & opt (some int) None
+         & info [ "smoke" ] ~docv:"N"
+             ~doc:
+               "Self-test mode: spawn an in-process client, request $(docv) \
+                quotes over the socket, check each against the broker's own \
+                pricing bit-for-bit, shut down, and exit non-zero on any \
+                mismatch.")
+  in
+  (* The smoke client runs in its own domain while the select loop owns
+     the main one; quote replies must match the broker oracle to the
+     bit. With faults armed, typed ERR replies are the expected
+     degradation and only clean replies are checked. *)
+  let smoke_client n listen broker =
+    let c = SS.connect listen in
+    Fun.protect ~finally:(fun () -> SS.close_client c) @@ fun () ->
+    let total = SB.queries broker in
+    let ok = ref 0 and faulted = ref 0 and mismatched = ref 0 in
+    let tolerate = Qp_fault.enabled () in
+    let control req =
+      match SS.call c req with
+      | Ok (SP.Error_reply _) when tolerate -> ()
+      | Ok (SP.Pong | SP.Bye | SP.Info_reply _ | SP.Stats_reply _) -> ()
+      | Ok _ | Error _ -> incr mismatched
+    in
+    control SP.Ping;
+    control SP.Info;
+    for i = 0 to n - 1 do
+      let idx = if total = 0 then 0 else i * 7919 mod total in
+      match SS.call c (SP.Price idx) with
+      | Ok (SP.Quote_reply q) ->
+          let expect = SB.quote_index broker idx in
+          if
+            Int64.bits_of_float q.SP.price
+            = Int64.bits_of_float expect.SP.price
+            && q.SP.size = expect.SP.size
+            && q.SP.sold = expect.SP.sold
+          then incr ok
+          else if Float.is_nan q.SP.price && tolerate then incr faulted
+          else incr mismatched
+      | Ok (SP.Error_reply _) when tolerate -> incr faulted
+      | Ok _ | Error _ -> incr mismatched
+    done;
+    control SP.Stats;
+    control SP.Shutdown;
+    (!ok, !faulted, !mismatched)
+  in
+  let run workload scale support seed model pricing profile socket tcp
+      max_requests smoke jobs inject trace =
+    set_jobs jobs;
+    set_injections inject;
+    with_trace trace @@ fun () ->
+    let listen =
+      match (tcp, socket) with
+      | Some port, _ -> SS.Tcp { host = "127.0.0.1"; port }
+      | None, Some path -> SS.Unix_socket path
+      | None, None ->
+          SS.Unix_socket
+            (Filename.concat (Filename.get_temp_dir_name ())
+               (Printf.sprintf "qpricing-%d.sock" (Unix.getpid ())))
+    in
+    let endpoint =
+      match listen with
+      | SS.Unix_socket path -> path
+      | SS.Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+    in
+    Printf.printf "loading %s and precomputing %s pricing...\n%!" workload
+      pricing;
+    let broker =
+      SB.create ~scale ?support ~profile ~workload ~model ~pricing ~seed ()
+    in
+    Printf.printf "serving %d queries over %d items at %s\n%!"
+      (SB.queries broker) (SB.items broker) endpoint;
+    match smoke with
+    | None -> SS.serve ?max_requests listen broker
+    | Some n ->
+        (* should_stop backstops the SHUTDOWN reply: even if a fault
+           eats it, the loop stops once the client domain finishes. *)
+        let finished = Atomic.make false in
+        let client =
+          Domain.spawn (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Atomic.set finished true)
+                (fun () -> smoke_client n listen broker))
+        in
+        SS.serve ?max_requests
+          ~should_stop:(fun () -> Atomic.get finished)
+          listen broker;
+        let ok, faulted, mismatched = Domain.join client in
+        Printf.printf "smoke: %d quotes ok, %d faulted, %d mismatched\n" ok
+          faulted mismatched;
+        if mismatched > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Start the persistent pricing broker: load the workload, \
+          precompute one pricing family, and answer PRICE/QUOTE requests \
+          over a newline-delimited socket protocol (see docs/SERVING.md).")
+    Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
+          $ model_arg $ pricing_arg $ profile_arg $ socket_arg $ tcp_arg
+          $ max_requests_arg $ smoke_arg $ jobs_arg $ inject_arg $ trace_arg)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -482,6 +616,7 @@ let () =
             price_cmd;
             run_cmd;
             quote_cmd;
+            serve_cmd;
             experiment_cmd;
             report_cmd;
             demo_cmd;

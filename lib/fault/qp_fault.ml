@@ -36,6 +36,10 @@ let known_sites =
     ("parallel.task", "one check per worker-pool task; key = task index");
     ("conflict.query", "one check per conflict-set query; key = query index");
     ("runner.cell", "one check per benchmark cell; key = cell fingerprint");
+    ( "serve.request",
+      "one check per broker request; key = query index (PRICE), SQL-text \
+       hash (QUOTE), 0 otherwise" );
+    ("serve.parse", "one check per received protocol line; key = line hash");
   ]
 
 let describe s =

@@ -1,0 +1,225 @@
+(* The standing broker: build the expensive state once (dataset,
+   support, conflict hypergraph, pricing function), then answer quote
+   requests from cached state. The identity contract with one-shot
+   `qpricing price` is structural: both paths call the same
+   Workload_instances.build, the same Valuations.apply with the same
+   Rng.create seed, and the same Runner.algorithms spec — so there is
+   nothing to drift. *)
+
+module WI = Qp_experiments.Workload_instances
+module Runner = Qp_experiments.Runner
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module V = Qp_workloads.Valuations
+module Rng = Qp_util.Rng
+
+type t = {
+  workload : string;
+  seed : int;
+  pricing_key : string;
+  instance : WI.t;
+  hypergraph : H.t;
+  edges : H.edge array;
+  pricing : P.t;
+  (* Counters only; mutated from the serving domain, read by STATS
+     replies on that same domain (and by callers after the loop has
+     drained). *)
+  mutable connections : int;
+  mutable requests : int;
+  mutable quotes : int;
+  mutable errors : int;
+}
+
+let pricing_keys = Qp_core.Algorithms.keys @ [ "capped" ]
+
+let solve_pricing ~profile key h =
+  if key = "capped" then Qp_core.Capped.solve h
+  else
+    match
+      List.find_opt
+        (fun (s : Qp_core.Algorithms.spec) -> s.key = key)
+        (Runner.algorithms profile)
+    with
+    | Some spec -> spec.solve h
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Qp_serve.Broker: unknown pricing %S (known: %s)" key
+             (String.concat ", " pricing_keys))
+
+let of_instance ?(profile = Runner.Quick) ~model ~pricing ~seed instance =
+  Qp_obs.with_span "serve.precompute"
+    ~args:(fun () ->
+      [
+        ("workload", Qp_obs.Str instance.WI.key);
+        ("pricing", Qp_obs.Str pricing);
+        ("seed", Qp_obs.Int seed);
+      ])
+  @@ fun () ->
+  let hypergraph = V.apply ~rng:(Rng.create seed) model instance.WI.hypergraph in
+  (* Force the membership-class cache before the request loop starts:
+     classes are computed lazily and every LP-based family needs them —
+     a standing broker should pay this at load, not on request 1. *)
+  ignore (H.classes hypergraph);
+  let p = solve_pricing ~profile pricing hypergraph in
+  {
+    workload = instance.WI.key;
+    seed;
+    pricing_key = pricing;
+    instance;
+    hypergraph;
+    edges = H.edges hypergraph;
+    pricing = p;
+    connections = 0;
+    requests = 0;
+    quotes = 0;
+    errors = 0;
+  }
+
+let create ?scale ?support ?profile ~workload ~model ~pricing ~seed () =
+  (* Validate the pricing key before paying for the instance build. *)
+  if not (List.mem pricing pricing_keys) then
+    invalid_arg
+      (Printf.sprintf "Qp_serve.Broker: unknown pricing %S (known: %s)" pricing
+         (String.concat ", " pricing_keys));
+  let instance =
+    Qp_obs.with_span "serve.load"
+      ~args:(fun () -> [ ("workload", Qp_obs.Str workload) ])
+      (fun () -> WI.build workload ?scale ?support ~seed ())
+  in
+  of_instance ?profile ~model ~pricing ~seed instance
+
+let workload t = t.workload
+let pricing_key t = t.pricing_key
+let pricing t = t.pricing
+let seed t = t.seed
+let queries t = Array.length t.edges
+let items t = H.n_items t.hypergraph
+
+let quote_index t i =
+  if i < 0 || i >= Array.length t.edges then
+    invalid_arg (Printf.sprintf "Qp_serve.Broker.quote_index: %d" i);
+  let e = t.edges.(i) in
+  {
+    Protocol.price = P.price t.pricing e;
+    size = Array.length e.H.items;
+    sold = Some (P.sells t.pricing e);
+  }
+
+let quote_sql t sql =
+  match Qp_relational.Sql.parse ~db:t.instance.WI.db sql with
+  | Error msg -> Error msg
+  | Ok query ->
+      (* The only per-request relational work: one conflict set against
+         the standing support. The pricing itself is a cached set
+         function — arbitrage-freeness extends to fresh queries because
+         the price is still f(CS(Q, D)) for the same monotone
+         subadditive f. *)
+      let cs =
+        Qp_market.Conflict.conflict_set t.instance.WI.db query
+          t.instance.WI.deltas
+      in
+      Ok
+        {
+          Protocol.price = P.price_items t.pricing cs;
+          size = Array.length cs;
+          sold = None;
+        }
+
+let note_connection t =
+  t.connections <- t.connections + 1;
+  Qp_obs.counter "serve.connections" 1
+
+let stats t =
+  [
+    ("connections", t.connections);
+    ("errors", t.errors);
+    ("quotes", t.quotes);
+    ("requests", t.requests);
+  ]
+
+let info t =
+  {
+    Protocol.workload = t.workload;
+    pricing = t.pricing_key;
+    queries = queries t;
+    items = items t;
+    seed = t.seed;
+  }
+
+(* Deterministic fault key for a parsed request: the identity of the
+   work, never an arrival counter — so a chaos schedule is independent
+   of client interleaving (docs/ROBUSTNESS.md discipline). *)
+let request_key = function
+  | Protocol.Price i -> abs i
+  | Protocol.Quote sql -> Qp_fault.site_key sql
+  | Protocol.Ping | Protocol.Info | Protocol.Stats | Protocol.Shutdown -> 0
+
+let handle t line =
+  t.requests <- t.requests + 1;
+  Qp_obs.with_span "serve.request"
+    ~args:(fun () ->
+      [ ("verb", Qp_obs.Str (fst (Protocol.split_verb (String.trim line)))) ])
+  @@ fun () ->
+  Qp_obs.counter "serve.requests" 1;
+  let err tag msg =
+    t.errors <- t.errors + 1;
+    Qp_obs.counter "serve.errors" 1;
+    Protocol.Error_reply (tag, msg)
+  in
+  let parse_faulted =
+    Qp_fault.enabled ()
+    && Qp_fault.check ~key:(Qp_fault.site_key line) "serve.parse" <> None
+  in
+  if parse_faulted then err Protocol.Parse "injected fault at serve.parse"
+  else
+    match Protocol.parse_request line with
+    | Error (tag, msg) -> err tag msg
+    | Ok req -> (
+        let fault =
+          if Qp_fault.enabled () then
+            Qp_fault.check ~key:(request_key req) "serve.request"
+          else None
+        in
+        let quote_of req =
+          match req with
+          | Protocol.Price i ->
+              if i < 0 || i >= Array.length t.edges then
+                err Protocol.Bad_index
+                  (Printf.sprintf "index %d outside [0, %d)" i
+                     (Array.length t.edges))
+              else begin
+                t.quotes <- t.quotes + 1;
+                Qp_obs.counter "serve.quotes" 1;
+                Protocol.Quote_reply (quote_index t i)
+              end
+          | Protocol.Quote sql -> (
+              match quote_sql t sql with
+              | Ok q ->
+                  t.quotes <- t.quotes + 1;
+                  Qp_obs.counter "serve.quotes" 1;
+                  Protocol.Quote_reply q
+              | Error msg -> err Protocol.Sql msg)
+          | _ -> assert false
+        in
+        match (fault, req) with
+        | Some Qp_fault.Nan, (Protocol.Price _ | Protocol.Quote _) -> (
+            (* The nan kind corrupts the numeric result instead of
+               failing the request — the quote still answers, visibly
+               poisoned, mirroring the simplex site's behaviour. *)
+            match quote_of req with
+            | Protocol.Quote_reply q ->
+                Protocol.Quote_reply { q with Protocol.price = Float.nan }
+            | other -> other)
+        | Some _, _ -> err Protocol.Fault "injected fault at serve.request"
+        | None, _ -> (
+            try
+              match req with
+              | Protocol.Ping -> Protocol.Pong
+              | Protocol.Info -> Protocol.Info_reply (info t)
+              | Protocol.Stats -> Protocol.Stats_reply (stats t)
+              | Protocol.Shutdown -> Protocol.Bye
+              | Protocol.Price _ | Protocol.Quote _ -> quote_of req
+            with
+            | Qp_fault.Injected site ->
+                err Protocol.Fault ("injected fault at " ^ site)
+            | e -> err Protocol.Internal (Printexc.to_string e)))

@@ -1,0 +1,110 @@
+(** The standing pricing broker behind [qpricing serve]: load a
+    workload's data and support set once, precompute the conflict
+    hypergraph and one pricing function, then answer any number of
+    quote requests against that cached state.
+
+    This is the serving-layer counterpart of {!Qp_market.Broker}: where
+    that module walks a market session step by step, this one freezes a
+    fully-priced instance (the expensive part — see
+    [docs/ARCHITECTURE.md], "Where the time goes") and exposes a
+    request dispatcher {!handle} for the {!Server} loop. What is
+    standing vs recomputed per request is spelled out in
+    [docs/SERVING.md] ("Caching semantics").
+
+    Quote identity: {!quote_index} prices workload query [i] by
+    applying the cached pricing to the cached hyperedge — bit-identical
+    to what a one-shot [qpricing price] run with the same (workload,
+    scale, support, seed, model, profile) computes for that query,
+    because both paths build the identical instance and run the
+    identical solver ([test/test_serve.ml] pins this for all five
+    pricing families; [make serve-smoke] re-checks it over a live
+    socket). *)
+
+val pricing_keys : string list
+(** Accepted [~pricing] keys: every {!Qp_core.Algorithms.keys} entry
+    (ubp, uip, lpip, cip, layering, xos) plus ["capped"]
+    ({!Qp_core.Capped}). *)
+
+type t
+(** A standing broker. The cached instance, hypergraph and pricing are
+    immutable after {!create}; only request counters mutate, and only
+    from the serving domain. *)
+
+val create :
+  ?scale:Qp_experiments.Workload_instances.scale ->
+  ?support:int ->
+  ?profile:Qp_experiments.Runner.profile ->
+  workload:string ->
+  model:Qp_workloads.Valuations.model ->
+  pricing:string ->
+  seed:int ->
+  unit ->
+  t
+(** Build the full standing state: generate the dataset, sample the
+    support, compute every conflict set (span ["serve.load"]), draw
+    valuations and solve the pricing family (span ["serve.precompute"]).
+    [profile] (default [Quick]) selects the LPIP/CIP sweep options, as
+    in {!Qp_experiments.Runner.algorithms}. Raises [Invalid_argument]
+    on a [pricing] key outside {!pricing_keys} and [Not_found] on an
+    unknown workload key. *)
+
+val of_instance :
+  ?profile:Qp_experiments.Runner.profile ->
+  model:Qp_workloads.Valuations.model ->
+  pricing:string ->
+  seed:int ->
+  Qp_experiments.Workload_instances.t ->
+  t
+(** {!create} over an instance that is already built — the bench and
+    tests reuse {!Qp_experiments.Context}'s cached instances. *)
+
+val workload : t -> string
+(** The workload key the broker stands on. *)
+
+val pricing_key : t -> string
+(** The pricing-family key chosen at creation. *)
+
+val pricing : t -> Qp_core.Pricing.t
+(** The cached pricing function itself. *)
+
+val seed : t -> int
+(** The broker's random seed. *)
+
+val queries : t -> int
+(** Number of standing buyer queries (hyperedges) — the valid [PRICE]
+    index range is [0, queries). *)
+
+val items : t -> int
+(** Support-set size (ground-set items). *)
+
+val quote_index : t -> int -> Protocol.quote
+(** Price standing workload query [i] with the cached pricing: price,
+    conflict-set size, and whether it sells to its registered buyer.
+    Pure with respect to the cached state (no counters, no fault
+    sites) — the oracle the smoke check compares served replies
+    against. Raises [Invalid_argument] outside [0, queries). *)
+
+val quote_sql : t -> string -> (Protocol.quote, string) result
+(** Parse raw SQL in the workload dialect, compute its conflict set
+    against the standing support (the only per-request relational
+    work), and price it with the cached pricing. [Error] carries the
+    SQL parser's message. *)
+
+val handle : t -> string -> Protocol.response
+(** Dispatch one raw request line: consult the ["serve.parse"] fault
+    site (key = FNV-1a hash of the line), parse, consult
+    ["serve.request"] (key = query index for [PRICE], hash of the SQL
+    for [QUOTE], 0 otherwise), run the request, and map every failure —
+    malformed line, bad index, SQL error, injected fault, unexpected
+    exception — to a typed {!Protocol.Error_reply}. Never raises and
+    never drops the connection. Runs under a ["serve.request"] span and
+    bumps the ["serve.requests"]/["serve.quotes"]/["serve.errors"]
+    counters. *)
+
+val note_connection : t -> unit
+(** Record one accepted connection (the {!Server} loop calls this);
+    bumps ["serve.connections"]. *)
+
+val stats : t -> (string * int) list
+(** Lifetime counters — connections, errors, quotes, requests — sorted
+    by name; the payload of a [STATS] reply. *)

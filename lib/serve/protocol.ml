@@ -1,0 +1,208 @@
+(* Wire protocol for the pricing broker: one printable line per
+   request, one per response. Pure parsing/printing — the I/O lives in
+   Server, the dispatching in Broker — so the round-trip properties in
+   test/test_serve.ml can hammer this module without sockets.
+
+   Float discipline: prices are printed with %.17g, which round-trips
+   IEEE doubles exactly; the serving layer's bit-identity guarantee
+   (served quote = standing pricing's quote) depends on it. *)
+
+type request =
+  | Ping
+  | Info
+  | Stats
+  | Price of int
+  | Quote of string
+  | Shutdown
+
+type error_tag = Parse | Unknown_verb | Bad_index | Sql | Fault | Internal
+
+type quote = { price : float; size : int; sold : bool option }
+
+type info = {
+  workload : string;
+  pricing : string;
+  queries : int;
+  items : int;
+  seed : int;
+}
+
+type response =
+  | Pong
+  | Bye
+  | Info_reply of info
+  | Stats_reply of (string * int) list
+  | Quote_reply of quote
+  | Error_reply of error_tag * string
+
+let tag_name = function
+  | Parse -> "parse"
+  | Unknown_verb -> "unknown-verb"
+  | Bad_index -> "bad-index"
+  | Sql -> "sql"
+  | Fault -> "fault"
+  | Internal -> "internal"
+
+let tag_of_name = function
+  | "parse" -> Some Parse
+  | "unknown-verb" -> Some Unknown_verb
+  | "bad-index" -> Some Bad_index
+  | "sql" -> Some Sql
+  | "fault" -> Some Fault
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* --- requests --------------------------------------------------------- *)
+
+let print_request = function
+  | Ping -> "PING"
+  | Info -> "INFO"
+  | Stats -> "STATS"
+  | Price i -> Printf.sprintf "PRICE %d" i
+  | Quote sql -> "QUOTE " ^ sql
+  | Shutdown -> "SHUTDOWN"
+
+(* Split a line into (VERB, rest-after-first-space). The rest keeps its
+   internal layout; only the edges are trimmed. *)
+let split_verb line =
+  match String.index_opt line ' ' with
+  | None -> (String.uppercase_ascii line, "")
+  | Some i ->
+      ( String.uppercase_ascii (String.sub line 0 i),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_request line =
+  let line = String.trim line in
+  if line = "" then Error (Parse, "empty request line")
+  else
+    let verb, rest = split_verb line in
+    let bare req =
+      if rest = "" then Ok req
+      else Error (Parse, Printf.sprintf "%s takes no argument" verb)
+    in
+    match verb with
+    | "PING" -> bare Ping
+    | "INFO" -> bare Info
+    | "STATS" -> bare Stats
+    | "SHUTDOWN" -> bare Shutdown
+    | "PRICE" -> (
+        match int_of_string_opt rest with
+        | Some i -> Ok (Price i)
+        | None ->
+            Error
+              (Parse, Printf.sprintf "PRICE wants one integer index, got %S" rest))
+    | "QUOTE" ->
+        if rest = "" then Error (Parse, "QUOTE wants a SQL query")
+        else Ok (Quote rest)
+    | _ ->
+        Error
+          ( Unknown_verb,
+            Printf.sprintf
+              "unknown verb %S (known: PING, INFO, STATS, PRICE, QUOTE, \
+               SHUTDOWN)"
+              verb )
+
+(* --- responses -------------------------------------------------------- *)
+
+(* %.17g round-trips doubles; %h would too but is unreadable in an nc
+   session, and the point of a line protocol is that humans can drive
+   it. nan/infinity render as "nan"/"inf", which float_of_string
+   accepts back. *)
+let float_str v = Printf.sprintf "%.17g" v
+
+let print_response = function
+  | Pong -> "PONG"
+  | Bye -> "BYE"
+  | Info_reply i ->
+      Printf.sprintf "INFO workload=%s pricing=%s queries=%d items=%d seed=%d"
+        i.workload i.pricing i.queries i.items i.seed
+  | Stats_reply kvs ->
+      String.concat " "
+        ("STATS" :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+  | Quote_reply q ->
+      Printf.sprintf "OK %s size=%d%s" (float_str q.price) q.size
+        (match q.sold with
+        | None -> ""
+        | Some s -> Printf.sprintf " sold=%d" (if s then 1 else 0))
+  | Error_reply (tag, msg) ->
+      if msg = "" then "ERR " ^ tag_name tag
+      else Printf.sprintf "ERR %s %s" (tag_name tag) msg
+
+let fields_of rest =
+  String.split_on_char ' ' rest
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> (tok, "")
+         | Some i ->
+             ( String.sub tok 0 i,
+               String.sub tok (i + 1) (String.length tok - i - 1) ))
+
+let parse_response line =
+  let line = String.trim line in
+  let verb, rest = split_verb line in
+  let int_field fields k =
+    match List.assoc_opt k fields with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad integer in %s=%s" k v))
+    | None -> Error (Printf.sprintf "missing field %s=" k)
+  in
+  match verb with
+  | "PONG" when rest = "" -> Ok Pong
+  | "BYE" when rest = "" -> Ok Bye
+  | "INFO" -> (
+      let fields = fields_of rest in
+      let str k =
+        match List.assoc_opt k fields with
+        | Some v when v <> "" -> Ok v
+        | Some _ | None -> Error (Printf.sprintf "missing field %s=" k)
+      in
+      match
+        (str "workload", str "pricing", int_field fields "queries",
+         int_field fields "items", int_field fields "seed")
+      with
+      | Ok workload, Ok pricing, Ok queries, Ok items, Ok seed ->
+          Ok (Info_reply { workload; pricing; queries; items; seed })
+      | Error e, _, _, _, _
+      | _, Error e, _, _, _
+      | _, _, Error e, _, _
+      | _, _, _, Error e, _
+      | _, _, _, _, Error e ->
+          Error ("INFO: " ^ e))
+  | "STATS" ->
+      let fields = fields_of rest in
+      let rec ints acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, v) :: tl -> (
+            match int_of_string_opt v with
+            | Some n -> ints ((k, n) :: acc) tl
+            | None -> Error (Printf.sprintf "STATS: bad integer in %s=%s" k v))
+      in
+      Result.map (fun kvs -> Stats_reply kvs) (ints [] fields)
+  | "OK" -> (
+      match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+      | price_tok :: field_toks -> (
+          match float_of_string_opt price_tok with
+          | None -> Error (Printf.sprintf "OK: bad price %S" price_tok)
+          | Some price -> (
+              let fields = fields_of (String.concat " " field_toks) in
+              match int_field fields "size" with
+              | Error e -> Error ("OK: " ^ e)
+              | Ok size -> (
+                  match List.assoc_opt "sold" fields with
+                  | None -> Ok (Quote_reply { price; size; sold = None })
+                  | Some "1" ->
+                      Ok (Quote_reply { price; size; sold = Some true })
+                  | Some "0" ->
+                      Ok (Quote_reply { price; size; sold = Some false })
+                  | Some v -> Error (Printf.sprintf "OK: bad sold=%s" v))))
+      | [] -> Error "OK: missing price")
+  | "ERR" -> (
+      let tag_tok, msg = split_verb rest in
+      let tag_tok = String.lowercase_ascii tag_tok in
+      match tag_of_name tag_tok with
+      | Some tag -> Ok (Error_reply (tag, msg))
+      | None -> Error (Printf.sprintf "ERR: unknown tag %S" tag_tok))
+  | _ -> Error (Printf.sprintf "unparseable response line %S" line)

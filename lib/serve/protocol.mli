@@ -1,0 +1,94 @@
+(** The broker wire protocol: newline-delimited request and response
+    lines over a Unix or TCP stream socket.
+
+    The grammar is deliberately tiny — one request per line, one
+    response line per request, everything 7-bit printable — so a session
+    can be driven from [nc] as easily as from the bundled client
+    ({!Server.call}). The full grammar, the error taxonomy and a worked
+    transcript are documented in [docs/SERVING.md].
+
+    This module is pure (no I/O, no globals): parsing and printing
+    round-trip, which [test/test_serve.ml] pins with property tests.
+    Prices are printed with ["%.17g"], which round-trips every IEEE
+    double bit-exactly — the serving layer's quote-identity guarantee
+    rests on it. *)
+
+(** One request line, as sent by a client. *)
+type request =
+  | Ping  (** liveness probe *)
+  | Info  (** describe the standing broker *)
+  | Stats  (** request/error/quote counters *)
+  | Price of int  (** quote workload query by index *)
+  | Quote of string  (** parse raw SQL and quote its conflict set *)
+  | Shutdown  (** drain and stop the server *)
+
+(** Why a request was refused — every failure mode the server can hit
+    maps onto exactly one tag, so clients can react programmatically
+    (see the taxonomy table in [docs/SERVING.md]). *)
+type error_tag =
+  | Parse  (** malformed request line (also: injected [serve.parse] fault) *)
+  | Unknown_verb  (** first word is not a known verb *)
+  | Bad_index  (** [PRICE] index outside [0, queries) *)
+  | Sql  (** [QUOTE] text failed to parse in the workload dialect *)
+  | Fault  (** an injected fault fired at the [serve.request] site *)
+  | Internal  (** unexpected exception while handling (caught, typed) *)
+
+type quote = {
+  price : float;  (** the arbitrage-free price *)
+  size : int;  (** conflict-set size (number of support items) *)
+  sold : bool option;
+      (** for workload queries: whether the standing pricing sells the
+          query to its registered buyer ([price <= valuation]); [None]
+          for ad-hoc [QUOTE] requests, which carry no valuation *)
+}
+(** Payload of a successful [PRICE]/[QUOTE] request. *)
+
+type info = {
+  workload : string;  (** workload key, e.g. ["skewed"] *)
+  pricing : string;  (** pricing-family key, e.g. ["lpip"] *)
+  queries : int;  (** number of standing buyer queries (hyperedges) *)
+  items : int;  (** support-set size (ground-set items) *)
+  seed : int;  (** the broker's random seed *)
+}
+(** Payload of an [INFO] reply, identifying the standing state. *)
+
+(** One response line, as sent by the server. *)
+type response =
+  | Pong  (** reply to [PING] *)
+  | Bye  (** reply to [SHUTDOWN]; the server drains after sending it *)
+  | Info_reply of info
+  | Stats_reply of (string * int) list
+      (** counter name/value pairs, sorted by name *)
+  | Quote_reply of quote
+  | Error_reply of error_tag * string
+      (** tag plus a human-readable message (never a connection drop) *)
+
+val tag_name : error_tag -> string
+(** Stable wire name of a tag, e.g. ["bad-index"] — the second token of
+    an [ERR] line. *)
+
+val tag_of_name : string -> error_tag option
+(** Inverse of {!tag_name}. *)
+
+val split_verb : string -> string * string
+(** [split_verb line] is [(VERB, rest)]: the first space-delimited
+    token uppercased, and the remainder trimmed at both edges ([""]
+    when absent). Shared by both parsers; the broker also uses it to
+    label request spans by verb. *)
+
+val print_request : request -> string
+(** Render one request line (no trailing newline). *)
+
+val parse_request : string -> (request, error_tag * string) result
+(** Parse one request line. Leading/trailing whitespace (including a
+    telnet-style [\r]) is ignored; the verb is case-insensitive; the
+    [QUOTE] SQL text is kept verbatim after trimming. Never raises:
+    every malformed line maps to a typed error. *)
+
+val print_response : response -> string
+(** Render one response line (no trailing newline). Prices use
+    ["%.17g"] so that {!parse_response} recovers the exact bits. *)
+
+val parse_response : string -> (response, string) result
+(** Parse one response line — the client half of the protocol; also
+    used by the round-trip property tests. *)

@@ -1,0 +1,205 @@
+(* Single-threaded select loop. Every connection keeps an input
+   accumulator (bytes up to the next newline) and an output string
+   (bytes the socket has not accepted yet); the loop only ever reads
+   descriptors select reported readable and writes ones it reported
+   writable, so a slow client cannot wedge the broker. Requests are
+   dispatched in arrival order, which keeps serving deterministic for a
+   fixed request sequence. *)
+
+type listen = Unix_socket of string | Tcp of { host : string; port : int }
+
+let sockaddr_of = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } ->
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (addr, port)
+
+(* A line that never terminates would otherwise grow the accumulator
+   without bound; past this the connection gets one ERR and is closed
+   after draining. *)
+let max_line_bytes = 1 lsl 20
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* bytes received, no newline yet *)
+  mutable out : string;  (* bytes not yet accepted by the socket *)
+  mutable closing : bool;  (* close once [out] drains *)
+}
+
+let serve ?(backlog = 16) ?max_requests ?should_stop listen broker =
+  let addr = sockaddr_of listen in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (match listen with
+  | Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
+  Unix.bind sock addr;
+  Unix.listen sock backlog;
+  let conns = ref [] in
+  let served = ref 0 in
+  let stopping = ref false in
+  let drop c =
+    conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let reply c resp =
+    c.out <- c.out ^ Protocol.print_response resp ^ "\n"
+  in
+  let handle_line c line =
+    incr served;
+    let resp = Broker.handle broker line in
+    reply c resp;
+    if resp = Protocol.Bye then stopping := true;
+    match max_requests with
+    | Some n when !served >= n -> stopping := true
+    | _ -> ()
+  in
+  (* Split off every complete line in the accumulator and dispatch it. *)
+  let rec drain_lines c =
+    match String.index_opt c.pending '\n' with
+    | None ->
+        if String.length c.pending > max_line_bytes then begin
+          c.pending <- "";
+          reply c
+            (Protocol.Error_reply (Protocol.Parse, "request line too long"));
+          c.closing <- true
+        end
+    | Some i ->
+        let line = String.sub c.pending 0 i in
+        c.pending <-
+          String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+        handle_line c line;
+        if not c.closing then drain_lines c
+  in
+  let read_conn c =
+    let buf = Bytes.create 4096 in
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> drop c
+    | n ->
+        c.pending <- c.pending ^ Bytes.sub_string buf 0 n;
+        drain_lines c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let write_conn c =
+    match
+      Unix.write_substring c.fd c.out 0 (String.length c.out)
+    with
+    | n -> c.out <- String.sub c.out n (String.length c.out - n)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let stop_requested () =
+    match should_stop with Some f -> f () | None -> false
+  in
+  let rec loop () =
+    if (not !stopping) && stop_requested () then stopping := true;
+    (* Drop drained connections that asked to close. *)
+    List.iter (fun c -> if c.closing && c.out = "" then drop c) !conns;
+    let fully_drained = List.for_all (fun c -> c.out = "") !conns in
+    if !stopping && fully_drained then ()
+    else begin
+      let reads =
+        (if !stopping then [] else [ sock ])
+        @ List.map (fun c -> c.fd) !conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if c.out = "" then None else Some c.fd)
+          !conns
+      in
+      match Unix.select reads writes [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | rs, ws, _ ->
+          List.iter
+            (fun fd ->
+              if fd == sock then begin
+                match Unix.accept sock with
+                | cfd, _ ->
+                    Broker.note_connection broker;
+                    conns :=
+                      { fd = cfd; pending = ""; out = ""; closing = false }
+                      :: !conns
+                | exception Unix.Unix_error (_, _, _) -> ()
+              end
+              else
+                match List.find_opt (fun c -> c.fd == fd) !conns with
+                | Some c -> read_conn c
+                | None -> ())
+            rs;
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun c -> c.fd == fd) !conns with
+              | Some c -> write_conn c
+              | None -> ())
+            ws;
+          loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !conns;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      match listen with
+      | Unix_socket path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
+    loop
+
+(* --- client ----------------------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ?(retries = 100) listen =
+  let addr = sockaddr_of listen in
+  let rec go n =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.02;
+        go (n - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let fd = go retries in
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let call c req =
+  match
+    output_string c.oc (Protocol.print_request req ^ "\n");
+    flush c.oc;
+    input_line c.ic
+  with
+  | line -> Protocol.parse_response line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close_client c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try flush c.oc with Sys_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,49 @@
+(** The request loop behind [qpricing serve]: a single-threaded
+    [Unix.select] server speaking {!Protocol} over a Unix-domain or TCP
+    stream socket, plus the small client used by the bench, the tests
+    and the [--smoke] mode.
+
+    One loop handles every connection — requests are answered strictly
+    in arrival order from the cached {!Broker} state, so serving is
+    deterministic for a fixed request sequence. Lifecycle (load →
+    precompute → loop → drain) and the shutdown/drain contract are
+    documented in [docs/SERVING.md]. No dependencies beyond the [unix]
+    library that ships with the compiler. *)
+
+(** Where to listen (or connect): a filesystem socket path, or a TCP
+    host/port. *)
+type listen = Unix_socket of string | Tcp of { host : string; port : int }
+
+val serve :
+  ?backlog:int ->
+  ?max_requests:int ->
+  ?should_stop:(unit -> bool) ->
+  listen ->
+  Broker.t ->
+  unit
+(** Bind, listen and answer requests until a client sends [SHUTDOWN],
+    [max_requests] request lines have been handled, or [should_stop ()]
+    (polled between select rounds) returns [true]. On any of these the
+    server stops accepting, drains every pending response ([BYE]
+    included), closes all connections, and — for a Unix socket —
+    unlinks the path. [backlog] (default 16) is the listen queue; a
+    pre-existing socket file at the path is unlinked before binding.
+    Per-connection I/O errors (reset, broken pipe) close that
+    connection only; request-level failures never reach this loop —
+    {!Broker.handle} maps them to typed [ERR] replies. *)
+
+type client
+(** One client connection to a running broker. *)
+
+val connect : ?retries:int -> listen -> client
+(** Connect, retrying refused/absent endpoints (default 100 attempts,
+    20 ms apart) so a client racing a just-spawned server wins. Raises
+    [Unix.Unix_error] once the retries are exhausted. *)
+
+val call : client -> Protocol.request -> (Protocol.response, string) result
+(** Send one request line and block for the one response line.
+    [Error] carries a transport or response-parse message; protocol-
+    level failures arrive as [Ok (Error_reply _)]. *)
+
+val close_client : client -> unit
+(** Flush and close; safe to call twice. *)

@@ -1,0 +1,489 @@
+(* The serving layer: protocol round-trips (property-tested), broker
+   dispatch and its error taxonomy, bit-identity of served quotes
+   against the one-shot pricing path for every pricing family, a live
+   socket session, and the request loop under fault injection.
+
+   The identity tests build the broker and the one-shot oracle from two
+   independent WI.build calls with the same parameters — the claim is
+   that `qpricing serve` quotes exactly what `qpricing price` computes,
+   not merely that a broker agrees with itself. *)
+
+module SP = Qp_serve.Protocol
+module SB = Qp_serve.Broker
+module SS = Qp_serve.Server
+module WI = Qp_experiments.Workload_instances
+module Runner = Qp_experiments.Runner
+module H = Qp_core.Hypergraph
+module P = Qp_core.Pricing
+module V = Qp_workloads.Valuations
+module Rng = Qp_util.Rng
+module F = Qp_fault
+
+let seed = 5
+let model = V.Uniform_val 100.0
+
+(* Two independent builds of the same tiny instance: [instance] backs
+   the brokers, [oracle_instance] the one-shot reference path. *)
+let build_instance () = WI.build "skewed" ~scale:WI.Tiny ~support:60 ~seed ()
+let instance = lazy (build_instance ())
+let oracle_instance = lazy (build_instance ())
+
+let broker_of pricing =
+  SB.of_instance ~model ~pricing ~seed (Lazy.force instance)
+
+let broker = lazy (broker_of "uip")
+
+let with_faults spec f =
+  (match F.parse spec with
+  | Ok specs -> F.install specs
+  | Error msg -> Alcotest.failf "bad test spec %S: %s" spec msg);
+  Fun.protect ~finally:F.clear f
+
+let same_bits a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Int64.bits_of_float a = Int64.bits_of_float b
+
+(* --- protocol: hand-picked round-trips and error taxonomy ------------- *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match SP.parse_request (SP.print_request req) with
+      | Ok req' -> Alcotest.(check bool) (SP.print_request req) true (req = req')
+      | Error (_, msg) -> Alcotest.failf "%s: %s" (SP.print_request req) msg)
+    [
+      SP.Ping; SP.Info; SP.Stats; SP.Shutdown; SP.Price 0; SP.Price 981;
+      SP.Price (-3); SP.Quote "SELECT * FROM City WHERE Population > 100";
+    ]
+
+let test_request_lenient_forms () =
+  let ok line expect =
+    match SP.parse_request line with
+    | Ok req -> Alcotest.(check bool) line true (req = expect)
+    | Error (_, msg) -> Alcotest.failf "%S: %s" line msg
+  in
+  ok "ping" SP.Ping;
+  ok "  PING  " SP.Ping;
+  ok "PING\r" SP.Ping;
+  ok "price 7" (SP.Price 7);
+  ok "quote   SELECT 1 FROM City  " (SP.Quote "SELECT 1 FROM City")
+
+let test_request_errors () =
+  let tag line expect =
+    match SP.parse_request line with
+    | Error (t, _) ->
+        Alcotest.(check string) line (SP.tag_name expect) (SP.tag_name t)
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" line
+  in
+  tag "" SP.Parse;
+  tag "   " SP.Parse;
+  tag "PRICE" SP.Parse;
+  tag "PRICE two" SP.Parse;
+  tag "PING 1" SP.Parse;
+  tag "QUOTE" SP.Parse;
+  tag "QUOTE   " SP.Parse;
+  tag "EXPLAIN SELECT 1" SP.Unknown_verb
+
+let test_response_roundtrip () =
+  let roundtrips resp =
+    match SP.parse_response (SP.print_response resp) with
+    | Ok resp' -> (
+        match (resp, resp') with
+        | SP.Quote_reply a, SP.Quote_reply b ->
+            same_bits a.SP.price b.SP.price
+            && a.SP.size = b.SP.size && a.SP.sold = b.SP.sold
+        | _ -> resp = resp')
+    | Error _ -> false
+  in
+  List.iter
+    (fun resp ->
+      Alcotest.(check bool) (SP.print_response resp) true (roundtrips resp))
+    [
+      SP.Pong; SP.Bye;
+      SP.Info_reply
+        { SP.workload = "skewed"; pricing = "lpip"; queries = 981;
+          items = 1500; seed = 42 };
+      SP.Stats_reply [ ("connections", 2); ("requests", 40) ];
+      SP.Quote_reply { SP.price = 0.1 +. 0.2; size = 3; sold = Some true };
+      SP.Quote_reply { SP.price = Float.pi *. 1e17; size = 0; sold = None };
+      SP.Quote_reply { SP.price = Float.nan; size = 1; sold = Some false };
+      SP.Quote_reply { SP.price = Float.infinity; size = 1; sold = None };
+      SP.Error_reply (SP.Bad_index, "index 9999 outside [0, 981)");
+      SP.Error_reply (SP.Fault, "");
+    ]
+
+let test_tag_names_roundtrip () =
+  List.iter
+    (fun t ->
+      match SP.tag_of_name (SP.tag_name t) with
+      | Some t' -> Alcotest.(check bool) (SP.tag_name t) true (t = t')
+      | None -> Alcotest.failf "tag %s did not roundtrip" (SP.tag_name t))
+    [ SP.Parse; SP.Unknown_verb; SP.Bad_index; SP.Sql; SP.Fault; SP.Internal ]
+
+(* --- protocol: property tests ----------------------------------------- *)
+
+let printable_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 60))
+
+let request_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return SP.Ping; return SP.Info; return SP.Stats; return SP.Shutdown;
+        map (fun i -> SP.Price i) (int_range (-5) 2000);
+        map
+          (fun s ->
+            let s = String.trim s in
+            SP.Quote (if s = "" then "SELECT 1 FROM City" else s))
+          printable_gen;
+      ])
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request print/parse roundtrip" ~count:500
+    request_gen (fun req ->
+      match SP.parse_request (SP.print_request req) with
+      | Ok req' -> req = req'
+      | Error _ -> false)
+
+let float_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        float;
+        oneofl [ 0.0; -0.0; Float.nan; Float.infinity; Float.neg_infinity;
+                 1e-300; 0.1 +. 0.2 ];
+      ])
+
+let prop_quote_price_bits =
+  QCheck2.Test.make ~name:"quote price survives the wire bit-for-bit"
+    ~count:500
+    QCheck2.Gen.(triple float_gen (int_range 0 10000) (opt bool))
+    (fun (price, size, sold) ->
+      match
+        SP.parse_response
+          (SP.print_response (SP.Quote_reply { SP.price; size; sold }))
+      with
+      | Ok (SP.Quote_reply q) ->
+          same_bits q.SP.price price && q.SP.size = size && q.SP.sold = sold
+      | Ok _ | Error _ -> false)
+
+(* Arbitrary bytes: both parsers must answer (a typed error at worst),
+   never raise. Newlines excluded — the server's line splitter already
+   guarantees neither parser ever sees one. *)
+let garbage_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 80)
+    |> map (String.map (fun c -> if c = '\n' then ' ' else c)))
+
+let prop_parsers_never_raise =
+  QCheck2.Test.make ~name:"parsers never raise on garbage" ~count:1000
+    garbage_gen (fun line ->
+      (match SP.parse_request line with Ok _ | Error _ -> true)
+      && match SP.parse_response line with Ok _ | Error _ -> true)
+
+(* --- broker: served quotes = one-shot quotes, every family ------------ *)
+
+let test_identity_all_families () =
+  let oracle = Lazy.force oracle_instance in
+  let h = V.apply ~rng:(Rng.create seed) model oracle.WI.hypergraph in
+  let one_shot key =
+    if key = "capped" then Qp_core.Capped.solve h
+    else
+      (List.find
+         (fun (s : Qp_core.Algorithms.spec) -> s.key = key)
+         (Runner.algorithms Runner.Quick))
+        .solve h
+  in
+  List.iter
+    (fun key ->
+      let b = broker_of key in
+      let pricing = one_shot key in
+      Array.iteri
+        (fun i (e : H.edge) ->
+          let served = SB.quote_index b i in
+          let expect = P.price pricing e in
+          if not (same_bits served.SP.price expect) then
+            Alcotest.failf "%s: query %d served %h, one-shot %h" key i
+              served.SP.price expect;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sold %d" key i)
+            true
+            (served.SP.sold = Some (P.sells pricing e));
+          Alcotest.(check int)
+            (Printf.sprintf "%s size %d" key i)
+            (Array.length e.H.items) served.SP.size)
+        (H.edges h))
+    SB.pricing_keys
+
+let test_identity_through_handle () =
+  (* the full request path — parse, dispatch, print, parse back — must
+     preserve the same bits the oracle computes *)
+  let b = Lazy.force broker in
+  for i = 0 to SB.queries b - 1 do
+    let line = SP.print_request (SP.Price i) in
+    match SP.parse_response (SP.print_response (SB.handle b line)) with
+    | Ok (SP.Quote_reply q) ->
+        let expect = SB.quote_index b i in
+        Alcotest.(check bool)
+          (Printf.sprintf "query %d" i)
+          true
+          (same_bits q.SP.price expect.SP.price && q.SP.size = expect.SP.size)
+    | Ok other ->
+        Alcotest.failf "query %d: unexpected %s" i (SP.print_response other)
+    | Error msg -> Alcotest.failf "query %d: %s" i msg
+  done
+
+(* --- broker: dispatch and error taxonomy ------------------------------ *)
+
+let handle_tag b line =
+  match SB.handle b line with
+  | SP.Error_reply (t, _) -> Some (SP.tag_name t)
+  | _ -> None
+
+let test_handle_dispatch () =
+  let b = Lazy.force broker in
+  (match SB.handle b "PING" with
+  | SP.Pong -> ()
+  | r -> Alcotest.failf "PING: %s" (SP.print_response r));
+  (match SB.handle b "INFO" with
+  | SP.Info_reply i ->
+      Alcotest.(check string) "workload" "skewed" i.SP.workload;
+      Alcotest.(check string) "pricing" "uip" i.SP.pricing;
+      Alcotest.(check int) "queries" (SB.queries b) i.SP.queries;
+      Alcotest.(check int) "items" (SB.items b) i.SP.items;
+      Alcotest.(check int) "seed" seed i.SP.seed
+  | r -> Alcotest.failf "INFO: %s" (SP.print_response r));
+  (match SB.handle b "STATS" with
+  | SP.Stats_reply kvs ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) k true (List.mem_assoc k kvs))
+        [ "connections"; "errors"; "quotes"; "requests" ]
+  | r -> Alcotest.failf "STATS: %s" (SP.print_response r));
+  match SB.handle b "SHUTDOWN" with
+  | SP.Bye -> ()
+  | r -> Alcotest.failf "SHUTDOWN: %s" (SP.print_response r)
+
+let test_handle_errors_are_typed () =
+  let b = Lazy.force broker in
+  let check line expect =
+    Alcotest.(check (option string)) line (Some expect) (handle_tag b line)
+  in
+  check "PRICE -1" "bad-index";
+  check (Printf.sprintf "PRICE %d" (SB.queries b)) "bad-index";
+  check "PRICE many" "parse";
+  check "" "parse";
+  check "EXPLAIN 3" "unknown-verb";
+  check "QUOTE SELECT FROM WHERE" "sql";
+  check "QUOTE not sql at all" "sql"
+
+let test_handle_quote_sql () =
+  let b = Lazy.force broker in
+  let sql = "SELECT * FROM City WHERE Population > 1000" in
+  match SB.handle b ("QUOTE " ^ sql) with
+  | SP.Quote_reply q ->
+      Alcotest.(check bool) "sold is None for ad-hoc SQL" true (q.SP.sold = None);
+      (match SB.quote_sql b sql with
+      | Ok q' ->
+          Alcotest.(check bool) "handle = quote_sql" true
+            (same_bits q.SP.price q'.SP.price && q.SP.size = q'.SP.size)
+      | Error msg -> Alcotest.failf "quote_sql: %s" msg);
+      Alcotest.(check bool) "price finite and non-negative" true
+        (Float.is_finite q.SP.price && q.SP.price >= 0.0)
+  | r -> Alcotest.failf "QUOTE: %s" (SP.print_response r)
+
+let prop_handle_never_raises =
+  QCheck2.Test.make ~name:"handle answers any garbage with a typed reply"
+    ~count:300 garbage_gen (fun line ->
+      match SB.handle (Lazy.force broker) line with
+      | SP.Pong | SP.Bye | SP.Info_reply _ | SP.Stats_reply _
+      | SP.Quote_reply _ | SP.Error_reply _ ->
+          true)
+
+(* --- sockets: a live end-to-end session ------------------------------- *)
+
+let temp_listen tag =
+  SS.Unix_socket
+    (Filename.concat (Filename.get_temp_dir_name ())
+       (Printf.sprintf "qpserve-test-%s-%d.sock" tag (Unix.getpid ())))
+
+(* Run [session client] against a live server; should_stop backstops
+   SHUTDOWN so a fault-eaten BYE cannot hang the test. *)
+let with_server tag b session =
+  let listen = temp_listen tag in
+  let finished = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        SS.serve ~should_stop:(fun () -> Atomic.get finished) listen b)
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set finished true;
+        Domain.join server)
+      (fun () ->
+        let c = SS.connect listen in
+        Fun.protect ~finally:(fun () -> SS.close_client c) (fun () -> session c))
+  in
+  result
+
+let test_socket_session () =
+  let b = broker_of "ubp" in
+  with_server "session" b @@ fun c ->
+  (match SS.call c SP.Ping with
+  | Ok SP.Pong -> ()
+  | r -> Alcotest.failf "ping: %s" (match r with
+      | Ok resp -> SP.print_response resp
+      | Error m -> m));
+  (match SS.call c SP.Info with
+  | Ok (SP.Info_reply i) ->
+      Alcotest.(check string) "pricing over the wire" "ubp" i.SP.pricing
+  | _ -> Alcotest.fail "info");
+  for i = 0 to min 24 (SB.queries b - 1) do
+    match SS.call c (SP.Price i) with
+    | Ok (SP.Quote_reply q) ->
+        let expect = SB.quote_index b i in
+        Alcotest.(check bool)
+          (Printf.sprintf "socket quote %d" i)
+          true
+          (same_bits q.SP.price expect.SP.price
+          && q.SP.size = expect.SP.size && q.SP.sold = expect.SP.sold)
+    | _ -> Alcotest.failf "price %d failed over the socket" i
+  done;
+  (match SS.call c (SP.Price 999999) with
+  | Ok (SP.Error_reply (SP.Bad_index, _)) -> ()
+  | _ -> Alcotest.fail "bad index must come back typed");
+  (match SS.call c (SP.Quote "SELECT nonsense FROM nowhere") with
+  | Ok (SP.Error_reply (SP.Sql, _)) -> ()
+  | _ -> Alcotest.fail "sql error must come back typed");
+  (match SS.call c (SP.Quote "SELECT * FROM City WHERE Population > 1000") with
+  | Ok (SP.Quote_reply q) ->
+      Alcotest.(check bool) "ad-hoc quote has no sold flag" true
+        (q.SP.sold = None)
+  | _ -> Alcotest.fail "ad-hoc quote failed");
+  match SS.call c SP.Shutdown with
+  | Ok SP.Bye -> ()
+  | _ -> Alcotest.fail "shutdown must reply BYE"
+
+let test_socket_two_clients () =
+  (* the second client's view must be unaffected by the first one's
+     traffic: quotes are pure reads of the standing state *)
+  let b = broker_of "ubp" in
+  let listen = temp_listen "two" in
+  let finished = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        SS.serve ~should_stop:(fun () -> Atomic.get finished) listen b)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set finished true;
+      Domain.join server)
+    (fun () ->
+      let c1 = SS.connect listen in
+      let c2 = SS.connect listen in
+      Fun.protect
+        ~finally:(fun () ->
+          SS.close_client c1;
+          SS.close_client c2)
+        (fun () ->
+          let q1 = SS.call c1 (SP.Price 0) in
+          let q2 = SS.call c2 (SP.Price 0) in
+          match (q1, q2) with
+          | Ok (SP.Quote_reply a), Ok (SP.Quote_reply b) ->
+              Alcotest.(check bool) "same quote for both clients" true
+                (same_bits a.SP.price b.SP.price)
+          | _ -> Alcotest.fail "both clients must be served"))
+
+(* --- faults: the loop completes with typed errors --------------------- *)
+
+let test_faulted_requests_are_typed_and_deterministic () =
+  let b = Lazy.force broker in
+  let pass () =
+    List.init (SB.queries b) (fun i ->
+        match SB.handle b (Printf.sprintf "PRICE %d" i) with
+        | SP.Quote_reply q ->
+            let expect = SB.quote_index b i in
+            if same_bits q.SP.price expect.SP.price then `Ok
+            else `Corrupt
+        | SP.Error_reply (SP.Fault, _) -> `Fault
+        | _ -> `Corrupt)
+  in
+  with_faults "serve.request:fail:p=0.4:seed=3" @@ fun () ->
+  let a = pass () in
+  let faults = List.length (List.filter (fun o -> o = `Fault) a) in
+  let corrupt = List.length (List.filter (fun o -> o = `Corrupt) a) in
+  Alcotest.(check int) "no untyped failures" 0 corrupt;
+  Alcotest.(check bool) "some faults fired" true (faults > 0);
+  Alcotest.(check bool) "some requests survived" true
+    (faults < SB.queries b);
+  (* the schedule is a pure function of (seed, site, key): replaying
+     the same requests fires the same faults *)
+  Alcotest.(check bool) "schedule replays exactly" true (pass () = a)
+
+let test_faulted_parse_site () =
+  let b = Lazy.force broker in
+  with_faults "serve.parse:fail:p=1:seed=1" @@ fun () ->
+  match SB.handle b "PING" with
+  | SP.Error_reply (SP.Parse, _) -> ()
+  | r -> Alcotest.failf "expected a parse fault, got %s" (SP.print_response r)
+
+let test_faulted_nan_poisons_price () =
+  let b = Lazy.force broker in
+  with_faults "serve.request:nan:p=1:seed=1" @@ fun () ->
+  match SB.handle b "PRICE 0" with
+  | SP.Quote_reply q ->
+      Alcotest.(check bool) "price is poisoned, not dropped" true
+        (Float.is_nan q.SP.price)
+  | r -> Alcotest.failf "expected a nan quote, got %s" (SP.print_response r)
+
+let test_faulted_socket_loop_completes () =
+  let b = broker_of "ubp" in
+  with_faults "serve.request:fail:p=0.5:seed=11" @@ fun () ->
+  with_server "chaos" b @@ fun c ->
+  let ok = ref 0 and faulted = ref 0 in
+  for i = 0 to 39 do
+    match SS.call c (SP.Price (i mod SB.queries b)) with
+    | Ok (SP.Quote_reply _) -> incr ok
+    | Ok (SP.Error_reply (SP.Fault, _)) -> incr faulted
+    | Ok r -> Alcotest.failf "request %d: %s" i (SP.print_response r)
+    | Error msg -> Alcotest.failf "request %d dropped: %s" i msg
+  done;
+  Alcotest.(check int) "every request answered" 40 (!ok + !faulted);
+  Alcotest.(check bool) "faults actually fired" true (!faulted > 0)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol: request roundtrip" `Quick
+        test_request_roundtrip;
+      Alcotest.test_case "protocol: lenient forms" `Quick
+        test_request_lenient_forms;
+      Alcotest.test_case "protocol: request errors" `Quick test_request_errors;
+      Alcotest.test_case "protocol: response roundtrip" `Quick
+        test_response_roundtrip;
+      Alcotest.test_case "protocol: tag names" `Quick test_tag_names_roundtrip;
+      QCheck_alcotest.to_alcotest prop_request_roundtrip;
+      QCheck_alcotest.to_alcotest prop_quote_price_bits;
+      QCheck_alcotest.to_alcotest prop_parsers_never_raise;
+      Alcotest.test_case "identity: all pricing families" `Slow
+        test_identity_all_families;
+      Alcotest.test_case "identity: through handle" `Quick
+        test_identity_through_handle;
+      Alcotest.test_case "broker: dispatch" `Quick test_handle_dispatch;
+      Alcotest.test_case "broker: typed errors" `Quick
+        test_handle_errors_are_typed;
+      Alcotest.test_case "broker: ad-hoc SQL quote" `Quick
+        test_handle_quote_sql;
+      QCheck_alcotest.to_alcotest prop_handle_never_raises;
+      Alcotest.test_case "socket: end-to-end session" `Quick
+        test_socket_session;
+      Alcotest.test_case "socket: two clients" `Quick test_socket_two_clients;
+      Alcotest.test_case "fault: typed + deterministic" `Quick
+        test_faulted_requests_are_typed_and_deterministic;
+      Alcotest.test_case "fault: parse site" `Quick test_faulted_parse_site;
+      Alcotest.test_case "fault: nan poisons the price" `Quick
+        test_faulted_nan_poisons_price;
+      Alcotest.test_case "fault: socket loop completes" `Quick
+        test_faulted_socket_loop_completes;
+    ] )
