@@ -2,8 +2,8 @@
 
 .PHONY: all build test chaos bench bench-full bench-json bench-conflict \
         bench-simplex bench-warmstart bench-serve docs check-docs \
-        check-failwith check-float-sort check-cold-lp serve-smoke check \
-        examples clean
+        check-failwith check-float-sort check-cold-lp check-obs-labels \
+        serve-smoke bench-gate check examples clean
 
 all: build
 
@@ -53,15 +53,34 @@ check-float-sort:
 check-cold-lp:
 	ocaml scripts/check_cold_lp_sweeps.ml lib/core
 
+# Every Qp_obs label must be a lowercase dotted name under a prefix
+# registered in scripts/check_obs_labels.ml (and documented in
+# docs/OBSERVABILITY.md) — keeps the trace/metrics taxonomy closed.
+check-obs-labels:
+	ocaml scripts/check_obs_labels.ml lib bench
+
 # Stand a broker on a temp socket, pull 20 quotes through it, and
 # require each to be bit-identical to the in-process pricing — the
 # serving layer's end-to-end identity gate (see docs/SERVING.md).
 serve-smoke:
 	dune exec bin/qpricing.exe -- serve skewed --scale tiny --support 100 --smoke 20
 
+# Re-run the gated benchmarks (quick profile) and compare the pinned
+# metrics — simplex crossover, warm-start pivot savings, serve
+# throughput and identity — against the committed bench/baselines/.
+# Exit 1 on a regression past the thresholds in scripts/bench_diff.ml;
+# QP_BENCH_GATE=off skips the whole gate (benchmarks included).
+bench-gate:
+ifeq ($(QP_BENCH_GATE),off)
+	@echo "bench gate: skipped (QP_BENCH_GATE=off) — benchmarks not run"
+else
+	dune exec bench/main.exe -- simplex warmstart serve
+	dune exec scripts/bench_diff.exe
+endif
+
 # The full pre-merge gate: build, tests, doc coverage, failure lints,
-# serving smoke.
-check: build test check-docs check-failwith check-float-sort check-cold-lp serve-smoke
+# serving smoke, perf-regression gate.
+check: build test check-docs check-failwith check-float-sort check-cold-lp check-obs-labels serve-smoke bench-gate
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:

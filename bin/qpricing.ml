@@ -319,19 +319,49 @@ let report_cmd =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace.")
   in
-  let run path =
-    match Qp_obs_report.report_file path with
-    | Ok rendered -> print_string rendered
-    | Error msg ->
-        Printf.eprintf "cannot aggregate %s: %s\n" path msg;
-        exit 2
+  let diff_arg =
+    Arg.(value & opt (some file) None
+         & info [ "diff" ] ~docv:"OLD"
+             ~doc:
+               "Compare TRACE against the older trace $(docv): per-label \
+                self-time/count/p95 deltas, flagging regressions beyond \
+                --threshold. Exits 1 when any label is flagged.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 25.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:
+               "Relative regression threshold for --diff, in percent \
+                (a label is flagged when self time or p95 grew by more \
+                than $(docv)%% and more than 100 us).")
+  in
+  let run path diff threshold =
+    match diff with
+    | None -> (
+        match Qp_obs_report.report_file path with
+        | Ok rendered -> print_string rendered
+        | Error msg ->
+            Printf.eprintf "cannot aggregate %s: %s\n" path msg;
+            exit 2)
+    | Some old_path -> (
+        match
+          Qp_obs_report.diff_files ~threshold_pct:threshold old_path path
+        with
+        | Error msg ->
+            Printf.eprintf "cannot diff: %s\n" msg;
+            exit 2
+        | Ok d ->
+            print_string (Qp_obs_report.render_diff d);
+            if Qp_obs_report.diff_flagged d <> [] then exit 1)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Aggregate a --trace file into a per-span self-time/total-time \
-          table with p50/p95/max latency, counters and event counts.")
-    Term.(const run $ trace_file_arg)
+          table with p50/p95/max latency, counters, gauges and event \
+          counts. With --diff OLD, compare two traces instead and flag \
+          per-label regressions.")
+    Term.(const run $ trace_file_arg $ diff_arg $ threshold_arg)
 
 (* --- quote: price raw SQL against a broker -------------------------- *)
 

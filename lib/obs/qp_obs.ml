@@ -52,6 +52,150 @@ let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
 let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
 let metrics_mu = Mutex.create ()
 
+(* Histograms follow the counter discipline: every field is an integer
+   (counts, nanosecond sums, extrema), so accumulation is commutative
+   and the merged result is bit-identical under any domain
+   interleaving. Buckets are fixed powers of two — bucket [i] covers
+   [2^i, 2^(i+1)) ns (bucket 0 additionally catches 0 and 1 ns) — so
+   two histograms are always mergeable without rebinning. *)
+module Hist = struct
+  let n_buckets = 48
+
+  type snapshot = {
+    count : int;
+    sum_ns : int;
+    min_ns : int;
+    max_ns : int;
+    gc_minor_words : int;
+    gc_major_words : int;
+    buckets : int array;
+  }
+
+  type t = {
+    mutable h_count : int;
+    mutable h_sum_ns : int;
+    mutable h_min_ns : int;
+    mutable h_max_ns : int;
+    mutable h_gc_minor : int;
+    mutable h_gc_major : int;
+    h_buckets : int array;
+  }
+
+  let create () =
+    {
+      h_count = 0;
+      h_sum_ns = 0;
+      h_min_ns = max_int;
+      h_max_ns = 0;
+      h_gc_minor = 0;
+      h_gc_major = 0;
+      h_buckets = Array.make n_buckets 0;
+    }
+
+  let bucket_of_ns v =
+    if v <= 1 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 1 do
+        v := !v lsr 1;
+        incr b
+      done;
+      min (n_buckets - 1) !b
+    end
+
+  let bucket_lower_ns i = if i = 0 then 0 else 1 lsl i
+  let bucket_upper_ns i = 1 lsl (i + 1)
+
+  let record ?(gc_minor = 0) ?(gc_major = 0) h ns =
+    let ns = max 0 ns in
+    h.h_count <- h.h_count + 1;
+    h.h_sum_ns <- h.h_sum_ns + ns;
+    if ns < h.h_min_ns then h.h_min_ns <- ns;
+    if ns > h.h_max_ns then h.h_max_ns <- ns;
+    h.h_gc_minor <- h.h_gc_minor + max 0 gc_minor;
+    h.h_gc_major <- h.h_gc_major + max 0 gc_major;
+    let b = bucket_of_ns ns in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+  let snapshot h =
+    {
+      count = h.h_count;
+      sum_ns = h.h_sum_ns;
+      min_ns = h.h_min_ns;
+      max_ns = h.h_max_ns;
+      gc_minor_words = h.h_gc_minor;
+      gc_major_words = h.h_gc_major;
+      buckets = Array.copy h.h_buckets;
+    }
+
+  let empty =
+    {
+      count = 0;
+      sum_ns = 0;
+      min_ns = max_int;
+      max_ns = 0;
+      gc_minor_words = 0;
+      gc_major_words = 0;
+      buckets = Array.make n_buckets 0;
+    }
+
+  let merge a b =
+    {
+      count = a.count + b.count;
+      sum_ns = a.sum_ns + b.sum_ns;
+      min_ns = min a.min_ns b.min_ns;
+      max_ns = max a.max_ns b.max_ns;
+      gc_minor_words = a.gc_minor_words + b.gc_minor_words;
+      gc_major_words = a.gc_major_words + b.gc_major_words;
+      buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  (* Nearest-rank into the bucket holding that rank, then linear
+     interpolation inside the bucket, clamped to the observed extrema
+     so single-sample histograms report the exact value. *)
+  let quantile_ns s q =
+    if s.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 100.0 q) in
+      let rank =
+        max 1 (int_of_float (Float.ceil (q /. 100.0 *. float_of_int s.count)))
+      in
+      let i = ref 0 and seen = ref 0 in
+      while !seen + s.buckets.(!i) < rank && !i < n_buckets - 1 do
+        seen := !seen + s.buckets.(!i);
+        incr i
+      done;
+      let inside = s.buckets.(!i) in
+      let est =
+        if inside = 0 then float_of_int (bucket_lower_ns !i)
+        else begin
+          let lo = float_of_int (bucket_lower_ns !i)
+          and hi = float_of_int (bucket_upper_ns !i) in
+          let frac = (float_of_int (rank - !seen) -. 0.5) /. float_of_int inside in
+          lo +. ((hi -. lo) *. frac)
+        end
+      in
+      Float.max (float_of_int s.min_ns) (Float.min (float_of_int s.max_ns) est)
+    end
+end
+
+let hist_tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 32
+
+(* Shared by [with_span] (automatic) and [observe_ns] (manual). Called
+   only on the enabled path. *)
+let hist_observe label ~ns ~gc_minor ~gc_major =
+  Mutex.lock metrics_mu;
+  let h =
+    match Hashtbl.find_opt hist_tbl label with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.add hist_tbl label h;
+        h
+  in
+  Hist.record ~gc_minor ~gc_major h ns;
+  Mutex.unlock metrics_mu
+
 let set_enabled on =
   if on && not (enabled ()) then epoch := Unix.gettimeofday ();
   Atomic.set enabled_flag on
@@ -63,24 +207,43 @@ let reset () =
   Mutex.lock metrics_mu;
   Hashtbl.reset counters_tbl;
   Hashtbl.reset gauges_tbl;
+  Hashtbl.reset hist_tbl;
   Mutex.unlock metrics_mu;
   epoch := Unix.gettimeofday ()
 
+(* Duration and GC-delta recording live outside the trace buffer on
+   purpose: wall time and promoted-word counts are timing-dependent, so
+   attaching them as span args would break the bit-identical
+   [structure] contract. Aggregated into per-label histograms they only
+   affect [histograms ()], whose integer counts stay deterministic. *)
 let with_span ?args label f =
   if not (enabled ()) then f ()
   else begin
     let st = state () in
     let bargs = match args with None -> [] | Some g -> g () in
-    st.cur.events <- Span_begin { label; args = bargs; ts = now () } :: st.cur.events;
+    let t0 = now () in
+    st.cur.events <- Span_begin { label; args = bargs; ts = t0 } :: st.cur.events;
     let endargs = ref [] in
     st.pending <- endargs :: st.pending;
+    (* Gc.counters, not Gc.quick_stat: quick_stat's minor_words only
+       advances at collection boundaries, so short spans would read an
+       allocation delta of zero. counters reads the live young pointer. *)
+    let minor0, _, major0 = Gc.counters () in
     Fun.protect
       ~finally:(fun () ->
+        let minor1, _, major1 = Gc.counters () in
         (st.pending <- (match st.pending with _ :: tl -> tl | [] -> []));
-        st.cur.events <-
-          Span_end { ts = now (); args = !endargs } :: st.cur.events)
+        let t1 = now () in
+        st.cur.events <- Span_end { ts = t1; args = !endargs } :: st.cur.events;
+        hist_observe label
+          ~ns:(int_of_float ((t1 -. t0) *. 1e9))
+          ~gc_minor:(int_of_float (minor1 -. minor0))
+          ~gc_major:(int_of_float (major1 -. major0)))
       f
   end
+
+let observe_ns label ns =
+  if enabled () then hist_observe label ~ns ~gc_minor:0 ~gc_major:0
 
 let annotate args =
   if enabled () then
@@ -160,6 +323,12 @@ let gauges () =
   let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges_tbl [] in
   Mutex.unlock metrics_mu;
   List.sort compare l
+
+let histograms () =
+  Mutex.lock metrics_mu;
+  let l = Hashtbl.fold (fun k h acc -> (k, Hist.snapshot h) :: acc) hist_tbl [] in
+  Mutex.unlock metrics_mu;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let arg_to_string = function
   | Int n -> string_of_int n
@@ -280,11 +449,14 @@ let to_chrome_lines () =
            "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%d}}"
            final (json_escape k) v))
     (counters ());
+  (* Gauges share the "C" phase with counters; the "kind" arg is what
+     lets Qp_obs_report tell them apart (older traces without it are
+     read back as counters). *)
   List.iter
     (fun (k, v) ->
       push
         (Printf.sprintf
-           "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%.17g}}"
+           "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%.17g,\"kind\":\"gauge\"}}"
            final (json_escape k) v))
     (gauges ());
   List.rev !lines

@@ -69,6 +69,85 @@ val gauge_max : string -> float -> unit
 (** [gauge_max label v] raises the gauge [label] to [v] if [v] exceeds
     its current value — a deterministic high-water mark. *)
 
+(** {2 Histograms}
+
+    Fixed log2-bucketed duration histograms. Every span records its
+    wall-clock duration and per-span GC deltas (minor/major words, via
+    [Gc.quick_stat]) into the histogram of its label automatically —
+    but only while tracing is enabled; the disabled path is still a
+    single atomic load. All histogram state is integer (counts,
+    nanosecond sums, extrema), so accumulation is commutative and the
+    per-label totals are bit-identical at any [QP_JOBS].
+
+    Durations and GC deltas are deliberately {e not} attached to span
+    args: they are timing-dependent, and args are part of the
+    deterministic {!structure}. *)
+
+(** Log2-bucketed latency histogram: bucket [i] covers
+    [[2{^i}, 2{^i+1})] nanoseconds (bucket 0 also catches 0–1 ns). *)
+module Hist : sig
+  type t
+  (** Mutable accumulator. Not thread-safe on its own — mutate from one
+      domain, or via the global registry (which locks). *)
+
+  (** Immutable copy of a histogram's state. [min_ns] is [max_int] and
+      [max_ns] is [0] while [count = 0]. *)
+  type snapshot = {
+    count : int;  (** observations recorded *)
+    sum_ns : int;  (** total duration, nanoseconds *)
+    min_ns : int;  (** smallest observation, nanoseconds *)
+    max_ns : int;  (** largest observation, nanoseconds *)
+    gc_minor_words : int;  (** summed per-span minor-heap allocation *)
+    gc_major_words : int;  (** summed per-span major-heap allocation *)
+    buckets : int array;  (** per-bucket counts, length {!n_buckets} *)
+  }
+
+  val n_buckets : int
+  (** Number of buckets (fixed, 48 — covers up to ~78 h in one bucket
+      doubling per step). *)
+
+  val bucket_lower_ns : int -> int
+  (** Inclusive lower bound of bucket [i] in nanoseconds (0 for
+      bucket 0). *)
+
+  val bucket_upper_ns : int -> int
+  (** Exclusive upper bound of bucket [i] in nanoseconds ([2{^i+1}]). *)
+
+  val create : unit -> t
+  (** A fresh empty accumulator. *)
+
+  val record : ?gc_minor:int -> ?gc_major:int -> t -> int -> unit
+  (** [record h ns] adds one observation of [ns] nanoseconds (clamped
+      at 0), optionally accumulating GC word deltas. *)
+
+  val snapshot : t -> snapshot
+  (** Immutable copy of the current state (buckets are copied). *)
+
+  val empty : snapshot
+  (** The snapshot of a fresh accumulator; identity for {!merge}. *)
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Field-wise merge: counts/sums/buckets add, extrema min/max.
+      Associative and commutative, hence order-free. *)
+
+  val quantile_ns : snapshot -> float -> float
+  (** [quantile_ns s p] estimates the [p]-th percentile ([0..100]) in
+      nanoseconds: nearest-rank to a bucket, linear interpolation
+      within it, clamped to the observed [min_ns]/[max_ns]. Returns 0
+      for an empty snapshot. *)
+end
+
+val observe_ns : string -> int -> unit
+(** [observe_ns label ns] records one observation into [label]'s global
+    histogram without opening a span — for durations measured out of
+    band. No-op (one atomic load) while disabled. *)
+
+val histograms : unit -> (string * Hist.snapshot) list
+(** Snapshot of every per-label histogram, sorted by label. Labels
+    appear once their first span closes (or first {!observe_ns}).
+    Counts and GC sums are deterministic at any [QP_JOBS]; durations
+    are wall-clock and vary between runs. *)
+
 (** {2 Parallel-section plumbing}
 
     Used by {!Qp_util.Parallel}; call directly only when hand-rolling a

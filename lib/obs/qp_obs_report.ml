@@ -7,19 +7,20 @@
    trace annotated by hand or post-processed by other tools still
    loads. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | String of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
 (* --- JSON parsing ----------------------------------------------------- *)
 
-let parse_json (s : string) : json =
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
@@ -169,14 +170,34 @@ let parse_json (s : string) : json =
     | Some _ -> Num (parse_number ())
     | None -> fail "empty input"
   in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
 
-let field key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let str j = match j with String s -> Some s | _ -> None
+  let num j = match j with Num f -> Some f | _ -> None
+  let items j = match j with List l -> Some l | _ -> None
+end
+
+(* Internal aliases: re-export the constructors at top level so the
+   aggregation code below reads as before. *)
+type json = Json.t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error = Json.Parse_error
+
+let parse_json = Json.parse
+let field = Json.member
 
 let string_field key j =
   match field key j with Some (String s) -> Some s | _ -> None
@@ -197,6 +218,7 @@ type span_stat = {
 type t = {
   spans : span_stat list;  (* first-seen order *)
   counters : (string * float) list;  (* final "C" samples, label order *)
+  gauges : (string * float) list;  (* "C" samples tagged kind=gauge *)
   events : (string * int) list;  (* instant-event counts, label order *)
   total_us : float;  (* trace duration: last timestamp seen *)
 }
@@ -215,8 +237,10 @@ let aggregate lines =
   let instants : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let instant_order = ref [] in
   let counters = ref [] in
+  let gauges = ref [] in
   let stack = ref [] in
   let last_ts = ref 0.0 in
+  let saw_record = ref false in
   let record label dur =
     (if not (Hashtbl.mem acc label) then order := label :: !order);
     let count, total, self, durs =
@@ -249,13 +273,34 @@ let aggregate lines =
             raise
               (Parse_error (Printf.sprintf "line %d: %s" (lineno + 1) msg))
         in
-        let ts = Option.value (num_field "ts" j) ~default:!last_ts in
-        last_ts := Float.max !last_ts ts;
+        let bad msg =
+          raise (Parse_error (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+        in
+        (* Timestamps are what durations are computed from; a missing
+           or non-numeric "ts" on a timing record means the trace is
+           corrupt, so fail loudly rather than silently inventing a
+           duration. Metadata ("M") and final samples ("C") stay
+           lenient. *)
+        let strict_ts () =
+          match field "ts" j with
+          | Some (Num f) ->
+              last_ts := Float.max !last_ts f;
+              f
+          | Some _ -> bad "non-numeric \"ts\""
+          | None -> bad "missing \"ts\""
+        in
+        (match num_field "ts" j with
+        | Some f -> last_ts := Float.max !last_ts f
+        | None -> ());
         match string_field "ph" j with
         | Some "B" ->
+            let ts = strict_ts () in
+            saw_record := true;
             let label = Option.value (string_field "name" j) ~default:"?" in
             stack := { olabel = label; ots = ts; children_us = 0.0 } :: !stack
         | Some "E" -> (
+            let ts = strict_ts () in
+            saw_record := true;
             match !stack with
             | [] -> ()  (* unbalanced: ignore rather than fail *)
             | top :: rest ->
@@ -269,29 +314,42 @@ let aggregate lines =
                 stack := rest)
         | Some "X" -> (
             (* complete events: duration carried inline *)
-            match num_field "dur" j with
-            | Some dur ->
+            saw_record := true;
+            match field "dur" j with
+            | Some (Num dur) ->
                 let label = Option.value (string_field "name" j) ~default:"?" in
                 record label dur
-            | None -> ())
+            | Some _ -> bad "non-numeric \"dur\""
+            | None -> bad "missing \"dur\"")
         | Some "i" | Some "I" ->
+            ignore (strict_ts ());
+            saw_record := true;
             let label = Option.value (string_field "name" j) ~default:"?" in
             (if not (Hashtbl.mem instants label) then
                instant_order := label :: !instant_order);
             Hashtbl.replace instants label
               (1 + Option.value (Hashtbl.find_opt instants label) ~default:0)
         | Some "C" -> (
+            saw_record := true;
             let label = Option.value (string_field "name" j) ~default:"?" in
             match field "args" j with
             | Some args -> (
                 match num_field "value" args with
                 | Some v ->
-                    counters := (label, v) :: List.remove_assoc label !counters
+                    let dst =
+                      match string_field "kind" args with
+                      | Some "gauge" -> gauges
+                      | _ -> counters
+                    in
+                    dst := (label, v) :: List.remove_assoc label !dst
                 | None -> ())
             | None -> ())
-        | _ -> ()
+        | Some "M" -> saw_record := true
+        | Some _ -> saw_record := true
+        | None -> bad "missing \"ph\""
       end)
     lines;
+  if not !saw_record then raise (Parse_error "empty trace (no records)");
   let spans =
     List.rev_map
       (fun label ->
@@ -308,6 +366,7 @@ let aggregate lines =
   {
     spans;
     counters = List.sort compare !counters;
+    gauges = List.sort compare !gauges;
     events =
       List.rev_map
         (fun label -> (label, Hashtbl.find instants label))
@@ -325,11 +384,13 @@ let of_file path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> close_in ic);
-      (try Ok (aggregate (List.rev !lines))
-       with Parse_error msg -> Error (path ^ ": " ^ msg))
+      (try Ok (aggregate (List.rev !lines)) with
+      | Parse_error msg -> Error (path ^ ": " ^ msg)
+      | exn -> Error (path ^ ": " ^ Printexc.to_string exn))
 
 let spans t = t.spans
 let counters t = t.counters
+let gauges t = t.gauges
 
 (* --- rendering --------------------------------------------------------- *)
 
@@ -399,6 +460,19 @@ let render t =
               ])
             t.counters))
   end;
+  if t.gauges <> [] then begin
+    Buffer.add_string b "\ngauges (high-water marks):\n";
+    Buffer.add_string b
+      (Qp_util.Text_table.render ~header:[ "gauge"; "max" ]
+         (List.map
+            (fun (k, v) ->
+              [
+                k;
+                (if Float.is_integer v then Printf.sprintf "%.0f" v
+                 else Printf.sprintf "%g" v);
+              ])
+            t.gauges))
+  end;
   if t.events <> [] then begin
     Buffer.add_string b "\ninstant events:\n";
     Buffer.add_string b
@@ -408,3 +482,142 @@ let render t =
   Buffer.contents b
 
 let report_file path = Result.map render (of_file path)
+
+(* --- regression diff --------------------------------------------------- *)
+
+type diff_row = {
+  dlabel : string;
+  old_count : int;  (* 0 when the label is new *)
+  new_count : int;  (* 0 when the label disappeared *)
+  old_self_us : float;
+  new_self_us : float;
+  old_p95_us : float;
+  new_p95_us : float;
+  flagged : bool;
+}
+
+type diff = {
+  rows : diff_row list;
+  threshold_pct : float;
+  min_regression_us : float;
+}
+
+let p95_of s = Qp_util.Stats.percentile_nearest s.durations_us 95.0
+
+let diff ?(threshold_pct = 25.0) ?(min_regression_us = 100.0) told tnew =
+  let tbl_of t =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun s -> Hashtbl.replace tbl s.label s) t.spans;
+    tbl
+  in
+  let old_tbl = tbl_of told and new_tbl = tbl_of tnew in
+  (* New-trace first-seen order, then labels that disappeared. *)
+  let labels =
+    List.map (fun s -> s.label) tnew.spans
+    @ List.filter_map
+        (fun s -> if Hashtbl.mem new_tbl s.label then None else Some s.label)
+        told.spans
+  in
+  let regressed old_v new_v =
+    old_v > 0.0
+    && new_v -. old_v > min_regression_us
+    && (new_v -. old_v) /. old_v *. 100.0 > threshold_pct
+  in
+  let rows =
+    List.map
+      (fun label ->
+        let o = Hashtbl.find_opt old_tbl label
+        and n = Hashtbl.find_opt new_tbl label in
+        let old_self = match o with Some s -> s.self_us | None -> 0.0
+        and new_self = match n with Some s -> s.self_us | None -> 0.0
+        and old_p95 = match o with Some s -> p95_of s | None -> 0.0
+        and new_p95 = match n with Some s -> p95_of s | None -> 0.0 in
+        {
+          dlabel = label;
+          old_count = (match o with Some s -> s.count | None -> 0);
+          new_count = (match n with Some s -> s.count | None -> 0);
+          old_self_us = old_self;
+          new_self_us = new_self;
+          old_p95_us = old_p95;
+          new_p95_us = new_p95;
+          (* Only flag labels present on both sides: a label appearing
+             or vanishing is a workload change, not a regression. *)
+          flagged =
+            o <> None && n <> None
+            && (regressed old_self new_self || regressed old_p95 new_p95);
+        })
+      labels
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        Float.compare
+          (b.new_self_us -. b.old_self_us)
+          (a.new_self_us -. a.old_self_us))
+      rows
+  in
+  { rows; threshold_pct; min_regression_us }
+
+let diff_flagged d = List.filter (fun r -> r.flagged) d.rows
+
+let render_diff d =
+  let b = Buffer.create 4096 in
+  let delta_pct old_v new_v =
+    if old_v <= 0.0 then "-"
+    else Printf.sprintf "%+.1f" ((new_v -. old_v) /. old_v *. 100.0)
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.dlabel;
+          Printf.sprintf "%d>%d" r.old_count r.new_count;
+          Printf.sprintf "%.3f" (ms r.old_self_us);
+          Printf.sprintf "%.3f" (ms r.new_self_us);
+          delta_pct r.old_self_us r.new_self_us;
+          Printf.sprintf "%.3f" (ms r.old_p95_us);
+          Printf.sprintf "%.3f" (ms r.new_p95_us);
+          delta_pct r.old_p95_us r.new_p95_us;
+          (if r.flagged then "!!"
+           else if r.old_count = 0 then "new"
+           else if r.new_count = 0 then "gone"
+           else "");
+        ])
+      d.rows
+  in
+  Buffer.add_string b
+    (Qp_util.Text_table.render
+       ~header:
+         [
+           "span";
+           "count";
+           "self ms old";
+           "self ms new";
+           "d self %";
+           "p95 ms old";
+           "p95 ms new";
+           "d p95 %";
+           "flag";
+         ]
+       rows);
+  let flagged = diff_flagged d in
+  if flagged = [] then
+    Buffer.add_string b
+      (Printf.sprintf
+         "\nno regressions beyond +%.0f%% (and > %.0f us) in self time or p95\n"
+         d.threshold_pct d.min_regression_us)
+  else
+    Buffer.add_string b
+      (Printf.sprintf
+         "\nREGRESSION: %d label(s) slowed down more than +%.0f%% (and > %.0f us): %s\n"
+         (List.length flagged) d.threshold_pct d.min_regression_us
+         (String.concat ", " (List.map (fun r -> r.dlabel) flagged)));
+  Buffer.contents b
+
+let diff_files ?threshold_pct ?min_regression_us old_path new_path =
+  match of_file old_path with
+  | Error e -> Error e
+  | Ok told -> (
+      match of_file new_path with
+      | Error e -> Error e
+      | Ok tnew -> Ok (diff ?threshold_pct ?min_regression_us told tnew))

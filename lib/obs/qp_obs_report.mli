@@ -7,6 +7,40 @@
     histogram for the hottest label, and the final counter and
     instant-event totals — the [qpricing report] subcommand. *)
 
+(** Minimal JSON reader shared by the trace aggregator and the bench
+    tooling ([scripts/bench_diff.ml]) — the container ships no JSON
+    library. Parses full JSON values (nested objects/arrays, escapes,
+    numbers). *)
+module Json : sig
+  (** A parsed JSON value. *)
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+  (** Raised by {!parse} on malformed input, with an offset message. *)
+
+  val parse : string -> t
+  (** Parse one complete JSON value (leading/trailing whitespace
+      allowed). @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+  (** [member key j] is the field [key] of object [j], if any. *)
+
+  val str : t -> string option
+  (** The payload of a [String], if [j] is one. *)
+
+  val num : t -> float option
+  (** The payload of a [Num], if [j] is one. *)
+
+  val items : t -> t list option
+  (** The elements of a [List], if [j] is one. *)
+end
+
 type t
 (** An aggregated trace. *)
 
@@ -21,8 +55,11 @@ type span_stat = {
 }
 
 val of_file : string -> (t, string) result
-(** Parse and aggregate a trace file; [Error] carries a message with
-    the offending line on malformed input. *)
+(** Parse and aggregate a trace file. Always returns [Error _] — never
+    raises — on malformed input: unreadable files, truncated JSONL,
+    records with missing or non-numeric timestamps/durations, and
+    empty traces (no records at all) all carry a message naming the
+    offending line. *)
 
 val spans : t -> span_stat list
 (** Aggregates per span label, in first-seen order. *)
@@ -30,9 +67,64 @@ val spans : t -> span_stat list
 val counters : t -> (string * float) list
 (** Final counter samples ([ph:"C"]), sorted by label. *)
 
+val gauges : t -> (string * float) list
+(** Final gauge samples ([ph:"C"] tagged [kind=gauge] by
+    {!Qp_obs.to_chrome_lines}), sorted by label. Traces written before
+    the tag existed report their gauges under {!counters}. *)
+
 val render : t -> string
 (** The human-readable report: span table sorted by self time, hottest
-    label's duration histogram, counters, instant-event counts. *)
+    label's duration histogram, counters, gauges, instant-event
+    counts. *)
 
 val report_file : string -> (string, string) result
 (** [of_file] followed by {!render}. *)
+
+(** {2 Trace-to-trace regression diff}
+
+    The [qpricing report --diff OLD NEW] engine: compares two
+    aggregated traces per span label and flags labels whose self time
+    or p95 regressed beyond a threshold. *)
+
+(** One label's before/after comparison. Counts are 0 on the side the
+    label is absent from. *)
+type diff_row = {
+  dlabel : string;  (** span label *)
+  old_count : int;  (** spans in the old trace *)
+  new_count : int;  (** spans in the new trace *)
+  old_self_us : float;  (** self time in the old trace, microseconds *)
+  new_self_us : float;  (** self time in the new trace, microseconds *)
+  old_p95_us : float;  (** p95 inclusive duration, old trace *)
+  new_p95_us : float;  (** p95 inclusive duration, new trace *)
+  flagged : bool;  (** regressed beyond the thresholds *)
+}
+
+type diff = {
+  rows : diff_row list;  (** sorted by self-time regression, worst first *)
+  threshold_pct : float;  (** relative threshold used *)
+  min_regression_us : float;  (** absolute floor used *)
+}
+(** A full per-label comparison of two traces. *)
+
+val diff : ?threshold_pct:float -> ?min_regression_us:float -> t -> t -> diff
+(** [diff old new] compares per-label self time and p95. A label is
+    {e flagged} when present in both traces and either metric grew by
+    more than [threshold_pct] percent (default 25) {e and} more than
+    [min_regression_us] microseconds (default 100 — so microsecond
+    noise on tiny labels never trips the gate). Labels only present on
+    one side are reported but never flagged. *)
+
+val diff_flagged : diff -> diff_row list
+(** The rows whose thresholds tripped, worst regression first. *)
+
+val render_diff : diff -> string
+(** Human-readable diff table (old/new self time and p95 with percent
+    deltas, [!!] marking flagged rows) plus a one-line verdict. *)
+
+val diff_files :
+  ?threshold_pct:float ->
+  ?min_regression_us:float ->
+  string ->
+  string ->
+  (diff, string) result
+(** [diff_files old_path new_path]: {!of_file} both, then {!diff}. *)

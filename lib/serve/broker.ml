@@ -21,13 +21,18 @@ type t = {
   hypergraph : H.t;
   edges : H.edge array;
   pricing : P.t;
-  (* Counters only; mutated from the serving domain, read by STATS
-     replies on that same domain (and by callers after the loop has
-     drained). *)
+  (* Counters and latency histograms only; mutated from the serving
+     domain, read by STATS/METRICS replies on that same domain (and by
+     callers after the loop has drained). [requests] counts *completed*
+     requests — it is bumped after the response is built, so at any
+     snapshot it equals [request_hist]'s count exactly. *)
   mutable connections : int;
   mutable requests : int;
   mutable quotes : int;
   mutable errors : int;
+  request_hist : Qp_obs.Hist.t;
+  quote_hist : Qp_obs.Hist.t;
+  started_at : float;
 }
 
 let pricing_keys = Qp_core.Algorithms.keys @ [ "capped" ]
@@ -73,6 +78,9 @@ let of_instance ?(profile = Runner.Quick) ~model ~pricing ~seed instance =
     requests = 0;
     quotes = 0;
     errors = 0;
+    request_hist = Qp_obs.Hist.create ();
+    quote_hist = Qp_obs.Hist.create ();
+    started_at = Unix.gettimeofday ();
   }
 
 let create ?scale ?support ?profile ~workload ~model ~pricing ~seed () =
@@ -129,13 +137,140 @@ let note_connection t =
   t.connections <- t.connections + 1;
   Qp_obs.counter "serve.connections" 1
 
+(* STATS stays an integer-only reply; percentiles ride along in
+   nanoseconds. Keys sorted by name, as always. *)
 let stats t =
+  let s = Qp_obs.Hist.snapshot t.request_hist in
+  let q p = int_of_float (Qp_obs.Hist.quantile_ns s p) in
   [
     ("connections", t.connections);
     ("errors", t.errors);
+    ("p50_ns", q 50.0);
+    ("p95_ns", q 95.0);
+    ("p99_ns", q 99.0);
     ("quotes", t.quotes);
     ("requests", t.requests);
   ]
+
+let request_hist t = Qp_obs.Hist.snapshot t.request_hist
+let quote_hist t = Qp_obs.Hist.snapshot t.quote_hist
+
+let metrics_text t =
+  let base =
+    [
+      Metrics.Counter
+        {
+          name = "qp_serve_connections_total";
+          help = "Connections accepted by the broker";
+          value = float_of_int t.connections;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_requests_total";
+          help = "Request lines completed (equals qp_serve_request_seconds_count)";
+          value = float_of_int t.requests;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_quotes_total";
+          help = "Successful PRICE/QUOTE replies";
+          value = float_of_int t.quotes;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_errors_total";
+          help = "Typed ERR replies";
+          value = float_of_int t.errors;
+        };
+      Metrics.Gauge
+        {
+          name = "qp_serve_queries";
+          help = "Standing workload queries (valid PRICE index range)";
+          value = float_of_int (Array.length t.edges);
+        };
+      Metrics.Gauge
+        {
+          name = "qp_serve_items";
+          help = "Support-set size of the standing instance";
+          value = float_of_int (H.n_items t.hypergraph);
+        };
+      Metrics.Gauge
+        {
+          name = "qp_serve_uptime_seconds";
+          help = "Seconds since the broker finished precompute";
+          value = Unix.gettimeofday () -. t.started_at;
+        };
+      Metrics.Histogram
+        {
+          name = "qp_serve_request_seconds";
+          help = "Server-side latency of completed requests";
+          hist = Qp_obs.Hist.snapshot t.request_hist;
+        };
+      Metrics.Histogram
+        {
+          name = "qp_serve_quote_seconds";
+          help = "Server-side latency of successful PRICE/QUOTE replies";
+          hist = Qp_obs.Hist.snapshot t.quote_hist;
+        };
+    ]
+  in
+  (* With tracing on, the whole Qp_obs registry rides along under a
+     distinct qp_obs_ namespace (so e.g. the obs counter
+     "serve.requests" cannot collide with qp_serve_requests_total). *)
+  let obs =
+    if not (Qp_obs.enabled ()) then []
+    else
+      let obs_name label =
+        let mangled = Metrics.mangle label in
+        "qp_obs_" ^ String.sub mangled 3 (String.length mangled - 3)
+      in
+      List.map
+        (fun (label, v) ->
+          Metrics.Counter
+            {
+              name = obs_name label ^ "_total";
+              help = "Qp_obs counter " ^ label;
+              value = float_of_int v;
+            })
+        (Qp_obs.counters ())
+      @ List.map
+          (fun (label, v) ->
+            Metrics.Gauge
+              {
+                name = obs_name label;
+                help = "Qp_obs gauge (high-water) " ^ label;
+                value = v;
+              })
+          (Qp_obs.gauges ())
+      @ List.concat_map
+          (fun (label, h) ->
+            Metrics.Histogram
+              {
+                name = obs_name label ^ "_seconds";
+                help = "Qp_obs span durations for " ^ label;
+                hist = h;
+              }
+            ::
+            (if h.Qp_obs.Hist.gc_minor_words = 0 && h.Qp_obs.Hist.gc_major_words = 0
+             then []
+             else
+               [
+                 Metrics.Counter
+                   {
+                     name = obs_name label ^ "_gc_minor_words_total";
+                     help = "Minor-heap words allocated inside " ^ label ^ " spans";
+                     value = float_of_int h.Qp_obs.Hist.gc_minor_words;
+                   };
+                 Metrics.Counter
+                   {
+                     name = obs_name label ^ "_gc_major_words_total";
+                     help = "Major-heap words allocated inside " ^ label ^ " spans";
+                     value = float_of_int h.Qp_obs.Hist.gc_major_words;
+                   };
+               ]))
+          (Qp_obs.histograms ())
+  in
+  Metrics.render (base @ obs)
 
 let info t =
   {
@@ -152,10 +287,11 @@ let info t =
 let request_key = function
   | Protocol.Price i -> abs i
   | Protocol.Quote sql -> Qp_fault.site_key sql
-  | Protocol.Ping | Protocol.Info | Protocol.Stats | Protocol.Shutdown -> 0
+  | Protocol.Ping | Protocol.Info | Protocol.Stats | Protocol.Metrics
+  | Protocol.Shutdown ->
+      0
 
-let handle t line =
-  t.requests <- t.requests + 1;
+let dispatch t line =
   Qp_obs.with_span "serve.request"
     ~args:(fun () ->
       [ ("verb", Qp_obs.Str (fst (Protocol.split_verb (String.trim line)))) ])
@@ -217,9 +353,26 @@ let handle t line =
               | Protocol.Ping -> Protocol.Pong
               | Protocol.Info -> Protocol.Info_reply (info t)
               | Protocol.Stats -> Protocol.Stats_reply (stats t)
+              | Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
               | Protocol.Shutdown -> Protocol.Bye
               | Protocol.Price _ | Protocol.Quote _ -> quote_of req
             with
             | Qp_fault.Injected site ->
                 err Protocol.Fault ("injected fault at " ^ site)
             | e -> err Protocol.Internal (Printexc.to_string e)))
+
+(* Wrap dispatch with the always-on latency histograms (independent of
+   the obs enabled flag — METRICS/STATS must work on a production
+   broker with tracing off). The completed-request counter is bumped
+   last so a METRICS snapshot taken *during* a request (i.e. its own)
+   never shows count and histogram out of step. *)
+let handle t line =
+  let t0 = Unix.gettimeofday () in
+  let resp = dispatch t line in
+  let dt_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  Qp_obs.Hist.record t.request_hist dt_ns;
+  (match resp with
+  | Protocol.Quote_reply _ -> Qp_obs.Hist.record t.quote_hist dt_ns
+  | _ -> ());
+  t.requests <- t.requests + 1;
+  resp

@@ -1,0 +1,229 @@
+(* Prometheus text-exposition rendering and parsing for the broker's
+   METRICS verb.
+
+   Rendering sticks to the subset every Prometheus-compatible scraper
+   understands: "# HELP"/"# TYPE" comments, then one sample per line,
+   histograms as cumulative _bucket{le="..."} series plus _sum and
+   _count. The parser is the inverse — it exists so the acceptance
+   tests and `bench serve` can round-trip a scraped body and cross-check
+   the counts without any external library. *)
+
+type metric =
+  | Counter of { name : string; help : string; value : float }
+  | Gauge of { name : string; help : string; value : float }
+  | Histogram of { name : string; help : string; hist : Qp_obs.Hist.snapshot }
+
+type sample = { name : string; labels : (string * string) list; value : float }
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our obs labels are
+   lowercase dotted, so mapping '.' (and anything else exotic) to '_'
+   under a "qp_" prefix is enough. *)
+let mangle label =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      label
+  in
+  "qp_" ^ mapped
+
+(* %.17g round-trips doubles — same discipline as the quote protocol. *)
+let num_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let add_meta b name help kind =
+  Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let render metrics =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter { name; help; value } ->
+          add_meta b name help "counter";
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (num_str value))
+      | Gauge { name; help; value } ->
+          add_meta b name help "gauge";
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (num_str value))
+      | Histogram { name; help; hist } ->
+          add_meta b name help "histogram";
+          let open Qp_obs.Hist in
+          (* Emit buckets up to the highest occupied one; cumulative
+             counts, bounds in seconds. The +Inf bucket always closes
+             the series. *)
+          let top = ref (-1) in
+          Array.iteri (fun i c -> if c > 0 then top := i) hist.buckets;
+          let cum = ref 0 in
+          for i = 0 to !top do
+            cum := !cum + hist.buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%.10g\"} %d\n" name
+                 (float_of_int (bucket_upper_ns i) /. 1e9)
+                 !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name hist.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" name
+               (num_str (float_of_int hist.sum_ns /. 1e9)));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name hist.count))
+    metrics;
+  Buffer.contents b
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let parse_labels s =
+  (* s is the text between '{' and '}' : k="v"(,k="v")* — values may
+     escape '\\', '"' and '\n'. *)
+  let n = String.length s in
+  let pos = ref 0 in
+  let labels = ref [] in
+  let fail msg = Error (Printf.sprintf "%s in label set %S" msg s) in
+  let rec go () =
+    if !pos >= n then Ok (List.rev !labels)
+    else begin
+      let start = !pos in
+      while !pos < n && s.[!pos] <> '=' do
+        incr pos
+      done;
+      if !pos >= n then fail "missing '='"
+      else begin
+        let key = String.trim (String.sub s start (!pos - start)) in
+        incr pos;
+        if !pos >= n || s.[!pos] <> '"' then fail "missing opening quote"
+        else begin
+          incr pos;
+          let b = Buffer.create 16 in
+          let rec value () =
+            if !pos >= n then fail "unterminated label value"
+            else
+              match s.[!pos] with
+              | '"' ->
+                  incr pos;
+                  labels := (key, Buffer.contents b) :: !labels;
+                  if !pos < n && s.[!pos] = ',' then begin
+                    incr pos;
+                    go ()
+                  end
+                  else if !pos >= n then Ok (List.rev !labels)
+                  else fail "expected ',' after label"
+              | '\\' ->
+                  incr pos;
+                  if !pos >= n then fail "unterminated escape"
+                  else begin
+                    (match s.[!pos] with
+                    | 'n' -> Buffer.add_char b '\n'
+                    | c -> Buffer.add_char b c);
+                    incr pos;
+                    value ()
+                  end
+              | c ->
+                  Buffer.add_char b c;
+                  incr pos;
+                  value ()
+          in
+          value ()
+        end
+      end
+    end
+  in
+  go ()
+
+let parse_value tok =
+  match String.lowercase_ascii tok with
+  | "+inf" | "inf" -> Some Float.infinity
+  | "-inf" -> Some Float.neg_infinity
+  | "nan" -> Some Float.nan
+  | _ -> float_of_string_opt tok
+
+let parse body =
+  let lines = String.split_on_char '\n' body in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || (String.length line > 0 && line.[0] = '#') then
+          go acc (lineno + 1) rest
+        else
+          let err msg =
+            Error (Printf.sprintf "metrics line %d: %s: %S" lineno msg line)
+          in
+          (* name[{labels}] SP value *)
+          match String.index_opt line '{' with
+          | Some lb -> (
+              match String.index_from_opt line lb '}' with
+              | None -> err "missing '}'"
+              | Some rb -> (
+                  let name = String.sub line 0 lb in
+                  let labels_str = String.sub line (lb + 1) (rb - lb - 1) in
+                  let rest_str =
+                    String.trim
+                      (String.sub line (rb + 1) (String.length line - rb - 1))
+                  in
+                  match parse_labels labels_str with
+                  | Error e -> err e
+                  | Ok labels -> (
+                      match parse_value rest_str with
+                      | Some value ->
+                          go ({ name; labels; value } :: acc) (lineno + 1) rest
+                      | None -> err "bad sample value")))
+          | None -> (
+              match String.index_opt line ' ' with
+              | None -> err "missing value"
+              | Some sp -> (
+                  let name = String.sub line 0 sp in
+                  let rest_str =
+                    String.trim
+                      (String.sub line (sp + 1) (String.length line - sp - 1))
+                  in
+                  match parse_value rest_str with
+                  | Some value ->
+                      go ({ name; labels = []; value } :: acc) (lineno + 1) rest
+                  | None -> err "bad sample value")))
+  in
+  go [] 1 lines
+
+let find samples ?(labels = []) name =
+  List.find_map
+    (fun s ->
+      if
+        s.name = name
+        && List.for_all
+             (fun (k, v) -> List.assoc_opt k s.labels = Some v)
+             labels
+        && (labels <> [] || s.labels = [])
+      then Some s.value
+      else None)
+    samples
+
+let histogram_count samples name = find samples (name ^ "_count")
+
+let histogram_quantile samples name q =
+  let buckets =
+    List.filter_map
+      (fun s ->
+        if s.name = name ^ "_bucket" then
+          match List.assoc_opt "le" s.labels with
+          | Some le_tok -> (
+              match parse_value le_tok with
+              | Some le -> Some (le, s.value)
+              | None -> None)
+          | None -> None
+        else None)
+      samples
+  in
+  let buckets =
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) buckets
+  in
+  match List.rev buckets with
+  | [] -> None
+  | (_, total) :: _ when total <= 0.0 -> None
+  | (_, total) :: _ ->
+      let rank = Float.max 1.0 (Float.ceil (q /. 100.0 *. total)) in
+      let rec walk = function
+        | [] -> None
+        | (le, cum) :: tl -> if cum >= rank then Some le else walk tl
+      in
+      walk buckets

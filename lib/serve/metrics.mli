@@ -1,0 +1,50 @@
+(** Prometheus text exposition for the broker's [METRICS] verb.
+
+    {!render} produces the subset of the text format every
+    Prometheus-compatible scraper understands ([# HELP]/[# TYPE]
+    comments, one sample per line, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count] in seconds);
+    {!parse} is its inverse, used by the tests and by [bench serve] to
+    cross-check a scraped body against client-side tallies without an
+    external library. The framing terminator line on the wire is
+    {!Protocol.metrics_terminator}; it is {e not} part of the body
+    either function handles. *)
+
+(** One metric family to expose. *)
+type metric =
+  | Counter of { name : string; help : string; value : float }
+      (** monotonic total *)
+  | Gauge of { name : string; help : string; value : float }
+      (** point-in-time or high-water value *)
+  | Histogram of { name : string; help : string; hist : Qp_obs.Hist.snapshot }
+      (** rendered as cumulative buckets (bounds in seconds) + sum +
+          count *)
+
+type sample = { name : string; labels : (string * string) list; value : float }
+(** One parsed sample line: [name{labels} value]. *)
+
+val mangle : string -> string
+(** Map a dotted obs label to a legal metric name under the [qp_]
+    prefix: ["serve.request"] becomes ["qp_serve_request"]. *)
+
+val render : metric list -> string
+(** The exposition body, in the given metric order, ending with a
+    newline. *)
+
+val parse : string -> (sample list, string) result
+(** Parse an exposition body back into samples (comments and blank
+    lines skipped). [Error] names the offending line; never raises. *)
+
+val find : sample list -> ?labels:(string * string) list -> string -> float option
+(** [find samples name] is the value of the first sample called [name]
+    carrying all of [labels] (an unlabelled match when [labels] is
+    omitted). *)
+
+val histogram_count : sample list -> string -> float option
+(** The [_count] of histogram [name], if present. *)
+
+val histogram_quantile : sample list -> string -> float -> float option
+(** [histogram_quantile samples name q] estimates the [q]-th percentile
+    (0–100) from [name]'s cumulative buckets: the upper bound (seconds)
+    of the first bucket whose cumulative count reaches the nearest
+    rank. [None] without buckets or data. *)

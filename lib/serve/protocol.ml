@@ -11,6 +11,7 @@ type request =
   | Ping
   | Info
   | Stats
+  | Metrics
   | Price of int
   | Quote of string
   | Shutdown
@@ -32,8 +33,14 @@ type response =
   | Bye
   | Info_reply of info
   | Stats_reply of (string * int) list
+  | Metrics_reply of string
   | Quote_reply of quote
   | Error_reply of error_tag * string
+
+(* METRICS is the one multi-line response in the protocol; the
+   exposition body is framed by a terminator line (the OpenMetrics
+   "# EOF") so a line-at-a-time client knows where it ends. *)
+let metrics_terminator = "# EOF"
 
 let tag_name = function
   | Parse -> "parse"
@@ -58,6 +65,7 @@ let print_request = function
   | Ping -> "PING"
   | Info -> "INFO"
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Price i -> Printf.sprintf "PRICE %d" i
   | Quote sql -> "QUOTE " ^ sql
   | Shutdown -> "SHUTDOWN"
@@ -84,6 +92,7 @@ let parse_request line =
     | "PING" -> bare Ping
     | "INFO" -> bare Info
     | "STATS" -> bare Stats
+    | "METRICS" -> bare Metrics
     | "SHUTDOWN" -> bare Shutdown
     | "PRICE" -> (
         match int_of_string_opt rest with
@@ -98,8 +107,8 @@ let parse_request line =
         Error
           ( Unknown_verb,
             Printf.sprintf
-              "unknown verb %S (known: PING, INFO, STATS, PRICE, QUOTE, \
-               SHUTDOWN)"
+              "unknown verb %S (known: PING, INFO, STATS, METRICS, PRICE, \
+               QUOTE, SHUTDOWN)"
               verb )
 
 (* --- responses -------------------------------------------------------- *)
@@ -119,6 +128,14 @@ let print_response = function
   | Stats_reply kvs ->
       String.concat " "
         ("STATS" :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+  | Metrics_reply body ->
+      (* The server appends one '\n' to whatever we return, so end on
+         the terminator line and normalize the body's own newline. *)
+      let body =
+        if body = "" || body.[String.length body - 1] = '\n' then body
+        else body ^ "\n"
+      in
+      body ^ metrics_terminator
   | Quote_reply q ->
       Printf.sprintf "OK %s size=%d%s" (float_str q.price) q.size
         (match q.sold with
@@ -205,4 +222,8 @@ let parse_response line =
       match tag_of_name tag_tok with
       | Some tag -> Ok (Error_reply (tag, msg))
       | None -> Error (Printf.sprintf "ERR: unknown tag %S" tag_tok))
+  | "#" ->
+      (* Exposition/terminator lines of a METRICS body: multi-line, so a
+         single-line parse cannot reconstruct them — use Server.scrape. *)
+      Error "METRICS responses are multi-line; read until \"# EOF\""
   | _ -> Error (Printf.sprintf "unparseable response line %S" line)

@@ -17,7 +17,8 @@
 type request =
   | Ping  (** liveness probe *)
   | Info  (** describe the standing broker *)
-  | Stats  (** request/error/quote counters *)
+  | Stats  (** request/error/quote counters + latency percentiles *)
+  | Metrics  (** Prometheus text exposition (the one multi-line reply) *)
   | Price of int  (** quote workload query by index *)
   | Quote of string  (** parse raw SQL and quote its conflict set *)
   | Shutdown  (** drain and stop the server *)
@@ -52,16 +53,25 @@ type info = {
 }
 (** Payload of an [INFO] reply, identifying the standing state. *)
 
-(** One response line, as sent by the server. *)
+(** One response line, as sent by the server — except [Metrics_reply],
+    the single multi-line response. *)
 type response =
   | Pong  (** reply to [PING] *)
   | Bye  (** reply to [SHUTDOWN]; the server drains after sending it *)
   | Info_reply of info
   | Stats_reply of (string * int) list
       (** counter name/value pairs, sorted by name *)
+  | Metrics_reply of string
+      (** Prometheus text-exposition body; printed followed by the
+          {!metrics_terminator} line so line-oriented clients can frame
+          it (see {!Server.scrape}) *)
   | Quote_reply of quote
   | Error_reply of error_tag * string
       (** tag plus a human-readable message (never a connection drop) *)
+
+val metrics_terminator : string
+(** The line (["# EOF"], OpenMetrics-style) that ends every [METRICS]
+    reply body on the wire. *)
 
 val tag_name : error_tag -> string
 (** Stable wire name of a tag, e.g. ["bad-index"] — the second token of
@@ -91,4 +101,6 @@ val print_response : response -> string
 
 val parse_response : string -> (response, string) result
 (** Parse one response line — the client half of the protocol; also
-    used by the round-trip property tests. *)
+    used by the round-trip property tests. [METRICS] bodies span many
+    lines and are not parseable line-wise; {!Server.scrape} reads them
+    whole and {!Metrics.parse} decodes the exposition. *)

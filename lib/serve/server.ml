@@ -197,6 +197,42 @@ let call c req =
   | exception Sys_error msg -> Error msg
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
+(* METRICS is the one multi-line response: send the verb, then read
+   whole lines until the terminator. Anything else arriving here means
+   the stream is desynchronized, so surface it as an error. *)
+let scrape c =
+  match
+    output_string c.oc (Protocol.print_request Protocol.Metrics ^ "\n");
+    flush c.oc;
+    (* A refused METRICS (e.g. an injected fault) is a single ERR line
+       with no terminator — check the first line before accumulating,
+       or we would block waiting for a terminator that never comes. *)
+    let first = String.trim (input_line c.ic) in
+    if String.length first >= 3 && String.uppercase_ascii (String.sub first 0 3) = "ERR"
+    then Error first
+    else if first = Protocol.metrics_terminator then Ok ""
+    else begin
+      let b = Buffer.create 2048 in
+      Buffer.add_string b first;
+      Buffer.add_char b '\n';
+      let rec go () =
+        let line = input_line c.ic in
+        if String.trim line = Protocol.metrics_terminator then
+          Ok (Buffer.contents b)
+        else begin
+          Buffer.add_string b line;
+          Buffer.add_char b '\n';
+          go ()
+        end
+      in
+      go ()
+    end
+  with
+  | result -> result
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
 let close_client c =
   if not c.closed then begin
     c.closed <- true;

@@ -43,7 +43,14 @@ val connect : ?retries:int -> listen -> client
 val call : client -> Protocol.request -> (Protocol.response, string) result
 (** Send one request line and block for the one response line.
     [Error] carries a transport or response-parse message; protocol-
-    level failures arrive as [Ok (Error_reply _)]. *)
+    level failures arrive as [Ok (Error_reply _)]. Do not [call] with
+    {!Protocol.Metrics} — its reply spans many lines; use {!scrape}. *)
+
+val scrape : client -> (string, string) result
+(** Send [METRICS] and read the multi-line Prometheus exposition body
+    up to (excluding) the {!Protocol.metrics_terminator} line. [Error]
+    carries a transport message or the broker's one-line [ERR] reply
+    (e.g. an injected fault). Decode the body with {!Metrics.parse}. *)
 
 val close_client : client -> unit
 (** Flush and close; safe to call twice. *)

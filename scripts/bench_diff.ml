@@ -1,0 +1,215 @@
+(* Perf-regression gate over the bench history (`make bench-gate`).
+
+   Compares freshly written BENCH_simplex.json / BENCH_warmstart.json /
+   BENCH_serve.json against the committed baselines under
+   bench/baselines/ and fails (exit 1) when a pinned metric regresses
+   past its threshold:
+
+     - simplex:   the dense->revised crossover size must exist and not
+                  grow past 2x the baseline crossover;
+     - warmstart: warm-vs-cold check mismatches must stay 0, and for
+                  each family present in both runs the warm pivot count
+                  may grow at most 10% while the pivot ratio may shrink
+                  at most 10% (pivot counts are deterministic, so these
+                  bounds are tight on purpose — wall-clock is not gated);
+     - serve:     served quotes must stay bit-identical to the oracle
+                  (identity_mismatches = 0), no level may report client
+                  errors, the broker's own METRICS counters must agree
+                  with the client tallies, and single-client throughput
+                  may drop to at most 50% of baseline (the one timing
+                  gate, deliberately loose: shared CI boxes are noisy).
+
+   Usage: bench_diff [BASELINE_DIR [CURRENT_DIR]]
+   (defaults: bench/baselines and the repository root / cwd).
+   Set QP_BENCH_GATE=off to skip the gate entirely (e.g. on a machine
+   too slow to hold even the loose throughput floor). *)
+
+module Json = Qp_obs_report.Json
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "GATE FAIL  %s\n" msg)
+    fmt
+
+let ok fmt = Printf.ksprintf (fun msg -> Printf.printf "gate ok    %s\n" msg) fmt
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.parse s
+
+(* Field accessors that turn a missing/mistyped field into a gate
+   failure rather than an exception: a malformed bench file should read
+   as a regression, not a crash. *)
+let num_field ~file j key =
+  match Option.bind (Json.member key j) Json.num with
+  | Some v -> Some v
+  | None ->
+      fail "%s: missing numeric field %S" file key;
+      None
+
+let list_field ~file j key =
+  match Option.bind (Json.member key j) Json.items with
+  | Some l -> Some l
+  | None ->
+      fail "%s: missing array field %S" file key;
+      None
+
+let check_simplex ~baseline ~current =
+  match (num_field ~file:"baseline simplex" baseline "crossover_n",
+         num_field ~file:"current simplex" current "crossover_n")
+  with
+  | Some b, Some c ->
+      if c <= 2.0 *. b then
+        ok "simplex crossover_n %.0f (baseline %.0f, limit %.0f)" c b (2.0 *. b)
+      else
+        fail "simplex crossover_n grew %.0f -> %.0f (limit %.0f): revised \
+              engine lost ground to the dense tableau"
+          b c (2.0 *. b)
+  | _ -> ()
+
+let family_assoc ~file j =
+  match list_field ~file j "families" with
+  | None -> []
+  | Some fams ->
+      List.filter_map
+        (fun f ->
+          match Option.bind (Json.member "name" f) Json.str with
+          | Some name -> Some (name, f)
+          | None ->
+              fail "%s: family without a name" file;
+              None)
+        fams
+
+let check_warmstart ~baseline ~current =
+  (match num_field ~file:"current warmstart" current "check_mismatches" with
+  | Some 0.0 -> ok "warmstart check_mismatches 0"
+  | Some m -> fail "warmstart check_mismatches %.0f (warm solves no longer \
+                    match cold solves bit-for-bit)" m
+  | None -> ());
+  let base_fams = family_assoc ~file:"baseline warmstart" baseline in
+  let cur_fams = family_assoc ~file:"current warmstart" current in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur_fams with
+      | None -> fail "warmstart family %S present in baseline, missing now" name
+      | Some c ->
+          (match (num_field ~file:"baseline warmstart" b "pivots_warm",
+                  num_field ~file:"current warmstart" c "pivots_warm")
+           with
+          | Some bp, Some cp ->
+              if cp <= bp *. 1.10 then
+                ok "warmstart %s pivots_warm %.0f (baseline %.0f)" name cp bp
+              else
+                fail "warmstart %s pivots_warm %.0f -> %.0f (>10%% more \
+                      pivots: warm starts are being wasted)"
+                  name bp cp
+          | _ -> ());
+          (match (num_field ~file:"baseline warmstart" b "pivot_ratio",
+                  num_field ~file:"current warmstart" c "pivot_ratio")
+           with
+          | Some br, Some cr ->
+              if cr >= br *. 0.90 then
+                ok "warmstart %s pivot_ratio %.2f (baseline %.2f)" name cr br
+              else
+                fail "warmstart %s pivot_ratio %.2f -> %.2f (>10%% less \
+                      pivot saving)"
+                  name br cr
+          | _ -> ()))
+    base_fams
+
+let check_serve ~baseline ~current =
+  (match num_field ~file:"current serve" current "identity_mismatches" with
+  | Some 0.0 -> ok "serve identity_mismatches 0"
+  | Some m ->
+      fail "serve identity_mismatches %.0f (served quotes diverge from the \
+            one-shot oracle)" m
+  | None -> ());
+  (match Option.bind (Json.member "metrics" current)
+           (fun m -> Json.member "counts_consistent" m)
+   with
+  | Some (Json.Bool true) -> ok "serve METRICS counters match client tallies"
+  | Some _ -> fail "serve METRICS counters disagree with client tallies"
+  | None -> fail "current serve: missing metrics.counts_consistent");
+  (match list_field ~file:"current serve" current "levels" with
+  | None -> ()
+  | Some levels ->
+      List.iter
+        (fun l ->
+          match (num_field ~file:"current serve" l "clients",
+                 num_field ~file:"current serve" l "errors")
+          with
+          | Some clients, Some errors when errors > 0.0 ->
+              fail "serve level clients=%.0f reported %.0f errors" clients
+                errors
+          | _ -> ())
+        levels);
+  (* Gate peak throughput across the client levels, not any single
+     level: on a small shared box per-level numbers swing 3x between
+     runs, but the best of four levels (each already a median of three
+     passes) is far steadier. *)
+  let peak_qps ~file j =
+    match list_field ~file j "levels" with
+    | None -> None
+    | Some levels ->
+        List.fold_left
+          (fun best l ->
+            match Option.bind (Json.member "quotes_per_sec" l) Json.num with
+            | Some q -> Some (match best with Some b -> Float.max b q | None -> q)
+            | None -> best)
+          None levels
+  in
+  match (peak_qps ~file:"baseline serve" baseline,
+         peak_qps ~file:"current serve" current)
+  with
+  | Some b, Some c ->
+      if c >= b /. 3.0 then
+        ok "serve peak quotes/sec %.0f (baseline %.0f, floor %.0f)" c b
+          (b /. 3.0)
+      else
+        fail "serve peak quotes/sec fell %.0f -> %.0f (floor %.0f, a third \
+              of baseline)"
+          b c (b /. 3.0)
+  | None, _ -> fail "baseline serve: no level with quotes_per_sec"
+  | _, None -> fail "current serve: no level with quotes_per_sec"
+
+let compare_pair name check ~baseline_dir ~current_dir =
+  let file = "BENCH_" ^ name ^ ".json" in
+  let bpath = Filename.concat baseline_dir file in
+  let cpath = Filename.concat current_dir file in
+  match (read_json bpath, read_json cpath) with
+  | baseline, current -> check ~baseline ~current
+  | exception Sys_error e -> fail "%s: %s" file e
+  | exception Json.Parse_error e -> fail "%s: malformed JSON: %s" file e
+
+let () =
+  (match Sys.getenv_opt "QP_BENCH_GATE" with
+  | Some "off" ->
+      print_endline
+        "bench gate: skipped (QP_BENCH_GATE=off) — no metrics compared";
+      exit 0
+  | _ -> ());
+  let baseline_dir, current_dir =
+    match Array.to_list Sys.argv with
+    | _ :: b :: c :: _ -> (b, c)
+    | [ _; b ] -> (b, ".")
+    | _ -> ("bench/baselines", ".")
+  in
+  compare_pair "simplex" check_simplex ~baseline_dir ~current_dir;
+  compare_pair "warmstart" check_warmstart ~baseline_dir ~current_dir;
+  compare_pair "serve" check_serve ~baseline_dir ~current_dir;
+  if !failures > 0 then begin
+    Printf.printf
+      "bench gate: %d regression(s) vs %s — if intentional, refresh the \
+       baselines; to bypass once, set QP_BENCH_GATE=off\n"
+      !failures baseline_dir;
+    exit 1
+  end
+  else Printf.printf "bench gate: all pinned metrics within thresholds vs %s\n"
+      baseline_dir

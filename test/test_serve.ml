@@ -297,8 +297,110 @@ let prop_handle_never_raises =
     ~count:300 garbage_gen (fun line ->
       match SB.handle (Lazy.force broker) line with
       | SP.Pong | SP.Bye | SP.Info_reply _ | SP.Stats_reply _
-      | SP.Quote_reply _ | SP.Error_reply _ ->
+      | SP.Metrics_reply _ | SP.Quote_reply _ | SP.Error_reply _ ->
           true)
+
+(* --- metrics: the scrapeable exposition ------------------------------- *)
+
+module M = Qp_serve.Metrics
+
+let test_metrics_protocol () =
+  (match SP.parse_request "METRICS" with
+  | Ok SP.Metrics -> ()
+  | _ -> Alcotest.fail "METRICS must parse");
+  Alcotest.(check string) "METRICS prints" "METRICS"
+    (SP.print_request SP.Metrics);
+  let printed = SP.print_response (SP.Metrics_reply "a 1\nb 2\n") in
+  let lines = String.split_on_char '\n' (String.trim printed) in
+  Alcotest.(check string) "exposition framed by the terminator"
+    SP.metrics_terminator
+    (List.nth lines (List.length lines - 1));
+  Alcotest.(check bool) "body precedes the terminator" true
+    (List.mem "a 1" lines && List.mem "b 2" lines)
+
+(* The broker counts a request once its response is built, so the
+   exposition a METRICS request returns already includes every earlier
+   request but not itself — its _counts equal the counters a concurrent
+   STATS would have seen just before the scrape. *)
+let test_metrics_counts_match_stats () =
+  let b = broker_of "ubp" in
+  ignore (SB.handle b "PING");
+  for i = 0 to 9 do
+    ignore (SB.handle b (Printf.sprintf "PRICE %d" i))
+  done;
+  ignore (SB.handle b "PRICE -1");
+  (* typed error *)
+  let body =
+    match SB.handle b "METRICS" with
+    | SP.Metrics_reply body -> body
+    | r -> Alcotest.failf "METRICS: %s" (SP.print_response r)
+  in
+  let samples =
+    match M.parse body with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "exposition did not parse: %s" msg
+  in
+  let counter name =
+    match M.find samples name with
+    | Some v -> int_of_float v
+    | None -> Alcotest.failf "missing sample %s" name
+  in
+  Alcotest.(check int) "requests_total counts completed requests" 12
+    (counter "qp_serve_requests_total");
+  Alcotest.(check int) "quotes_total" 10 (counter "qp_serve_quotes_total");
+  Alcotest.(check int) "errors_total" 1 (counter "qp_serve_errors_total");
+  (* histogram _counts agree with the counters *)
+  (match M.histogram_count samples "qp_serve_request_seconds" with
+  | Some c -> Alcotest.(check int) "request histogram _count" 12
+                (int_of_float c)
+  | None -> Alcotest.fail "missing qp_serve_request_seconds histogram");
+  (match M.histogram_count samples "qp_serve_quote_seconds" with
+  | Some c -> Alcotest.(check int) "quote histogram _count" 10 (int_of_float c)
+  | None -> Alcotest.fail "missing qp_serve_quote_seconds histogram");
+  (* the following STATS sees one more completed request: the METRICS
+     request itself finished in between *)
+  match SB.handle b "STATS" with
+  | SP.Stats_reply kvs ->
+      Alcotest.(check int) "STATS requests = exposition + the scrape" 13
+        (List.assoc "requests" kvs);
+      Alcotest.(check int) "STATS quotes agree" 10 (List.assoc "quotes" kvs);
+      Alcotest.(check int) "STATS errors agree" 1 (List.assoc "errors" kvs);
+      let p50 = List.assoc "p50_ns" kvs
+      and p95 = List.assoc "p95_ns" kvs
+      and p99 = List.assoc "p99_ns" kvs in
+      Alcotest.(check bool) "latency quantiles ordered" true
+        (p50 <= p95 && p95 <= p99)
+  | r -> Alcotest.failf "STATS: %s" (SP.print_response r)
+
+let test_metrics_render_parse_roundtrip () =
+  let h = Qp_obs.Hist.create () in
+  Qp_obs.Hist.record h 1_000;
+  Qp_obs.Hist.record h 2_000_000;
+  let metrics =
+    [
+      M.Counter { name = "qp_t_total"; help = "a counter"; value = 7.0 };
+      M.Gauge { name = "qp_t_depth"; help = "a gauge"; value = 3.5 };
+      M.Histogram
+        { name = "qp_t_seconds"; help = "a histogram";
+          hist = Qp_obs.Hist.snapshot h };
+    ]
+  in
+  match M.parse (M.render metrics) with
+  | Error msg -> Alcotest.failf "rendered exposition rejected: %s" msg
+  | Ok samples ->
+      Alcotest.(check (option (float 1e-9))) "counter survives" (Some 7.0)
+        (M.find samples "qp_t_total");
+      Alcotest.(check (option (float 1e-9))) "gauge survives" (Some 3.5)
+        (M.find samples "qp_t_depth");
+      Alcotest.(check (option (float 1e-9))) "histogram count" (Some 2.0)
+        (M.histogram_count samples "qp_t_seconds");
+      (match M.find samples ~labels:[ ("le", "+Inf") ] "qp_t_seconds_bucket" with
+      | Some v -> Alcotest.(check (float 1e-9)) "+Inf closes the series" 2.0 v
+      | None -> Alcotest.fail "missing +Inf bucket");
+      match M.histogram_quantile samples "qp_t_seconds" 99.0 with
+      | Some q -> Alcotest.(check bool) "p99 covers the slow observation" true
+                    (q >= 0.002)
+      | None -> Alcotest.fail "quantile over parsed buckets"
 
 (* --- sockets: a live end-to-end session ------------------------------- *)
 
@@ -395,6 +497,35 @@ let test_socket_two_clients () =
                 (same_bits a.SP.price b.SP.price)
           | _ -> Alcotest.fail "both clients must be served"))
 
+let test_socket_scrape () =
+  let b = broker_of "ubp" in
+  with_server "scrape" b @@ fun c ->
+  for i = 0 to 4 do
+    match SS.call c (SP.Price i) with
+    | Ok (SP.Quote_reply _) -> ()
+    | _ -> Alcotest.failf "price %d failed before the scrape" i
+  done;
+  let body =
+    match SS.scrape c with
+    | Ok body -> body
+    | Error msg -> Alcotest.failf "scrape: %s" msg
+  in
+  let samples =
+    match M.parse body with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "scraped exposition did not parse: %s" msg
+  in
+  (match M.find samples "qp_serve_quotes_total" with
+  | Some v -> Alcotest.(check (float 1e-9)) "quotes over the wire" 5.0 v
+  | None -> Alcotest.fail "missing qp_serve_quotes_total");
+  (* the multi-line reply must leave the stream framed: the very next
+     one-line call still works *)
+  match SS.call c SP.Stats with
+  | Ok (SP.Stats_reply kvs) ->
+      Alcotest.(check int) "STATS right after a scrape" 5
+        (List.assoc "quotes" kvs)
+  | _ -> Alcotest.fail "STATS after scrape must still round-trip"
+
 (* --- faults: the loop completes with typed errors --------------------- *)
 
 let test_faulted_requests_are_typed_and_deterministic () =
@@ -476,9 +607,16 @@ let suite =
       Alcotest.test_case "broker: ad-hoc SQL quote" `Quick
         test_handle_quote_sql;
       QCheck_alcotest.to_alcotest prop_handle_never_raises;
+      Alcotest.test_case "metrics: protocol framing" `Quick
+        test_metrics_protocol;
+      Alcotest.test_case "metrics: counts match STATS" `Quick
+        test_metrics_counts_match_stats;
+      Alcotest.test_case "metrics: render/parse roundtrip" `Quick
+        test_metrics_render_parse_roundtrip;
       Alcotest.test_case "socket: end-to-end session" `Quick
         test_socket_session;
       Alcotest.test_case "socket: two clients" `Quick test_socket_two_clients;
+      Alcotest.test_case "socket: METRICS scrape" `Quick test_socket_scrape;
       Alcotest.test_case "fault: typed + deterministic" `Quick
         test_faulted_requests_are_typed_and_deterministic;
       Alcotest.test_case "fault: parse site" `Quick test_faulted_parse_site;
