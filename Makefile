@@ -1,9 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test chaos bench bench-full bench-json bench-conflict \
+.PHONY: all build test chaos soak bench bench-full bench-json bench-conflict \
         bench-simplex bench-warmstart bench-serve docs check-docs \
         check-failwith check-float-sort check-cold-lp check-obs-labels \
-        serve-smoke bench-gate check examples clean
+        check-snapshot-version serve-smoke bench-gate check examples clean
 
 all: build
 
@@ -17,16 +17,25 @@ test:
 # (deterministic schedules, degradation fallbacks, Bland's rule on
 # Beale's example), then one benchmark cell under a canned QP_FAULTS
 # schedule aggressive enough to trip every degradation path — the cell
-# must still complete, annotating each fallback with a "!" line — and
-# finally the serving smoke test with request-level faults armed: the
-# broker must answer every request (typed ERR replies, no drops) and
-# every clean reply must still match the one-shot oracle.
+# must still complete, annotating each fallback with a "!" line — then
+# the serving smoke test with request-level faults armed: the broker
+# must answer every request (typed ERR replies, no drops) and every
+# clean reply must still match the one-shot oracle — and finally the
+# kill/restart soak: every pricing family is kill -9'd and restarted
+# from its snapshot, which must restore in milliseconds, price
+# bit-identically, shed under overload and drain on SIGTERM (see
+# scripts/soak.sh).
 chaos:
 	dune exec test/main.exe -- test fault
 	QP_FAULTS="simplex.pivot:stall:p=0.02:seed=7, conflict.query:fail:p=0.2:seed=3" \
 	dune exec bin/qpricing.exe -- run skewed --scale tiny --support 100 --seed 9
 	QP_FAULTS="serve.request:fail:p=0.3:seed=11" \
 	dune exec bin/qpricing.exe -- serve skewed --scale tiny --support 100 --smoke 20
+	bash scripts/soak.sh
+
+# Just the kill/restart chaos soak (the last step of `make chaos`).
+soak:
+	bash scripts/soak.sh
 
 # Build API documentation (odoc, when installed; a no-op alias otherwise).
 docs:
@@ -59,6 +68,14 @@ check-cold-lp:
 check-obs-labels:
 	ocaml scripts/check_obs_labels.ml lib bench
 
+# The broker snapshot marshals OCaml values; changing any
+# payload-reachable type layout without bumping format_version in
+# lib/serve/snapshot.ml would make old snapshots undefined behavior to
+# read. This lint fingerprints those type declarations and fails when
+# the layout drifts without a version bump (see the script header).
+check-snapshot-version:
+	ocaml scripts/check_snapshot_version.ml
+
 # Stand a broker on a temp socket, pull 20 quotes through it, and
 # require each to be bit-identical to the in-process pricing — the
 # serving layer's end-to-end identity gate (see docs/SERVING.md).
@@ -80,7 +97,7 @@ endif
 
 # The full pre-merge gate: build, tests, doc coverage, failure lints,
 # serving smoke, perf-regression gate.
-check: build test check-docs check-failwith check-float-sort check-cold-lp check-obs-labels serve-smoke bench-gate
+check: build test check-docs check-failwith check-float-sort check-cold-lp check-obs-labels check-snapshot-version serve-smoke bench-gate
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:

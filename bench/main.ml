@@ -558,6 +558,60 @@ let serve_bench ~meta ctx =
   let n = SB.queries broker in
   Printf.printf "  broker up: %d queries, %d items, precompute %.2fs\n%!" n
     (SB.items broker) precompute;
+  (* snapshot checkpoint + crash recovery: save the precomputed state,
+     load it back as a second broker, and bit-compare every quote.
+     recovery_ms is the restart cost the chaos soak and the regression
+     gate care about — it must stay far below the precompute. *)
+  let snap_file =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qpserve-bench-%d.snap" (Unix.getpid ()))
+  in
+  let snap_config =
+    { Qp_serve.Snapshot.workload = "skewed"; scale = WI.Default;
+      support = None; seed = Context.seed ctx; model = V.Uniform_val 100.0;
+      pricing = "lpip"; profile = Context.profile ctx }
+  in
+  let t0 = Unix.gettimeofday () in
+  (match SB.save_snapshot ~file:snap_file ~config:snap_config broker with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "BUG: snapshot save failed: %s\n" msg;
+      exit 1);
+  let snapshot_save_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let snapshot_bytes = (Unix.stat snap_file).Unix.st_size in
+  let t0 = Unix.gettimeofday () in
+  let recovered =
+    match SB.load_snapshot ~file:snap_file snap_config with
+    | Ok b -> b
+    | Error err ->
+        Printf.eprintf "BUG: snapshot load failed: %s\n"
+          (Qp_serve.Snapshot.describe_load_error err);
+        exit 1
+  in
+  let recovery_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let recovery_identity_mismatches =
+    let bad = ref 0 in
+    for idx = 0 to n - 1 do
+      let a = SB.quote_index broker idx and b = SB.quote_index recovered idx in
+      if
+        not
+          (Int64.bits_of_float a.SP.price = Int64.bits_of_float b.SP.price
+          && a.SP.size = b.SP.size && a.SP.sold = b.SP.sold)
+      then incr bad
+    done;
+    !bad
+  in
+  (try Sys.remove snap_file with Sys_error _ -> ());
+  if recovery_identity_mismatches > 0 then begin
+    Printf.eprintf
+      "BUG: %d recovered quotes differ from the live broker\n"
+      recovery_identity_mismatches;
+    exit 1
+  end;
+  Printf.printf
+    "  snapshot: %d bytes, save %.1f ms, recovery %.1f ms (vs %.2fs \
+     precompute), %d/%d quotes bit-identical after reload\n%!"
+    snapshot_bytes snapshot_save_ms recovery_ms precompute n n;
   let listen =
     SS.Unix_socket
       (Filename.concat (Filename.get_temp_dir_name ())
@@ -730,6 +784,8 @@ let serve_bench ~meta ctx =
   Printf.fprintf oc
     "{\n  %s,\n  \"workload\": %S,\n  \"pricing\": %S,\n  \"queries\": %d,\n\
     \  \"identity_mismatches\": %d,\n  \"precompute_seconds\": %.6f,\n\
+    \  \"snapshot\": { \"bytes\": %d, \"save_ms\": %.3f, \"recovery_ms\": \
+     %.3f,\n    \"recovery_identity_mismatches\": %d },\n\
     \  \"runs_per_level\": %d,\n\
     \  \"metrics\": { \"requests_total\": %.0f, \"quotes_total\": %.0f,\n\
     \    \"counts_consistent\": true,\n\
@@ -737,7 +793,8 @@ let serve_bench ~meta ctx =
      %.6f },\n\
     \  \"levels\": ["
     (meta ()) (SB.workload broker) (SB.pricing_key broker) n
-    identity_mismatches precompute runs_per_level requests_total quotes_total
+    identity_mismatches precompute snapshot_bytes snapshot_save_ms recovery_ms
+    recovery_identity_mismatches runs_per_level requests_total quotes_total
     sp50 sp95 sp99;
   List.iteri
     (fun i (clients, quotes, errors, seconds, qps, p50, p95, p99) ->

@@ -463,6 +463,48 @@ let serve_cmd =
                 pricing bit-for-bit, shut down, and exit non-zero on any \
                 mismatch.")
   in
+  let snapshot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:
+               "Crash-recovery checkpoint: restore the precomputed state \
+                from $(docv) when it matches this invocation's parameters \
+                (bit-identical quotes, milliseconds instead of the full \
+                precompute), otherwise recompute and write $(docv) for the \
+                next restart. Corrupt/stale/foreign-version files are \
+                refused with a typed reason, never trusted.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:
+               "Admission control: with more than $(docv) open connections, \
+                shed PRICE/QUOTE with ERR overloaded (cheap verbs still \
+                answer). Default: unlimited.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt float 60.0
+         & info [ "idle-timeout" ] ~docv:"SEC"
+             ~doc:
+               "Reap connections idle for $(docv) seconds with a typed ERR \
+                timeout (monotonic clock); 0 disables.")
+  in
+  let write_deadline_arg =
+    Arg.(value & opt float 10.0
+         & info [ "write-deadline" ] ~docv:"SEC"
+             ~doc:
+               "Drop a connection whose buffered replies the client has not \
+                accepted within $(docv) seconds (a stalled reader); 0 \
+                disables.")
+  in
+  let high_water_arg =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "high-water" ] ~docv:"BYTES"
+             ~doc:
+               "Pending-work high-water mark: past $(docv) buffered \
+                request/response bytes, shed PRICE/QUOTE with ERR \
+                overloaded until the backlog drains.")
+  in
   (* The smoke client runs in its own domain while the select loop owns
      the main one; quote replies must match the broker oracle to the
      bit. With faults armed, typed ERR replies are the expected
@@ -502,7 +544,8 @@ let serve_cmd =
     (!ok, !faulted, !mismatched)
   in
   let run workload scale support seed model pricing profile socket tcp
-      max_requests smoke jobs inject trace =
+      max_requests smoke snapshot max_conns idle_timeout write_deadline
+      high_water jobs inject trace =
     set_jobs jobs;
     set_injections inject;
     with_trace trace @@ fun () ->
@@ -520,15 +563,63 @@ let serve_cmd =
       | SS.Unix_socket path -> path
       | SS.Tcp { host; port } -> Printf.sprintf "%s:%d" host port
     in
-    Printf.printf "loading %s and precomputing %s pricing...\n%!" workload
-      pricing;
-    let broker =
+    let config =
+      { Qp_serve.Snapshot.workload; scale; support; seed; model; pricing;
+        profile }
+    in
+    let build_fresh () =
+      Printf.printf "loading %s and precomputing %s pricing...\n%!" workload
+        pricing;
       SB.create ~scale ?support ~profile ~workload ~model ~pricing ~seed ()
+    in
+    let broker =
+      match snapshot with
+      | None -> build_fresh ()
+      | Some file -> (
+          let t0 = Unix.gettimeofday () in
+          match SB.load_snapshot ~file config with
+          | Ok b ->
+              Printf.printf "restored from snapshot %s in %.1f ms\n%!" file
+                ((Unix.gettimeofday () -. t0) *. 1000.0);
+              b
+          | Error err ->
+              Printf.printf "snapshot %s refused: %s; recomputing\n%!" file
+                (Qp_serve.Snapshot.describe_load_error err);
+              let b = build_fresh () in
+              (match SB.save_snapshot ~file ~config b with
+              | Ok () ->
+                  Printf.printf "snapshot checkpointed to %s (%d bytes)\n%!"
+                    file
+                    (try (Unix.stat file).Unix.st_size with _ -> 0)
+              | Error msg ->
+                  Printf.eprintf "snapshot write failed: %s\n%!" msg);
+              b)
     in
     Printf.printf "serving %d queries over %d items at %s\n%!"
       (SB.queries broker) (SB.items broker) endpoint;
+    (* SIGTERM/SIGINT request a graceful drain: the select loop notices
+       the flag, stops accepting, flushes every pending reply, and only
+       then exits 0 — so an orchestrator's stop never truncates a
+       response mid-line. *)
+    let stop = Atomic.make false in
+    (try
+       let drain = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+       Sys.set_signal Sys.sigterm drain;
+       Sys.set_signal Sys.sigint drain
+     with Invalid_argument _ | Sys_error _ -> ());
+    let opt_pos v = if v > 0.0 then Some v else None in
+    let serve_loop extra_stop =
+      SS.serve ?max_requests ?max_conns
+        ?idle_timeout:(opt_pos idle_timeout)
+        ?write_deadline:(opt_pos write_deadline)
+        ~max_pending_bytes:high_water
+        ~should_stop:(fun () -> Atomic.get stop || extra_stop ())
+        listen broker
+    in
     match smoke with
-    | None -> SS.serve ?max_requests listen broker
+    | None ->
+        serve_loop (fun () -> false);
+        Printf.printf "drained cleanly\n%!"
     | Some n ->
         (* should_stop backstops the SHUTDOWN reply: even if a fault
            eats it, the loop stops once the client domain finishes. *)
@@ -539,9 +630,7 @@ let serve_cmd =
                 ~finally:(fun () -> Atomic.set finished true)
                 (fun () -> smoke_client n listen broker))
         in
-        SS.serve ?max_requests
-          ~should_stop:(fun () -> Atomic.get finished)
-          listen broker;
+        serve_loop (fun () -> Atomic.get finished);
         let ok, faulted, mismatched = Domain.join client in
         Printf.printf "smoke: %d quotes ok, %d faulted, %d mismatched\n" ok
           faulted mismatched;
@@ -555,7 +644,182 @@ let serve_cmd =
           over a newline-delimited socket protocol (see docs/SERVING.md).")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
           $ model_arg $ pricing_arg $ profile_arg $ socket_arg $ tcp_arg
-          $ max_requests_arg $ smoke_arg $ jobs_arg $ inject_arg $ trace_arg)
+          $ max_requests_arg $ smoke_arg $ snapshot_arg $ max_conns_arg
+          $ idle_timeout_arg $ write_deadline_arg $ high_water_arg $ jobs_arg
+          $ inject_arg $ trace_arg)
+
+(* --- probe ------------------------------------------------------------- *)
+
+(* A deliberately paranoid line client for the chaos soak: it reads
+   replies byte by byte so it can tell a connection that died mid-line
+   (expected while we kill -9 the broker; reported on stderr, exit 0)
+   from a complete reply line that fails to parse (corruption; exit 3). *)
+let probe_cmd =
+  let module SP = Qp_serve.Protocol in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix socket path of a running broker.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Connect to 127.0.0.1:$(docv) instead of a Unix socket.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 100
+         & info [ "retries" ] ~docv:"N"
+             ~doc:
+               "Connection attempts, 20 ms apart, before giving up \
+                (a probe racing a just-restarted broker wins).")
+  in
+  let requests_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"REQUEST"
+             ~doc:
+               "Request lines to send in order (default: read lines from \
+                stdin). Replies are echoed to stdout verbatim.")
+  in
+  let run socket tcp retries requests =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let addr =
+      match (tcp, socket) with
+      | Some port, _ ->
+          Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
+      | None, Some path -> Unix.ADDR_UNIX path
+      | None, None ->
+          Printf.eprintf "probe: need --socket PATH or --tcp PORT\n";
+          exit 2
+    in
+    let rec connect attempts =
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+        when attempts > 0 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.02;
+          connect (attempts - 1)
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "probe: cannot connect: %s\n" (Unix.error_message e);
+          exit 1
+    in
+    let fd = connect retries in
+    let corrupt = ref 0 and gone = ref false in
+    (* None = clean EOF before any byte; Some (line, complete) where
+       [complete = false] means the peer vanished mid-line. *)
+    let read_line () =
+      let buf = Buffer.create 128 in
+      let byte = Bytes.create 1 in
+      let rec go () =
+        match Unix.read fd byte 0 1 with
+        | 0 ->
+            if Buffer.length buf = 0 then None
+            else Some (Buffer.contents buf, false)
+        | _ ->
+            let c = Bytes.get byte 0 in
+            if c = '\n' then Some (Buffer.contents buf, true)
+            else (Buffer.add_char buf c; go ())
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+            if Buffer.length buf = 0 then None
+            else Some (Buffer.contents buf, false)
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      in
+      go ()
+    in
+    let send line =
+      let payload = line ^ "\n" in
+      match Unix.write_substring fd payload 0 (String.length payload) with
+      | _ -> true
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+          gone := true;
+          Printf.eprintf "probe: broker gone before %S was sent\n" line;
+          false
+    in
+    let note_truncated () =
+      gone := true;
+      Printf.eprintf "probe: connection died mid-reply (truncated line)\n"
+    in
+    let note_closed () =
+      gone := true;
+      Printf.eprintf "probe: broker closed the connection\n"
+    in
+    let check_parse line =
+      match SP.parse_response line with
+      | Ok _ -> ()
+      | Error msg ->
+          incr corrupt;
+          Printf.eprintf "probe: corrupt reply %S: %s\n" line msg
+    in
+    let is_err line =
+      String.length line >= 3
+      && String.uppercase_ascii (String.sub line 0 3) = "ERR"
+    in
+    let read_exposition () =
+      (* Body lines are raw Prometheus text, not protocol responses;
+         read through the terminator line (or a one-line ERR). *)
+      let rec body () =
+        match read_line () with
+        | None -> note_closed ()
+        | Some (_, false) -> note_truncated ()
+        | Some (line, true) ->
+            print_endline line;
+            if String.trim line <> SP.metrics_terminator then body ()
+      in
+      match read_line () with
+      | None -> note_closed ()
+      | Some (_, false) -> note_truncated ()
+      | Some (line, true) ->
+          print_endline line;
+          if is_err line then check_parse line
+          else if String.trim line <> SP.metrics_terminator then body ()
+    in
+    let process line =
+      let verb =
+        match String.split_on_char ' ' (String.trim line) with
+        | v :: _ -> String.uppercase_ascii v
+        | [] -> ""
+      in
+      if send line then
+        if verb = "METRICS" then read_exposition ()
+        else
+          match read_line () with
+          | None -> note_closed ()
+          | Some (_, false) -> note_truncated ()
+          | Some (reply, true) ->
+              print_endline reply;
+              check_parse reply
+    in
+    let rec feed lines =
+      match lines with
+      | [] -> ()
+      | line :: rest ->
+          if not !gone then (process line; feed rest)
+    in
+    let lines =
+      match requests with
+      | [] ->
+          let rec slurp acc =
+            match input_line stdin with
+            | line -> slurp (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          slurp []
+      | rs -> rs
+    in
+    feed lines;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if !corrupt > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Send raw request lines to a running broker and echo the replies. \
+          A connection that dies mid-exchange is reported on stderr and \
+          exits 0 (expected under chaos); a complete reply line that fails \
+          to parse is corruption and exits 3.")
+    Term.(const run $ socket_arg $ tcp_arg $ retries_arg $ requests_arg)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -647,6 +911,7 @@ let () =
             run_cmd;
             quote_cmd;
             serve_cmd;
+            probe_cmd;
             experiment_cmd;
             report_cmd;
             demo_cmd;

@@ -40,6 +40,13 @@ let known_sites =
       "one check per broker request; key = query index (PRICE), SQL-text \
        hash (QUOTE), 0 otherwise" );
     ("serve.parse", "one check per received protocol line; key = line hash");
+    ( "serve.io",
+      "one check per connection read/write event; key = bytes transferred \
+       (fires as a connection reset)" );
+    ( "serve.snapshot.write",
+      "one check per snapshot checkpoint write; key = hash of the file path" );
+    ( "serve.snapshot.read",
+      "one check per snapshot load attempt; key = hash of the file path" );
   ]
 
 let describe s =

@@ -30,6 +30,17 @@ type t = {
   mutable requests : int;
   mutable quotes : int;
   mutable errors : int;
+  (* Survivability counters: quotes refused by admission control,
+     connections reaped by a deadline, clients that vanished mid-reply.
+     None of these are [errors] — errors are replies to requests the
+     broker actually ran. *)
+  mutable shed : int;
+  mutable timeouts : int;
+  mutable client_gone : int;
+  (* What a HEALTH probe reports; owned by the Server loop (Serving ->
+     Draining), except that an overloaded dispatch reports Overloaded
+     directly. *)
+  mutable lifecycle : Protocol.health_state;
   request_hist : Qp_obs.Hist.t;
   quote_hist : Qp_obs.Hist.t;
   started_at : float;
@@ -51,6 +62,32 @@ let solve_pricing ~profile key h =
           (Printf.sprintf "Qp_serve.Broker: unknown pricing %S (known: %s)" key
              (String.concat ", " pricing_keys))
 
+(* Fresh serving wrapper around precomputed state — shared by the
+   compute path (of_instance) and the snapshot path (load_snapshot).
+   Counters always start at zero: a restored broker is a new serving
+   session over old state, not a resumed one. *)
+let make ~workload ~seed ~pricing_key ~instance ~hypergraph ~pricing =
+  {
+    workload;
+    seed;
+    pricing_key;
+    instance;
+    hypergraph;
+    edges = H.edges hypergraph;
+    pricing;
+    connections = 0;
+    requests = 0;
+    quotes = 0;
+    errors = 0;
+    shed = 0;
+    timeouts = 0;
+    client_gone = 0;
+    lifecycle = Protocol.Serving;
+    request_hist = Qp_obs.Hist.create ();
+    quote_hist = Qp_obs.Hist.create ();
+    started_at = Unix.gettimeofday ();
+  }
+
 let of_instance ?(profile = Runner.Quick) ~model ~pricing ~seed instance =
   Qp_obs.with_span "serve.precompute"
     ~args:(fun () ->
@@ -66,22 +103,8 @@ let of_instance ?(profile = Runner.Quick) ~model ~pricing ~seed instance =
      a standing broker should pay this at load, not on request 1. *)
   ignore (H.classes hypergraph);
   let p = solve_pricing ~profile pricing hypergraph in
-  {
-    workload = instance.WI.key;
-    seed;
-    pricing_key = pricing;
-    instance;
-    hypergraph;
-    edges = H.edges hypergraph;
-    pricing = p;
-    connections = 0;
-    requests = 0;
-    quotes = 0;
-    errors = 0;
-    request_hist = Qp_obs.Hist.create ();
-    quote_hist = Qp_obs.Hist.create ();
-    started_at = Unix.gettimeofday ();
-  }
+  make ~workload:instance.WI.key ~seed ~pricing_key:pricing ~instance
+    ~hypergraph ~pricing:p
 
 let create ?scale ?support ?profile ~workload ~model ~pricing ~seed () =
   (* Validate the pricing key before paying for the instance build. *)
@@ -95,6 +118,72 @@ let create ?scale ?support ?profile ~workload ~model ~pricing ~seed () =
       (fun () -> WI.build workload ?scale ?support ~seed ())
   in
   of_instance ?profile ~model ~pricing ~seed instance
+
+(* --- snapshots -------------------------------------------------------- *)
+
+(* The marshaled payload: exactly the expensive immutable state, and
+   nothing mutable. Everything reachable from here is pure data (ADTs,
+   records, arrays, the dataset Hashtbl) — no closures, which Marshal's
+   default flags reject, so accidentally capturing one fails at save
+   time, not on some later load. Any shape change to this record or the
+   types it reaches must bump Snapshot.format_version (enforced by
+   scripts/check_snapshot_version.ml). *)
+type frozen = {
+  f_workload : string;
+  f_seed : int;
+  f_pricing_key : string;
+  f_instance : WI.t;
+  f_hypergraph : H.t;  (* with valuations applied and classes forced *)
+  f_pricing : P.t;
+}
+
+let save_snapshot ~file ~config t =
+  if
+    config.Snapshot.workload <> t.workload
+    || config.Snapshot.seed <> t.seed
+    || config.Snapshot.pricing <> t.pricing_key
+  then Error "snapshot config does not describe this broker"
+  else
+    let frozen =
+      {
+        f_workload = t.workload;
+        f_seed = t.seed;
+        f_pricing_key = t.pricing_key;
+        f_instance = t.instance;
+        f_hypergraph = t.hypergraph;
+        f_pricing = t.pricing;
+      }
+    in
+    match Marshal.to_string frozen [] with
+    | payload -> Snapshot.write_file ~file ~config payload
+    | exception Invalid_argument msg ->
+        Error ("unmarshalable broker state: " ^ msg)
+
+let load_snapshot ~file config =
+  match Snapshot.read_file ~file config with
+  | Error e -> Error e
+  | Ok payload -> (
+      (* The header already vouched for version and bytes; the catch is
+         a backstop, not a validation strategy. *)
+      match (Marshal.from_string payload 0 : frozen) with
+      | exception Failure msg -> Error (Snapshot.Corrupt msg)
+      | fz ->
+          if
+            fz.f_workload <> config.Snapshot.workload
+            || fz.f_seed <> config.Snapshot.seed
+            || fz.f_pricing_key <> config.Snapshot.pricing
+          then
+            Error (Snapshot.Corrupt "payload does not match the header config")
+          else begin
+            (* The class cache marshals with the hypergraph; forcing it
+               is a no-op then, and a correctness net if it ever did
+               not. *)
+            ignore (H.classes fz.f_hypergraph);
+            Ok
+              (make ~workload:fz.f_workload ~seed:fz.f_seed
+                 ~pricing_key:fz.f_pricing_key ~instance:fz.f_instance
+                 ~hypergraph:fz.f_hypergraph ~pricing:fz.f_pricing)
+          end)
 
 let workload t = t.workload
 let pricing_key t = t.pricing_key
@@ -137,12 +226,24 @@ let note_connection t =
   t.connections <- t.connections + 1;
   Qp_obs.counter "serve.connections" 1
 
+let note_timeout t =
+  t.timeouts <- t.timeouts + 1;
+  Qp_obs.counter "serve.timeouts" 1
+
+let note_client_gone t =
+  t.client_gone <- t.client_gone + 1;
+  Qp_obs.counter "serve.client_gone" 1
+
+let lifecycle t = t.lifecycle
+let set_lifecycle t st = t.lifecycle <- st
+
 (* STATS stays an integer-only reply; percentiles ride along in
    nanoseconds. Keys sorted by name, as always. *)
 let stats t =
   let s = Qp_obs.Hist.snapshot t.request_hist in
   let q p = int_of_float (Qp_obs.Hist.quantile_ns s p) in
   [
+    ("client_gone", t.client_gone);
     ("connections", t.connections);
     ("errors", t.errors);
     ("p50_ns", q 50.0);
@@ -150,6 +251,8 @@ let stats t =
     ("p99_ns", q 99.0);
     ("quotes", t.quotes);
     ("requests", t.requests);
+    ("shed", t.shed);
+    ("timeouts", t.timeouts);
   ]
 
 let request_hist t = Qp_obs.Hist.snapshot t.request_hist
@@ -181,6 +284,24 @@ let metrics_text t =
           name = "qp_serve_errors_total";
           help = "Typed ERR replies";
           value = float_of_int t.errors;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_shed_total";
+          help = "PRICE/QUOTE requests shed by admission control (ERR overloaded)";
+          value = float_of_int t.shed;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_timeouts_total";
+          help = "Connections reaped by the idle/write deadline (ERR timeout)";
+          value = float_of_int t.timeouts;
+        };
+      Metrics.Counter
+        {
+          name = "qp_serve_client_gone_total";
+          help = "Clients that disconnected with a reply or request in flight";
+          value = float_of_int t.client_gone;
         };
       Metrics.Gauge
         {
@@ -288,10 +409,10 @@ let request_key = function
   | Protocol.Price i -> abs i
   | Protocol.Quote sql -> Qp_fault.site_key sql
   | Protocol.Ping | Protocol.Info | Protocol.Stats | Protocol.Metrics
-  | Protocol.Shutdown ->
+  | Protocol.Health | Protocol.Shutdown ->
       0
 
-let dispatch t line =
+let dispatch ~overloaded t line =
   Qp_obs.with_span "serve.request"
     ~args:(fun () ->
       [ ("verb", Qp_obs.Str (fst (Protocol.split_verb (String.trim line)))) ])
@@ -310,6 +431,18 @@ let dispatch t line =
   else
     match Protocol.parse_request line with
     | Error (tag, msg) -> err tag msg
+    (* Admission control: past the high-water mark the expensive verbs
+       are shed with a typed reply (not counted as an error — the
+       broker did exactly what it promised), while the cheap verbs
+       below still answer so probes see live-but-saturated. *)
+    | Ok ((Protocol.Price _ | Protocol.Quote _) as req) when overloaded ->
+        t.shed <- t.shed + 1;
+        Qp_obs.counter "serve.shed" 1;
+        Protocol.Error_reply
+          ( Protocol.Overload,
+            Printf.sprintf "%s shed: broker past its high-water mark, retry \
+                            later"
+              (fst (Protocol.split_verb (Protocol.print_request req))) )
     | Ok req -> (
         let fault =
           if Qp_fault.enabled () then
@@ -354,6 +487,9 @@ let dispatch t line =
               | Protocol.Info -> Protocol.Info_reply (info t)
               | Protocol.Stats -> Protocol.Stats_reply (stats t)
               | Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
+              | Protocol.Health ->
+                  Protocol.Health_reply
+                    (if overloaded then Protocol.Overloaded else t.lifecycle)
               | Protocol.Shutdown -> Protocol.Bye
               | Protocol.Price _ | Protocol.Quote _ -> quote_of req
             with
@@ -366,9 +502,9 @@ let dispatch t line =
    broker with tracing off). The completed-request counter is bumped
    last so a METRICS snapshot taken *during* a request (i.e. its own)
    never shows count and histogram out of step. *)
-let handle t line =
+let handle ?(overloaded = false) t line =
   let t0 = Unix.gettimeofday () in
-  let resp = dispatch t line in
+  let resp = dispatch ~overloaded t line in
   let dt_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   Qp_obs.Hist.record t.request_hist dt_ns;
   (match resp with

@@ -58,6 +58,27 @@ val of_instance :
 (** {!create} over an instance that is already built — the bench and
     tests reuse {!Qp_experiments.Context}'s cached instances. *)
 
+val save_snapshot :
+  file:string -> config:Snapshot.config -> t -> (unit, string) result
+(** Checkpoint the precomputed state (instance, valuation-applied
+    hypergraph with its class cache, pricing function) to a versioned
+    snapshot file via {!Snapshot.write_file}; [config] must be the
+    parameters the broker was built from (its workload/seed/pricing are
+    cross-checked). Counters and histograms are deliberately not saved:
+    a restored broker is a fresh serving session over old state.
+    [Error] carries the OS, injection, or mismatch message. *)
+
+val load_snapshot :
+  file:string -> Snapshot.config -> (t, Snapshot.load_error) result
+(** Restore a broker from a snapshot written under the same
+    {!Snapshot.format_version} and an equal config digest — refusing
+    anything else with a typed {!Snapshot.load_error} (the caller falls
+    back to {!create}). A restored broker serves quotes bit-identical
+    to the one that saved the snapshot: the pricing function's bytes
+    are the pricing function. Orders of magnitude cheaper than
+    {!create} (no dataset build, no solve) — [bench serve] publishes
+    the ratio as [recovery_ms] vs [precompute_seconds]. *)
+
 val workload : t -> string
 (** The workload key the broker stands on. *)
 
@@ -90,7 +111,7 @@ val quote_sql : t -> string -> (Protocol.quote, string) result
     work), and price it with the cached pricing. [Error] carries the
     SQL parser's message. *)
 
-val handle : t -> string -> Protocol.response
+val handle : ?overloaded:bool -> t -> string -> Protocol.response
 (** Dispatch one raw request line: consult the ["serve.parse"] fault
     site (key = FNV-1a hash of the line), parse, consult
     ["serve.request"] (key = query index for [PRICE], hash of the SQL
@@ -103,18 +124,45 @@ val handle : t -> string -> Protocol.response
     into always-on latency histograms ({!request_hist}, {!quote_hist})
     and counts the request as completed once its response is built —
     so a [METRICS]/[STATS] snapshot never sees counters and histograms
-    out of step. *)
+    out of step.
+
+    With [~overloaded:true] (the {!Server} loop past its admission
+    high-water mark), [PRICE]/[QUOTE] are shed with a typed
+    [ERR overloaded] — counted under [shed] and ["serve.shed"], not
+    [errors] — while the cheap verbs ([PING], [INFO], [STATS],
+    [METRICS], [HEALTH], [SHUTDOWN]) still run, and [HEALTH] reports
+    {!Protocol.Overloaded}. *)
 
 val note_connection : t -> unit
 (** Record one accepted connection (the {!Server} loop calls this);
     bumps ["serve.connections"]. *)
 
+val note_timeout : t -> unit
+(** Record one connection reaped by the idle/write deadline; bumps
+    ["serve.timeouts"]. Called by the {!Server} loop. *)
+
+val note_client_gone : t -> unit
+(** Record one client that disconnected with a reply or request still
+    in flight; bumps ["serve.client_gone"]. Called by the {!Server}
+    loop — which must survive it, not tear down the accept loop. *)
+
+val lifecycle : t -> Protocol.health_state
+(** What a [HEALTH] probe reports (modulo transient overload, which
+    {!handle} layers on top). Starts at {!Protocol.Serving}: a broker
+    value exists only after precompute, so [Loading] is observable only
+    through the CLI's log line, never over a socket. *)
+
+val set_lifecycle : t -> Protocol.health_state -> unit
+(** Move the lifecycle (the {!Server} loop flips [Serving] → [Draining]
+    when it stops accepting). *)
+
 val stats : t -> (string * int) list
-(** Lifetime counters — connections, errors, quotes, requests — plus
-    [p50_ns]/[p95_ns]/[p99_ns] request-latency percentiles estimated
-    from the live {!request_hist}, sorted by name; the payload of a
-    [STATS] reply. [requests] counts {e completed} requests, so the
-    [STATS] request reporting it is not yet included. *)
+(** Lifetime counters — client_gone, connections, errors, quotes,
+    requests, shed, timeouts — plus [p50_ns]/[p95_ns]/[p99_ns]
+    request-latency percentiles estimated from the live
+    {!request_hist}, sorted by name; the payload of a [STATS] reply.
+    [requests] counts {e completed} requests, so the [STATS] request
+    reporting it is not yet included. *)
 
 val request_hist : t -> Qp_obs.Hist.snapshot
 (** Snapshot of the always-on server-side latency histogram over every
@@ -125,8 +173,10 @@ val quote_hist : t -> Qp_obs.Hist.snapshot
     replies only — its count equals the [quotes] counter. *)
 
 val metrics_text : t -> string
-(** The Prometheus text-exposition body of a [METRICS] reply: the four
-    lifetime counters, standing-instance gauges (queries, items,
+(** The Prometheus text-exposition body of a [METRICS] reply: the
+    lifetime counters (including [qp_serve_shed_total],
+    [qp_serve_timeouts_total], [qp_serve_client_gone_total]),
+    standing-instance gauges (queries, items,
     uptime), and the {!request_hist}/{!quote_hist} histograms — plus,
     when tracing is enabled, every {!Qp_obs} counter, gauge and
     histogram under the [qp_obs_] name prefix. The wire framing

@@ -12,11 +12,25 @@ type request =
   | Info
   | Stats
   | Metrics
+  | Health
   | Price of int
   | Quote of string
   | Shutdown
 
-type error_tag = Parse | Unknown_verb | Bad_index | Sql | Fault | Internal
+type error_tag =
+  | Parse
+  | Unknown_verb
+  | Bad_index
+  | Sql
+  | Fault
+  | Timeout
+  | Overload
+  | Internal
+
+(* Lifecycle of a broker as seen from outside: the payload of a HEALTH
+   reply. Overloaded is transient (the admission controller is shedding
+   quotes right now); the other three are phases. *)
+type health_state = Loading | Serving | Draining | Overloaded
 
 type quote = { price : float; size : int; sold : bool option }
 
@@ -34,6 +48,7 @@ type response =
   | Info_reply of info
   | Stats_reply of (string * int) list
   | Metrics_reply of string
+  | Health_reply of health_state
   | Quote_reply of quote
   | Error_reply of error_tag * string
 
@@ -48,6 +63,8 @@ let tag_name = function
   | Bad_index -> "bad-index"
   | Sql -> "sql"
   | Fault -> "fault"
+  | Timeout -> "timeout"
+  | Overload -> "overloaded"
   | Internal -> "internal"
 
 let tag_of_name = function
@@ -56,7 +73,22 @@ let tag_of_name = function
   | "bad-index" -> Some Bad_index
   | "sql" -> Some Sql
   | "fault" -> Some Fault
+  | "timeout" -> Some Timeout
+  | "overloaded" -> Some Overload
   | "internal" -> Some Internal
+  | _ -> None
+
+let health_state_name = function
+  | Loading -> "loading"
+  | Serving -> "serving"
+  | Draining -> "draining"
+  | Overloaded -> "overloaded"
+
+let health_state_of_name = function
+  | "loading" -> Some Loading
+  | "serving" -> Some Serving
+  | "draining" -> Some Draining
+  | "overloaded" -> Some Overloaded
   | _ -> None
 
 (* --- requests --------------------------------------------------------- *)
@@ -66,6 +98,7 @@ let print_request = function
   | Info -> "INFO"
   | Stats -> "STATS"
   | Metrics -> "METRICS"
+  | Health -> "HEALTH"
   | Price i -> Printf.sprintf "PRICE %d" i
   | Quote sql -> "QUOTE " ^ sql
   | Shutdown -> "SHUTDOWN"
@@ -93,6 +126,7 @@ let parse_request line =
     | "INFO" -> bare Info
     | "STATS" -> bare Stats
     | "METRICS" -> bare Metrics
+    | "HEALTH" -> bare Health
     | "SHUTDOWN" -> bare Shutdown
     | "PRICE" -> (
         match int_of_string_opt rest with
@@ -107,8 +141,8 @@ let parse_request line =
         Error
           ( Unknown_verb,
             Printf.sprintf
-              "unknown verb %S (known: PING, INFO, STATS, METRICS, PRICE, \
-               QUOTE, SHUTDOWN)"
+              "unknown verb %S (known: PING, INFO, STATS, METRICS, HEALTH, \
+               PRICE, QUOTE, SHUTDOWN)"
               verb )
 
 (* --- responses -------------------------------------------------------- *)
@@ -136,6 +170,7 @@ let print_response = function
         else body ^ "\n"
       in
       body ^ metrics_terminator
+  | Health_reply st -> "HEALTH state=" ^ health_state_name st
   | Quote_reply q ->
       Printf.sprintf "OK %s size=%d%s" (float_str q.price) q.size
         (match q.sold with
@@ -198,6 +233,13 @@ let parse_response line =
             | None -> Error (Printf.sprintf "STATS: bad integer in %s=%s" k v))
       in
       Result.map (fun kvs -> Stats_reply kvs) (ints [] fields)
+  | "HEALTH" -> (
+      match List.assoc_opt "state" (fields_of rest) with
+      | None -> Error "HEALTH: missing field state="
+      | Some v -> (
+          match health_state_of_name v with
+          | Some st -> Ok (Health_reply st)
+          | None -> Error (Printf.sprintf "HEALTH: unknown state %S" v)))
   | "OK" -> (
       match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
       | price_tok :: field_toks -> (

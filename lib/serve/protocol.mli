@@ -19,6 +19,7 @@ type request =
   | Info  (** describe the standing broker *)
   | Stats  (** request/error/quote counters + latency percentiles *)
   | Metrics  (** Prometheus text exposition (the one multi-line reply) *)
+  | Health  (** lifecycle probe: which {!health_state} the broker is in *)
   | Price of int  (** quote workload query by index *)
   | Quote of string  (** parse raw SQL and quote its conflict set *)
   | Shutdown  (** drain and stop the server *)
@@ -32,7 +33,21 @@ type error_tag =
   | Bad_index  (** [PRICE] index outside [0, queries) *)
   | Sql  (** [QUOTE] text failed to parse in the workload dialect *)
   | Fault  (** an injected fault fired at the [serve.request] site *)
+  | Timeout
+      (** the connection idled past the server's deadline; sent once,
+          then the connection closes after draining (wire name
+          ["timeout"]) *)
+  | Overload
+      (** admission control shed this [PRICE]/[QUOTE] — the broker is
+          past its connection or pending-work high-water mark; retry
+          later (wire name ["overloaded"]) *)
   | Internal  (** unexpected exception while handling (caught, typed) *)
+
+(** Broker lifecycle as reported by a [HEALTH] reply: [Loading] before
+    precompute finishes, [Serving] in steady state, [Draining] after a
+    shutdown request, [Overloaded] while admission control is shedding
+    quotes (cheap verbs, [HEALTH] included, still answer). *)
+type health_state = Loading | Serving | Draining | Overloaded
 
 type quote = {
   price : float;  (** the arbitrage-free price *)
@@ -65,6 +80,7 @@ type response =
       (** Prometheus text-exposition body; printed followed by the
           {!metrics_terminator} line so line-oriented clients can frame
           it (see {!Server.scrape}) *)
+  | Health_reply of health_state  (** reply to [HEALTH] *)
   | Quote_reply of quote
   | Error_reply of error_tag * string
       (** tag plus a human-readable message (never a connection drop) *)
@@ -79,6 +95,13 @@ val tag_name : error_tag -> string
 
 val tag_of_name : string -> error_tag option
 (** Inverse of {!tag_name}. *)
+
+val health_state_name : health_state -> string
+(** Stable wire name of a lifecycle state, e.g. ["serving"] — the value
+    of the [state=] field in a [HEALTH] reply. *)
+
+val health_state_of_name : string -> health_state option
+(** Inverse of {!health_state_name}. *)
 
 val split_verb : string -> string * string
 (** [split_verb line] is [(VERB, rest)]: the first space-delimited

@@ -7,8 +7,16 @@
     in arrival order from the cached {!Broker} state, so serving is
     deterministic for a fixed request sequence. Lifecycle (load →
     precompute → loop → drain) and the shutdown/drain contract are
-    documented in [docs/SERVING.md]. No dependencies beyond the [unix]
-    library that ships with the compiler. *)
+    documented in [docs/SERVING.md].
+
+    Survivability: per-connection deadlines run on the monotonic clock
+    and reap idle or stalled-reader connections with a typed
+    [ERR timeout]; admission control ([?max_conns], the pending-bytes
+    high-water mark) sheds [PRICE]/[QUOTE] with [ERR overloaded] while
+    cheap verbs keep answering; a client vanishing mid-exchange bumps
+    [serve.client_gone] and never takes the accept loop down. The
+    select timeout is derived from the nearest pending deadline — no
+    deadline, no busy-wake. *)
 
 (** Where to listen (or connect): a filesystem socket path, or a TCP
     host/port. *)
@@ -18,19 +26,38 @@ val serve :
   ?backlog:int ->
   ?max_requests:int ->
   ?should_stop:(unit -> bool) ->
+  ?idle_timeout:float ->
+  ?write_deadline:float ->
+  ?max_conns:int ->
+  ?max_pending_bytes:int ->
   listen ->
   Broker.t ->
   unit
 (** Bind, listen and answer requests until a client sends [SHUTDOWN],
     [max_requests] request lines have been handled, or [should_stop ()]
     (polled between select rounds) returns [true]. On any of these the
-    server stops accepting, drains every pending response ([BYE]
-    included), closes all connections, and — for a Unix socket —
-    unlinks the path. [backlog] (default 16) is the listen queue; a
-    pre-existing socket file at the path is unlinked before binding.
-    Per-connection I/O errors (reset, broken pipe) close that
-    connection only; request-level failures never reach this loop —
-    {!Broker.handle} maps them to typed [ERR] replies. *)
+    server stops accepting (lifecycle → [Draining]), drains every
+    pending response ([BYE] included), closes all connections, and —
+    for a Unix socket — unlinks the path. [backlog] (default 16) is the
+    listen queue; a pre-existing socket file at the path is unlinked
+    before binding. Per-connection I/O errors (reset, broken pipe)
+    close that connection only, counted as [client_gone] when a reply
+    or request was in flight; request-level failures never reach this
+    loop — {!Broker.handle} maps them to typed [ERR] replies.
+
+    Deadlines (both [None] — disabled — by default; seconds, measured
+    on the monotonic clock): a connection idle past [idle_timeout]
+    receives one [ERR timeout] and closes after draining; a connection
+    whose buffered output the client has not accepted within
+    [write_deadline] (or that exceeds the 4 MiB output bound) is a
+    stalled reader and is dropped. Both bump the broker's [timeouts]
+    counter. Admission control: with more than [max_conns] connections,
+    or more than [max_pending_bytes] (default 1 MiB) of buffered
+    request+response bytes, [PRICE]/[QUOTE] are shed with
+    [ERR overloaded] until the pressure clears ([HEALTH] reports
+    [overloaded]; [PING]/[STATS]/[METRICS]/[HEALTH] always answer).
+    The ["serve.io"] fault site (key = bytes transferred) injects
+    connection resets in this loop. *)
 
 type client
 (** One client connection to a running broker. *)

@@ -15,9 +15,13 @@
      - serve:     served quotes must stay bit-identical to the oracle
                   (identity_mismatches = 0), no level may report client
                   errors, the broker's own METRICS counters must agree
-                  with the client tallies, and single-client throughput
-                  may drop to at most 50% of baseline (the one timing
-                  gate, deliberately loose: shared CI boxes are noisy).
+                  with the client tallies, snapshot crash-recovery must
+                  reload bit-identically (recovery_identity_mismatches
+                  = 0) within max(50ms, 3x baseline recovery_ms) and
+                  faster than the precompute it replaces, and peak
+                  throughput may drop to at most a third of baseline
+                  (the one timing gate, deliberately loose: shared CI
+                  boxes are noisy).
 
    Usage: bench_diff [BASELINE_DIR [CURRENT_DIR]]
    (defaults: bench/baselines and the repository root / cwd).
@@ -137,6 +141,45 @@ let check_serve ~baseline ~current =
   | Some (Json.Bool true) -> ok "serve METRICS counters match client tallies"
   | Some _ -> fail "serve METRICS counters disagree with client tallies"
   | None -> fail "current serve: missing metrics.counts_consistent");
+  (* Crash recovery: a reloaded snapshot must price every query
+     bit-identically, and restarting from it must stay both fast in
+     absolute terms and far cheaper than the precompute it replaces.
+     The absolute bound is max(50ms, 3x baseline) — loose enough for a
+     noisy shared box, tight enough to catch the snapshot path silently
+     degenerating into a recompute. *)
+  (match Json.member "snapshot" current with
+  | None -> fail "current serve: missing snapshot block (no recovery numbers)"
+  | Some snap -> (
+      (match num_field ~file:"current serve" snap
+               "recovery_identity_mismatches"
+       with
+      | Some 0.0 -> ok "serve snapshot recovery bit-identical"
+      | Some m ->
+          fail "serve snapshot recovery_identity_mismatches %.0f (reloaded \
+                state prices differently)" m
+      | None -> ());
+      let base_recovery =
+        Option.bind (Json.member "snapshot" baseline) (fun s ->
+            Option.bind (Json.member "recovery_ms" s) Json.num)
+      in
+      match (num_field ~file:"current serve" snap "recovery_ms",
+             num_field ~file:"current serve" current "precompute_seconds")
+      with
+      | Some r, Some pre ->
+          let limit =
+            Float.max 50.0
+              (match base_recovery with Some b -> 3.0 *. b | None -> 0.0)
+          in
+          if r > limit then
+            fail "serve snapshot recovery_ms %.1f (limit %.1f): restart is \
+                  no longer cheap" r limit
+          else if r /. 1000.0 >= pre then
+            fail "serve snapshot recovery_ms %.1f is no faster than the \
+                  %.2fs precompute it replaces" r pre
+          else
+            ok "serve snapshot recovery_ms %.1f (limit %.1f, precompute \
+                %.2fs)" r limit pre
+      | _ -> ()));
   (match list_field ~file:"current serve" current "levels" with
   | None -> ()
   | Some levels ->

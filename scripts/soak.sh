@@ -1,0 +1,180 @@
+#!/bin/bash
+# Kill/restart chaos soak for the pricing broker (`make chaos`).
+#
+# For every pricing family: stand a broker with --snapshot, capture a
+# set of quotes, kill -9 it mid-flight, restart from the snapshot, and
+# require (a) the restore to be fast (<= MAX_RECOVERY_MS, default 30 —
+# milliseconds, vs ~300ms precompute even at tiny scale), (b) the
+# post-recovery quotes to be byte-identical to the pre-kill ones, and
+# (c) a SIGTERM to drain gracefully with exit 0. One extra round kills
+# the broker under live probe load (the probe must report the death on
+# stderr and exit 0 — a complete-but-unparseable reply would exit 3,
+# i.e. corruption, and fail the soak), and one round pins overload
+# shedding: with --max-conns 0 a QUOTE gets ERR overloaded while PING /
+# HEALTH / METRICS still answer.
+#
+# Uses the built binary directly (not `dune exec`) so kill -9 hits the
+# broker itself, not a wrapper.
+set -u
+
+BIN=_build/default/bin/qpricing.exe
+MAX_RECOVERY_MS=${MAX_RECOVERY_MS:-30}
+FAMILIES="ubp uip lpip cip layering xos capped"
+ARGS="skewed --scale tiny --support 100 --seed 42"
+
+TMP=$(mktemp -d /tmp/qpsoak.XXXXXX)
+SRV_PID=""
+fails=0
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "SOAK FAIL  $*"
+  fails=$((fails + 1))
+}
+
+ok() {
+  echo "soak ok    $*"
+}
+
+dune build bin/qpricing.exe || exit 1
+
+# start_broker FAMILY LOGFILE [EXTRA_ARGS...]
+start_broker() {
+  local fam=$1 log=$2
+  shift 2
+  "$BIN" serve $ARGS --pricing "$fam" \
+    --socket "$TMP/$fam.sock" --snapshot "$TMP/$fam.snap" "$@" \
+    >"$log" 2>&1 &
+  SRV_PID=$!
+}
+
+probe() {
+  "$BIN" probe --socket "$1" --retries 300 "${@:2}"
+}
+
+# The same request sequence before and after the crash; byte-identical
+# output is the recovery contract.
+QUOTES='PRICE 0
+PRICE 7
+PRICE 13
+PRICE 42
+QUOTE SELECT * FROM City WHERE Population > 1000
+HEALTH'
+
+for fam in $FAMILIES; do
+  # -- cold start: recompute, write the snapshot ------------------------
+  start_broker "$fam" "$TMP/$fam.cold.log"
+  echo "$QUOTES" | probe "$TMP/$fam.sock" >"$TMP/$fam.pre" 2>/dev/null
+  rc=$?
+  if [ $rc -ne 0 ] || ! [ -s "$TMP/$fam.pre" ]; then
+    fail "$fam: pre-kill probe failed (rc=$rc)"
+    kill -9 "$SRV_PID" 2>/dev/null; wait "$SRV_PID" 2>/dev/null
+    SRV_PID=""
+    continue
+  fi
+  grep -q "snapshot checkpointed" "$TMP/$fam.cold.log" \
+    || fail "$fam: cold start did not checkpoint a snapshot"
+
+  # -- crash ------------------------------------------------------------
+  kill -9 "$SRV_PID"
+  wait "$SRV_PID" 2>/dev/null
+  SRV_PID=""
+
+  # -- restart from snapshot -------------------------------------------
+  start_broker "$fam" "$TMP/$fam.warm.log"
+  echo "$QUOTES" | probe "$TMP/$fam.sock" >"$TMP/$fam.post" 2>/dev/null
+  rc=$?
+  [ $rc -eq 0 ] || fail "$fam: post-recovery probe rc=$rc"
+  if ! grep -q "restored from snapshot" "$TMP/$fam.warm.log"; then
+    fail "$fam: restart did not restore from the snapshot:"
+    sed 's/^/           /' "$TMP/$fam.warm.log"
+  else
+    ms=$(awk '/restored from snapshot/ {print $(NF-1)}' "$TMP/$fam.warm.log")
+    if awk -v ms="$ms" -v max="$MAX_RECOVERY_MS" 'BEGIN {exit !(ms <= max)}'; then
+      ok "$fam: restored in ${ms} ms (limit ${MAX_RECOVERY_MS} ms)"
+    else
+      fail "$fam: recovery took ${ms} ms (limit ${MAX_RECOVERY_MS} ms)"
+    fi
+  fi
+  if cmp -s "$TMP/$fam.pre" "$TMP/$fam.post"; then
+    ok "$fam: post-recovery quotes byte-identical"
+  else
+    fail "$fam: quotes differ after recovery:"
+    diff "$TMP/$fam.pre" "$TMP/$fam.post" | sed 's/^/           /'
+  fi
+
+  # -- graceful drain ---------------------------------------------------
+  kill -TERM "$SRV_PID"
+  wait "$SRV_PID"
+  rc=$?
+  SRV_PID=""
+  if [ $rc -eq 0 ] && grep -q "drained cleanly" "$TMP/$fam.warm.log"; then
+    ok "$fam: SIGTERM drained cleanly (exit 0)"
+  else
+    fail "$fam: SIGTERM drain exit=$rc"
+  fi
+done
+
+# -- kill -9 under live load: no corrupted replies ----------------------
+# A probe hammers QUOTEs while the broker dies; a truncated final line
+# or a vanished connection is expected (exit 0), a complete reply line
+# that fails to parse is corruption (exit 3) and fails the soak.
+start_broker lpip "$TMP/load.log"
+echo "PING" | probe "$TMP/lpip.sock" >/dev/null 2>&1  # wait until up
+yes "QUOTE SELECT * FROM City WHERE Population > 1000" | head -100000 \
+  | probe "$TMP/lpip.sock" >"$TMP/load.out" 2>"$TMP/load.err" &
+PROBE_PID=$!
+sleep 0.3
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null
+SRV_PID=""
+wait "$PROBE_PID"
+rc=$?
+replies=$(wc -l <"$TMP/load.out")
+if [ $rc -eq 0 ]; then
+  ok "kill -9 under load: $replies replies, none corrupted (probe exit 0)"
+else
+  fail "kill -9 under load: probe exit $rc (3 = corrupted reply)"
+  sed 's/^/           /' "$TMP/load.err"
+fi
+# ...and the survivor restarts from the snapshot with identical quotes.
+start_broker lpip "$TMP/load.warm.log"
+echo "$QUOTES" | probe "$TMP/lpip.sock" >"$TMP/load.post" 2>/dev/null
+grep -q "restored from snapshot" "$TMP/load.warm.log" \
+  || fail "post-load restart did not use the snapshot"
+if cmp -s "$TMP/lpip.pre" "$TMP/load.post"; then
+  ok "post-load recovery quotes byte-identical"
+else
+  fail "post-load recovery quotes differ"
+fi
+kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null
+SRV_PID=""
+
+# -- overload shedding --------------------------------------------------
+# --max-conns 0: every connection exceeds the cap, so QUOTE/PRICE are
+# shed with ERR overloaded while the cheap verbs still answer.
+start_broker lpip "$TMP/shed.log" --max-conns 0
+out=$(echo 'PING
+QUOTE SELECT * FROM City WHERE Population > 1000
+HEALTH' | probe "$TMP/lpip.sock" 2>/dev/null)
+echo "$out" | grep -q "^PONG$" || fail "overload: PING was not answered"
+echo "$out" | grep -q "^ERR overloaded" \
+  || fail "overload: QUOTE was not shed with ERR overloaded: $out"
+echo "$out" | grep -q "^HEALTH state=overloaded$" \
+  || fail "overload: HEALTH did not report overloaded: $out"
+metrics=$(echo "METRICS" | probe "$TMP/lpip.sock" 2>/dev/null)
+echo "$metrics" | grep -q "qp_serve_shed_total" \
+  || fail "overload: METRICS did not answer with the shed counter"
+kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null
+SRV_PID=""
+
+if [ $fails -gt 0 ]; then
+  echo "chaos soak: $fails failure(s)"
+  exit 1
+fi
+echo "chaos soak: all families survived kill -9, recovered bit-identically, shed under overload, drained on SIGTERM"

@@ -11,6 +11,7 @@
 module SP = Qp_serve.Protocol
 module SB = Qp_serve.Broker
 module SS = Qp_serve.Server
+module Snap = Qp_serve.Snapshot
 module WI = Qp_experiments.Workload_instances
 module Runner = Qp_experiments.Runner
 module H = Qp_core.Hypergraph
@@ -52,8 +53,9 @@ let test_request_roundtrip () =
       | Ok req' -> Alcotest.(check bool) (SP.print_request req) true (req = req')
       | Error (_, msg) -> Alcotest.failf "%s: %s" (SP.print_request req) msg)
     [
-      SP.Ping; SP.Info; SP.Stats; SP.Shutdown; SP.Price 0; SP.Price 981;
-      SP.Price (-3); SP.Quote "SELECT * FROM City WHERE Population > 100";
+      SP.Ping; SP.Info; SP.Stats; SP.Health; SP.Shutdown; SP.Price 0;
+      SP.Price 981; SP.Price (-3);
+      SP.Quote "SELECT * FROM City WHERE Population > 100";
     ]
 
 let test_request_lenient_forms () =
@@ -110,6 +112,13 @@ let test_response_roundtrip () =
       SP.Quote_reply { SP.price = Float.infinity; size = 1; sold = None };
       SP.Error_reply (SP.Bad_index, "index 9999 outside [0, 981)");
       SP.Error_reply (SP.Fault, "");
+      SP.Error_reply (SP.Timeout, "idle for more than 60s, closing");
+      SP.Error_reply (SP.Overload, "PRICE shed: retry later");
+      SP.Error_reply (SP.Overload, "");
+      SP.Health_reply SP.Loading;
+      SP.Health_reply SP.Serving;
+      SP.Health_reply SP.Draining;
+      SP.Health_reply SP.Overloaded;
     ]
 
 let test_tag_names_roundtrip () =
@@ -118,7 +127,23 @@ let test_tag_names_roundtrip () =
       match SP.tag_of_name (SP.tag_name t) with
       | Some t' -> Alcotest.(check bool) (SP.tag_name t) true (t = t')
       | None -> Alcotest.failf "tag %s did not roundtrip" (SP.tag_name t))
-    [ SP.Parse; SP.Unknown_verb; SP.Bad_index; SP.Sql; SP.Fault; SP.Internal ]
+    [
+      SP.Parse; SP.Unknown_verb; SP.Bad_index; SP.Sql; SP.Fault; SP.Timeout;
+      SP.Overload; SP.Internal;
+    ]
+
+let test_health_state_names_roundtrip () =
+  List.iter
+    (fun st ->
+      match SP.health_state_of_name (SP.health_state_name st) with
+      | Some st' ->
+          Alcotest.(check bool) (SP.health_state_name st) true (st = st')
+      | None ->
+          Alcotest.failf "state %s did not roundtrip" (SP.health_state_name st))
+    [ SP.Loading; SP.Serving; SP.Draining; SP.Overloaded ];
+  match SP.parse_request "health\r" with
+  | Ok SP.Health -> ()
+  | _ -> Alcotest.fail "HEALTH must parse case-insensitively"
 
 (* --- protocol: property tests ----------------------------------------- *)
 
@@ -129,7 +154,8 @@ let request_gen =
   QCheck2.Gen.(
     oneof
       [
-        return SP.Ping; return SP.Info; return SP.Stats; return SP.Shutdown;
+        return SP.Ping; return SP.Info; return SP.Stats; return SP.Health;
+        return SP.Shutdown;
         map (fun i -> SP.Price i) (int_range (-5) 2000);
         map
           (fun s ->
@@ -174,6 +200,27 @@ let garbage_gen =
   QCheck2.Gen.(
     string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 80)
     |> map (String.map (fun c -> if c = '\n' then ' ' else c)))
+
+(* The survivability wire forms: HEALTH replies and the timeout/
+   overloaded error tags must round-trip like every older form. *)
+let prop_survivability_forms_roundtrip =
+  QCheck2.Test.make ~name:"HEALTH and timeout/overloaded ERR forms roundtrip"
+    ~count:300
+    QCheck2.Gen.(
+      triple
+        (oneofl [ SP.Loading; SP.Serving; SP.Draining; SP.Overloaded ])
+        (oneofl
+           [ SP.Parse; SP.Unknown_verb; SP.Bad_index; SP.Sql; SP.Fault;
+             SP.Timeout; SP.Overload; SP.Internal ])
+        (map String.trim printable_gen))
+    (fun (st, tag, msg) ->
+      (match SP.parse_response (SP.print_response (SP.Health_reply st)) with
+      | Ok (SP.Health_reply st') -> st = st'
+      | Ok _ | Error _ -> false)
+      &&
+      match SP.parse_response (SP.print_response (SP.Error_reply (tag, msg))) with
+      | Ok (SP.Error_reply (tag', msg')) -> tag = tag' && msg = msg'
+      | Ok _ | Error _ -> false)
 
 let prop_parsers_never_raise =
   QCheck2.Test.make ~name:"parsers never raise on garbage" ~count:1000
@@ -258,7 +305,10 @@ let test_handle_dispatch () =
       List.iter
         (fun k ->
           Alcotest.(check bool) k true (List.mem_assoc k kvs))
-        [ "connections"; "errors"; "quotes"; "requests" ]
+        [
+          "client_gone"; "connections"; "errors"; "quotes"; "requests";
+          "shed"; "timeouts";
+        ]
   | r -> Alcotest.failf "STATS: %s" (SP.print_response r));
   match SB.handle b "SHUTDOWN" with
   | SP.Bye -> ()
@@ -292,13 +342,185 @@ let test_handle_quote_sql () =
         (Float.is_finite q.SP.price && q.SP.price >= 0.0)
   | r -> Alcotest.failf "QUOTE: %s" (SP.print_response r)
 
+(* Admission control at the dispatch layer: expensive verbs shed with a
+   typed reply, cheap verbs still answered, shed not counted as an
+   error. *)
+let test_handle_overloaded_sheds () =
+  let b = broker_of "ubp" in
+  (match SB.handle ~overloaded:true b "PRICE 0" with
+  | SP.Error_reply (SP.Overload, _) -> ()
+  | r -> Alcotest.failf "PRICE under overload: %s" (SP.print_response r));
+  (match
+     SB.handle ~overloaded:true b
+       "QUOTE SELECT * FROM City WHERE Population > 1000"
+   with
+  | SP.Error_reply (SP.Overload, _) -> ()
+  | r -> Alcotest.failf "QUOTE under overload: %s" (SP.print_response r));
+  (match SB.handle ~overloaded:true b "PING" with
+  | SP.Pong -> ()
+  | r -> Alcotest.failf "PING must answer under overload: %s"
+           (SP.print_response r));
+  (match SB.handle ~overloaded:true b "METRICS" with
+  | SP.Metrics_reply _ -> ()
+  | r -> Alcotest.failf "METRICS must answer under overload: %s"
+           (SP.print_response r));
+  (match SB.handle ~overloaded:true b "HEALTH" with
+  | SP.Health_reply SP.Overloaded -> ()
+  | r -> Alcotest.failf "HEALTH under overload: %s" (SP.print_response r));
+  (match SB.handle b "HEALTH" with
+  | SP.Health_reply SP.Serving -> ()
+  | r -> Alcotest.failf "HEALTH in steady state: %s" (SP.print_response r));
+  match SB.handle b "STATS" with
+  | SP.Stats_reply kvs ->
+      Alcotest.(check int) "two quotes shed" 2 (List.assoc "shed" kvs);
+      Alcotest.(check int) "shed is not an error" 0 (List.assoc "errors" kvs)
+  | r -> Alcotest.failf "STATS: %s" (SP.print_response r)
+
 let prop_handle_never_raises =
   QCheck2.Test.make ~name:"handle answers any garbage with a typed reply"
     ~count:300 garbage_gen (fun line ->
       match SB.handle (Lazy.force broker) line with
       | SP.Pong | SP.Bye | SP.Info_reply _ | SP.Stats_reply _
-      | SP.Metrics_reply _ | SP.Quote_reply _ | SP.Error_reply _ ->
+      | SP.Metrics_reply _ | SP.Health_reply _ | SP.Quote_reply _
+      | SP.Error_reply _ ->
           true)
+
+(* --- snapshots: save -> load -> identical quotes ---------------------- *)
+
+let snap_config pricing =
+  {
+    Snap.workload = "skewed";
+    scale = WI.Tiny;
+    support = Some 60;
+    seed;
+    model;
+    pricing;
+    profile = Runner.Quick;
+  }
+
+let with_snapshot_file f =
+  let file = Filename.temp_file "qpsnap-test" ".qps" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+(* The crash-recovery contract, per pricing family: a restored broker
+   quotes the same bits as the one that saved the snapshot, both
+   through the oracle accessor and through the full request path. *)
+let test_snapshot_roundtrip_all_families () =
+  List.iter
+    (fun key ->
+      let b = broker_of key in
+      with_snapshot_file @@ fun file ->
+      (match SB.save_snapshot ~file ~config:(snap_config key) b with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: save: %s" key msg);
+      match SB.load_snapshot ~file (snap_config key) with
+      | Error e ->
+          Alcotest.failf "%s: load: %s" key (Snap.describe_load_error e)
+      | Ok b' ->
+          Alcotest.(check int) (key ^ ": queries survive") (SB.queries b)
+            (SB.queries b');
+          Alcotest.(check int) (key ^ ": items survive") (SB.items b)
+            (SB.items b');
+          for i = 0 to SB.queries b - 1 do
+            let a = SB.quote_index b i and r = SB.quote_index b' i in
+            if not (same_bits a.SP.price r.SP.price) then
+              Alcotest.failf "%s: query %d drifted across the snapshot" key i;
+            if a.SP.size <> r.SP.size || a.SP.sold <> r.SP.sold then
+              Alcotest.failf "%s: query %d metadata drifted" key i
+          done;
+          (match (SB.handle b "PRICE 0", SB.handle b' "PRICE 0") with
+          | SP.Quote_reply a, SP.Quote_reply r ->
+              Alcotest.(check bool)
+                (key ^ ": identical through handle")
+                true (same_bits a.SP.price r.SP.price)
+          | _ -> Alcotest.failf "%s: PRICE 0 through handle" key))
+    SB.pricing_keys
+
+let slurp file = In_channel.with_open_bin file In_channel.input_all
+
+let spew file s =
+  Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s)
+
+(* Every refusal is typed, checked before unmarshal, and leaves the
+   caller free to fall back to recompute. *)
+let test_snapshot_refusals () =
+  let b = broker_of "ubp" in
+  with_snapshot_file @@ fun file ->
+  (match SB.save_snapshot ~file ~config:(snap_config "ubp") b with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save: %s" msg);
+  let pristine = slurp file in
+  (* stale: built from other parameters (different seed) *)
+  (match
+     SB.load_snapshot ~file { (snap_config "ubp") with Snap.seed = seed + 1 }
+   with
+  | Error (Snap.Stale _) -> ()
+  | Error e -> Alcotest.failf "stale: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "stale snapshot must be refused");
+  (* version mismatch: refused on the header, before any unmarshal *)
+  let nl = String.index pristine '\n' in
+  spew file
+    (Printf.sprintf "%s 999%s" Snap.magic
+       (String.sub pristine nl (String.length pristine - nl)));
+  (match SB.load_snapshot ~file (snap_config "ubp") with
+  | Error (Snap.Version_mismatch { found = 999; _ }) -> ()
+  | Error e -> Alcotest.failf "version: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "foreign format version must be refused");
+  (* corrupt: one flipped payload byte trips the digest *)
+  let mutated = Bytes.of_string pristine in
+  let last = Bytes.length mutated - 1 in
+  Bytes.set mutated last (Char.chr (Char.code (Bytes.get mutated last) lxor 1));
+  spew file (Bytes.to_string mutated);
+  (match SB.load_snapshot ~file (snap_config "ubp") with
+  | Error (Snap.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "corrupt: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "corrupt snapshot must be refused");
+  (* trailing garbage is also corruption, not silently ignored *)
+  spew file (pristine ^ "x");
+  (match SB.load_snapshot ~file (snap_config "ubp") with
+  | Error (Snap.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "trailing: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "trailing bytes must be refused");
+  (* not a snapshot at all *)
+  spew file "definitely not a snapshot\n";
+  (match SB.load_snapshot ~file (snap_config "ubp") with
+  | Error Snap.Bad_magic -> ()
+  | Error e -> Alcotest.failf "magic: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "bad magic must be refused");
+  (* missing file *)
+  (match SB.load_snapshot ~file:(file ^ ".does-not-exist") (snap_config "ubp") with
+  | Error (Snap.Io _) -> ()
+  | Error e -> Alcotest.failf "io: %s" (Snap.describe_load_error e)
+  | Ok _ -> Alcotest.fail "missing file must be Io");
+  (* and the pristine bytes still load after all that *)
+  spew file pristine;
+  match SB.load_snapshot ~file (snap_config "ubp") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pristine reload: %s" (Snap.describe_load_error e)
+
+let test_snapshot_fault_sites () =
+  let b = broker_of "ubp" in
+  with_snapshot_file @@ fun file ->
+  (with_faults "serve.snapshot.write:fail:p=1" @@ fun () ->
+   match SB.save_snapshot ~file ~config:(snap_config "ubp") b with
+   | Error msg ->
+       Alcotest.(check bool) "write fault is reported" true
+         (String.length msg > 0)
+   | Ok () -> Alcotest.fail "armed write site must fail the save");
+  (match SB.save_snapshot ~file ~config:(snap_config "ubp") b with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "clean save: %s" msg);
+  (with_faults "serve.snapshot.read:fail:p=1" @@ fun () ->
+   match SB.load_snapshot ~file (snap_config "ubp") with
+   | Error (Snap.Faulted _) -> ()
+   | Error e -> Alcotest.failf "read fault: %s" (Snap.describe_load_error e)
+   | Ok _ -> Alcotest.fail "armed read site must refuse the load");
+  match SB.load_snapshot ~file (snap_config "ubp") with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "load after disarm: %s" (Snap.describe_load_error e)
 
 (* --- metrics: the scrapeable exposition ------------------------------- *)
 
@@ -411,12 +633,14 @@ let temp_listen tag =
 
 (* Run [session client] against a live server; should_stop backstops
    SHUTDOWN so a fault-eaten BYE cannot hang the test. *)
-let with_server tag b session =
+let with_server ?idle_timeout ?max_conns tag b session =
   let listen = temp_listen tag in
   let finished = Atomic.make false in
   let server =
     Domain.spawn (fun () ->
-        SS.serve ~should_stop:(fun () -> Atomic.get finished) listen b)
+        SS.serve ?idle_timeout ?max_conns
+          ~should_stop:(fun () -> Atomic.get finished)
+          listen b)
   in
   let result =
     Fun.protect
@@ -526,6 +750,139 @@ let test_socket_scrape () =
         (List.assoc "quotes" kvs)
   | _ -> Alcotest.fail "STATS after scrape must still round-trip"
 
+(* --- sockets: survivability ------------------------------------------- *)
+
+(* With max_conns 0 every connection is over the admission mark: quotes
+   shed with a typed reply while the cheap verbs keep answering — a
+   probe sees a live-but-saturated broker, not a dead one. *)
+let test_socket_overload_sheds () =
+  let b = broker_of "ubp" in
+  with_server ~max_conns:0 "overload" b @@ fun c ->
+  (match SS.call c (SP.Price 0) with
+  | Ok (SP.Error_reply (SP.Overload, _)) -> ()
+  | Ok r -> Alcotest.failf "PRICE: %s" (SP.print_response r)
+  | Error msg -> Alcotest.failf "PRICE: %s" msg);
+  (match SS.call c SP.Ping with
+  | Ok SP.Pong -> ()
+  | _ -> Alcotest.fail "PING must answer while overloaded");
+  (match SS.call c SP.Health with
+  | Ok (SP.Health_reply SP.Overloaded) -> ()
+  | Ok r -> Alcotest.failf "HEALTH: %s" (SP.print_response r)
+  | Error msg -> Alcotest.failf "HEALTH: %s" msg);
+  (match SS.scrape c with
+  | Ok body -> (
+      match M.parse body with
+      | Ok samples -> (
+          match M.find samples "qp_serve_shed_total" with
+          | Some v ->
+              Alcotest.(check bool) "shed counted in METRICS" true (v >= 1.0)
+          | None -> Alcotest.fail "missing qp_serve_shed_total")
+      | Error msg -> Alcotest.failf "exposition: %s" msg)
+  | Error msg -> Alcotest.failf "METRICS must answer while overloaded: %s" msg);
+  match SS.call c SP.Stats with
+  | Ok (SP.Stats_reply kvs) ->
+      Alcotest.(check bool) "shed in STATS" true (List.assoc "shed" kvs >= 1);
+      Alcotest.(check int) "shed is not an error" 0 (List.assoc "errors" kvs)
+  | _ -> Alcotest.fail "STATS must answer while overloaded"
+
+let raw_connect path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.02;
+        go (n - 1)
+  in
+  go 100
+
+(* A connection that goes quiet gets one typed ERR timeout and is then
+   closed — the slow-loris defence. *)
+let test_socket_idle_timeout_reaps () =
+  let b = broker_of "ubp" in
+  let listen = temp_listen "idle" in
+  let path = match listen with SS.Unix_socket p -> p | SS.Tcp _ -> assert false in
+  let finished = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        SS.serve ~idle_timeout:0.08
+          ~should_stop:(fun () -> Atomic.get finished)
+          listen b)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set finished true;
+      Domain.join server)
+  @@ fun () ->
+  let fd = raw_connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  (* send nothing; the deadline must push a typed farewell and close *)
+  (match input_line ic with
+  | line -> (
+      match SP.parse_response line with
+      | Ok (SP.Error_reply (SP.Timeout, _)) -> ()
+      | Ok r -> Alcotest.failf "expected ERR timeout, got %s"
+                  (SP.print_response r)
+      | Error msg -> Alcotest.failf "unparseable farewell %S: %s" line msg)
+  | exception End_of_file ->
+      Alcotest.fail "connection closed without the typed ERR timeout");
+  (match input_line ic with
+  | _ -> Alcotest.fail "connection must close after the timeout reply"
+  | exception End_of_file -> ());
+  (* the broker survived the reap and still serves fresh connections *)
+  let c = SS.connect listen in
+  Fun.protect ~finally:(fun () -> SS.close_client c) @@ fun () ->
+  match SS.call c SP.Stats with
+  | Ok (SP.Stats_reply kvs) ->
+      Alcotest.(check bool) "timeout counted" true
+        (List.assoc "timeouts" kvs >= 1)
+  | _ -> Alcotest.fail "STATS after a reaped connection"
+
+(* Regression (satellite): a client killed mid-QUOTE — request sent,
+   socket gone before the reply lands — must bump client_gone and must
+   not tear down the accept loop. *)
+let test_socket_client_gone_mid_quote () =
+  let b = broker_of "ubp" in
+  let listen = temp_listen "gone" in
+  let path = match listen with SS.Unix_socket p -> p | SS.Tcp _ -> assert false in
+  let finished = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        SS.serve ~should_stop:(fun () -> Atomic.get finished) listen b)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set finished true;
+      Domain.join server)
+  @@ fun () ->
+  let control = SS.connect listen in
+  Fun.protect ~finally:(fun () -> SS.close_client control) @@ fun () ->
+  let client_gone () =
+    match SS.call control SP.Stats with
+    | Ok (SP.Stats_reply kvs) -> List.assoc "client_gone" kvs
+    | Ok r -> Alcotest.failf "STATS: %s" (SP.print_response r)
+    | Error msg -> Alcotest.failf "STATS: %s" msg
+  in
+  let attempts = ref 0 in
+  while client_gone () = 0 && !attempts < 50 do
+    incr attempts;
+    let fd = raw_connect path in
+    let line = "QUOTE SELECT * FROM City WHERE Population > 1000\n" in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    (* vanish before the reply can be delivered *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "client_gone counted" true (client_gone () > 0);
+  (* the accept loop survived: the standing connection still quotes *)
+  match SS.call control (SP.Price 0) with
+  | Ok (SP.Quote_reply _) -> ()
+  | _ -> Alcotest.fail "broker must keep serving after a vanished client"
+
 (* --- faults: the loop completes with typed errors --------------------- *)
 
 let test_faulted_requests_are_typed_and_deterministic () =
@@ -594,8 +951,11 @@ let suite =
       Alcotest.test_case "protocol: response roundtrip" `Quick
         test_response_roundtrip;
       Alcotest.test_case "protocol: tag names" `Quick test_tag_names_roundtrip;
+      Alcotest.test_case "protocol: health states" `Quick
+        test_health_state_names_roundtrip;
       QCheck_alcotest.to_alcotest prop_request_roundtrip;
       QCheck_alcotest.to_alcotest prop_quote_price_bits;
+      QCheck_alcotest.to_alcotest prop_survivability_forms_roundtrip;
       QCheck_alcotest.to_alcotest prop_parsers_never_raise;
       Alcotest.test_case "identity: all pricing families" `Slow
         test_identity_all_families;
@@ -606,7 +966,15 @@ let suite =
         test_handle_errors_are_typed;
       Alcotest.test_case "broker: ad-hoc SQL quote" `Quick
         test_handle_quote_sql;
+      Alcotest.test_case "broker: overload sheds quotes" `Quick
+        test_handle_overloaded_sheds;
       QCheck_alcotest.to_alcotest prop_handle_never_raises;
+      Alcotest.test_case "snapshot: roundtrip, all pricing families" `Slow
+        test_snapshot_roundtrip_all_families;
+      Alcotest.test_case "snapshot: typed refusals" `Quick
+        test_snapshot_refusals;
+      Alcotest.test_case "snapshot: fault sites" `Quick
+        test_snapshot_fault_sites;
       Alcotest.test_case "metrics: protocol framing" `Quick
         test_metrics_protocol;
       Alcotest.test_case "metrics: counts match STATS" `Quick
@@ -617,6 +985,12 @@ let suite =
         test_socket_session;
       Alcotest.test_case "socket: two clients" `Quick test_socket_two_clients;
       Alcotest.test_case "socket: METRICS scrape" `Quick test_socket_scrape;
+      Alcotest.test_case "socket: overload sheds, cheap verbs answer" `Quick
+        test_socket_overload_sheds;
+      Alcotest.test_case "socket: idle timeout reaps" `Quick
+        test_socket_idle_timeout_reaps;
+      Alcotest.test_case "socket: client gone mid-QUOTE" `Quick
+        test_socket_client_gone_mid_quote;
       Alcotest.test_case "fault: typed + deterministic" `Quick
         test_faulted_requests_are_typed_and_deterministic;
       Alcotest.test_case "fault: parse site" `Quick test_faulted_parse_site;
