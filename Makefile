@@ -3,7 +3,8 @@
 .PHONY: all build test chaos soak bench bench-full bench-json bench-conflict \
         bench-simplex bench-warmstart bench-serve docs check-docs \
         check-failwith check-float-sort check-cold-lp check-obs-labels \
-        check-snapshot-version serve-smoke bench-gate check examples clean
+        check-snapshot-version check-rel-engines serve-smoke bench-gate \
+        check examples clean
 
 all: build
 
@@ -76,6 +77,12 @@ check-obs-labels:
 check-snapshot-version:
 	ocaml scripts/check_snapshot_version.ml
 
+# Build every workload's conflict hypergraph at Tiny scale with
+# QP_REL_ENGINE=check semantics — the columnar engine races the row
+# oracle on every (query, delta) pair — and fail on any disagreement.
+check-rel-engines:
+	dune exec scripts/check_rel_engines.exe
+
 # Stand a broker on a temp socket, pull 20 quotes through it, and
 # require each to be bit-identical to the in-process pricing — the
 # serving layer's end-to-end identity gate (see docs/SERVING.md).
@@ -91,13 +98,13 @@ bench-gate:
 ifeq ($(QP_BENCH_GATE),off)
 	@echo "bench gate: skipped (QP_BENCH_GATE=off) — benchmarks not run"
 else
-	dune exec bench/main.exe -- simplex warmstart serve
+	dune exec bench/main.exe -- simplex warmstart serve conflict
 	dune exec scripts/bench_diff.exe
 endif
 
 # The full pre-merge gate: build, tests, doc coverage, failure lints,
 # serving smoke, perf-regression gate.
-check: build test check-docs check-failwith check-float-sort check-cold-lp check-obs-labels check-snapshot-version serve-smoke bench-gate
+check: build test check-docs check-failwith check-float-sort check-cold-lp check-obs-labels check-snapshot-version check-rel-engines serve-smoke bench-gate
 
 # Regenerate every table and figure of the paper (Quick profile).
 bench:

@@ -169,43 +169,69 @@ let microbenchmarks ctx =
 
 (* --- conflict-set construction benchmark ----------------------------- *)
 
-(* Times Conflict.hypergraph at jobs=1 vs jobs=N per workload, checks
-   the two builds are identical, and writes BENCH_conflict.json with
-   the full instrumentation record of the parallel build. *)
+(* Times Conflict.hypergraph per workload across the engine dimension —
+   row jobs=1, columnar jobs=1, columnar jobs=N, check jobs=1 — verifies
+   every build is bit-identical and check mode saw zero disagreements,
+   and writes BENCH_conflict.json. The headline metric is the same-run
+   per-query-mean ratio row/columnar at jobs=1 ("speedup_columnar"),
+   which is robust on a 1-CPU container where absolute times drift. *)
 let conflict_bench ~meta ctx =
   let module C = Qp_market.Conflict in
+  let module DE = Qp_relational.Delta_eval in
   let jobs_n = max 2 (Qp_util.Parallel.default_jobs ()) in
   print_newline ();
   print_endline "==================================================";
-  Printf.printf "== conflict-set construction: jobs=1 vs jobs=%d\n" jobs_n;
+  Printf.printf "== conflict-set construction: row vs columnar, jobs=1 vs %d\n"
+    jobs_n;
   print_endline "==================================================";
   let fingerprint h =
     Array.map
       (fun (e : H.edge) -> (e.H.name, e.H.items, e.H.valuation))
       (H.edges h)
   in
+  let query_mean (s : C.stats) =
+    if s.C.queries = 0 then 0.0
+    else
+      Array.fold_left ( +. ) 0.0 s.C.query_seconds /. Float.of_int s.C.queries
+  in
   let results =
     List.map
       (fun key ->
         let inst = Context.instance ctx key in
         let valued = List.map (fun q -> (q, 1.0)) inst.WI.queries in
-        let h1, s1 =
-          C.hypergraph ~jobs:1 inst.WI.db valued inst.WI.deltas
+        let build ~jobs engine =
+          C.hypergraph ~jobs ~engine inst.WI.db valued inst.WI.deltas
         in
-        let hn, sn =
-          C.hypergraph ~jobs:jobs_n inst.WI.db valued inst.WI.deltas
+        let h_row, s_row = build ~jobs:1 DE.Row in
+        let h_col1, s_col1 = build ~jobs:1 DE.Columnar in
+        let h_coln, s_coln = build ~jobs:jobs_n DE.Columnar in
+        let h_chk, s_chk = build ~jobs:1 DE.Check in
+        let fp = fingerprint h_row in
+        let fingerprints_equal =
+          fp = fingerprint h_col1
+          && fp = fingerprint h_coln
+          && fp = fingerprint h_chk
         in
-        if fingerprint h1 <> fingerprint hn then begin
-          Printf.eprintf "BUG: %s hypergraph differs at jobs=%d\n" key jobs_n;
+        if not fingerprints_equal then begin
+          Printf.eprintf "BUG: %s hypergraph differs across engines/jobs\n" key;
           exit 1
         end;
+        if s_chk.C.check_mismatches > 0 then begin
+          Printf.eprintf "BUG: %s check mode found %d engine disagreements\n"
+            key s_chk.C.check_mismatches;
+          exit 1
+        end;
+        let speedup_columnar =
+          query_mean s_row /. Float.max 1e-9 (query_mean s_col1)
+        in
         Printf.printf
-          "  %-8s jobs=1 %8.3fs   jobs=%d %8.3fs   speedup %.2fx   \
-           (%d queries, |S|=%d, %d fallback)\n%!"
-          key s1.C.elapsed jobs_n sn.C.elapsed
-          (s1.C.elapsed /. Float.max 1e-9 sn.C.elapsed)
-          sn.C.queries sn.C.support sn.C.fallback_queries;
-        (key, s1, sn))
+          "  %-8s row %8.3fs   columnar %8.3fs (%.2fx/query)   jobs=%d \
+           %8.3fs   check ok   (%d queries, |S|=%d, %d fallback)\n%!"
+          key s_row.C.elapsed s_col1.C.elapsed speedup_columnar jobs_n
+          s_coln.C.elapsed s_coln.C.queries s_coln.C.support
+          s_coln.C.fallback_queries;
+        (key, s_row, s_col1, s_coln, s_chk, speedup_columnar,
+         fingerprints_equal))
       WI.keys
   in
   let oc = open_out "BENCH_conflict.json" in
@@ -216,31 +242,34 @@ let conflict_bench ~meta ctx =
   Printf.fprintf oc "{\n  %s,\n  \"jobs_n\": %d,\n  \"workloads\": [" (meta ())
     jobs_n;
   List.iteri
-    (fun i (key, (s1 : C.stats), (sn : C.stats)) ->
+    (fun i
+         (key, (s_row : C.stats), (s_col1 : C.stats), (s_coln : C.stats),
+          (s_chk : C.stats), speedup_columnar, fingerprints_equal) ->
       Printf.fprintf oc
         "%s\n    { \"workload\": %S, \"queries\": %d, \"support\": %d,\n\
         \      \"fallback_queries\": %d, \"failed_queries\": %d,\n\
         \      \"strategies\": { %s },\n\
+        \      \"row_seconds\": %.6f, \"row_query_mean\": %.6f,\n\
         \      \"seconds_jobs_1\": %.6f, \"seconds_jobs_n\": %.6f,\n\
-        \      \"speedup\": %.3f, \"jobs_used\": %d,\n\
+        \      \"speedup\": %.3f, \"speedup_columnar\": %.3f,\n\
+        \      \"check_seconds\": %.6f, \"check_mismatches\": %d,\n\
+        \      \"fingerprints_equal\": %b, \"jobs_used\": %d,\n\
         \      \"worker_busy_seconds\": [%s],\n\
         \      \"query_seconds_mean\": %.6f, \"query_seconds_max\": %.6f }"
         (if i = 0 then "" else ",")
-        key sn.C.queries sn.C.support sn.C.fallback_queries
-        (List.length sn.C.failed_queries)
+        key s_coln.C.queries s_coln.C.support s_coln.C.fallback_queries
+        (List.length s_coln.C.failed_queries)
         (String.concat ", "
            (List.map
               (fun (name, n) -> Printf.sprintf "%S: %d" name n)
-              sn.C.strategies))
-        s1.C.elapsed sn.C.elapsed
-        (s1.C.elapsed /. Float.max 1e-9 sn.C.elapsed)
-        sn.C.jobs
-        (float_array sn.C.worker_busy)
-        (if sn.C.queries = 0 then 0.0
-         else
-           Array.fold_left ( +. ) 0.0 sn.C.query_seconds
-           /. Float.of_int sn.C.queries)
-        (Array.fold_left Float.max 0.0 sn.C.query_seconds))
+              s_coln.C.strategies))
+        s_row.C.elapsed (query_mean s_row) s_col1.C.elapsed s_coln.C.elapsed
+        (s_col1.C.elapsed /. Float.max 1e-9 s_coln.C.elapsed)
+        speedup_columnar s_chk.C.elapsed s_chk.C.check_mismatches
+        fingerprints_equal s_coln.C.jobs
+        (float_array s_coln.C.worker_busy)
+        (query_mean s_col1)
+        (Array.fold_left Float.max 0.0 s_col1.C.query_seconds))
     results;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;

@@ -109,12 +109,37 @@ let set_lp_engine = function
   | Some e -> Qp_lp.Simplex.set_default_engine e
   | None -> ()
 
+let rel_engine_arg =
+  let doc =
+    "Relational engine: columnar (vectorized, the default), row (the \
+     reference row-at-a-time evaluator) or check (answer every delta with \
+     both and count disagreements). Overrides QP_REL_ENGINE."
+  in
+  let parse s =
+    match Qp_relational.Delta_eval.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected row, columnar or check")
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Qp_relational.Delta_eval.engine_name e)
+  in
+  Arg.(value & opt (some (conv (parse, print))) None
+       & info [ "rel-engine" ] ~docv:"ENGINE" ~doc)
+
+let set_rel_engine = function
+  | Some e -> Qp_relational.Delta_eval.set_default_engine e
+  | None -> ()
+
 (* When check mode found disagreements, say so on exit: the whole point
    of the mode is to make them impossible to miss. *)
 let report_cross_check () =
   let n = Qp_lp.Simplex.cross_check_mismatches () in
   if n > 0 then
     Printf.eprintf "[lp-engine check: %d engine disagreement%s]\n" n
+      (if n = 1 then "" else "s");
+  let n = Qp_relational.Delta_eval.check_mismatches () in
+  if n > 0 then
+    Printf.eprintf "[rel-engine check: %d engine disagreement%s]\n" n
       (if n = 1 then "" else "s")
 
 (* Tracing wraps the whole command so the trace also covers instance
@@ -218,10 +243,11 @@ let price_cmd =
          & info [ "algorithm"; "a" ] ~doc:"Algorithm key, or 'all'.")
   in
   let run workload scale support seed model algorithm profile jobs inject
-      lp_engine trace =
+      lp_engine rel_engine trace =
     set_jobs jobs;
     set_injections inject;
     set_lp_engine lp_engine;
+    set_rel_engine rel_engine;
     Fun.protect ~finally:report_cross_check @@ fun () ->
     with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
@@ -256,16 +282,17 @@ let price_cmd =
        ~doc:"Run pricing algorithms on a workload under a valuation model.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
           $ model_arg $ algorithm_arg $ profile_arg $ jobs_arg $ inject_arg
-          $ lp_engine_arg $ trace_arg)
+          $ lp_engine_arg $ rel_engine_arg $ trace_arg)
 
 (* --- run: one full benchmark cell ------------------------------------ *)
 
 let run_cmd =
-  let run workload scale support seed model profile jobs inject lp_engine trace
-      =
+  let run workload scale support seed model profile jobs inject lp_engine
+      rel_engine trace =
     set_jobs jobs;
     set_injections inject;
     set_lp_engine lp_engine;
+    set_rel_engine rel_engine;
     Fun.protect ~finally:report_cross_check @@ fun () ->
     with_trace trace @@ fun () ->
     let inst = build_instance workload scale support seed in
@@ -310,7 +337,7 @@ let run_cmd =
           algorithm, every simplex solve) is recorded.")
     Term.(const run $ workload_arg $ scale_arg $ support_arg $ seed_arg
           $ model_arg $ profile_arg $ jobs_arg $ inject_arg $ lp_engine_arg
-          $ trace_arg)
+          $ rel_engine_arg $ trace_arg)
 
 (* --- report: aggregate a trace file ----------------------------------- *)
 
@@ -370,8 +397,9 @@ let quote_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"SQL" ~doc:"Query to price (the workload dialect).")
   in
-  let run workload seed lp_engine sql =
+  let run workload seed lp_engine rel_engine sql =
     set_lp_engine lp_engine;
+    set_rel_engine rel_engine;
     let rng = Rng.create seed in
     let db =
       match workload with
@@ -421,7 +449,8 @@ let quote_cmd =
     (Cmd.info "quote"
        ~doc:
          "Parse a SQL query, build a broker over the named workload's tiny           dataset, and quote the query's arbitrage-free price.")
-    Term.(const run $ workload_arg $ seed_arg $ lp_engine_arg $ sql_arg)
+    Term.(const run $ workload_arg $ seed_arg $ lp_engine_arg $ rel_engine_arg
+          $ sql_arg)
 
 (* --- serve: the persistent pricing broker ---------------------------- *)
 
@@ -827,10 +856,11 @@ let experiment_cmd =
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids profile seed jobs inject lp_engine trace =
+  let run ids profile seed jobs inject lp_engine rel_engine trace =
     set_jobs jobs;
     set_injections inject;
     set_lp_engine lp_engine;
+    set_rel_engine rel_engine;
     Fun.protect ~finally:report_cross_check @@ fun () ->
     with_trace trace @@ fun () ->
     let ctx = Context.create ~profile ~seed () in
@@ -857,7 +887,7 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (all, or by id).")
     Term.(const run $ ids_arg $ profile_arg $ seed_arg $ jobs_arg $ inject_arg
-          $ lp_engine_arg $ trace_arg)
+          $ lp_engine_arg $ rel_engine_arg $ trace_arg)
 
 (* --- demo ------------------------------------------------------------- *)
 

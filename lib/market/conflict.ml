@@ -9,6 +9,8 @@ type stats = {
   fallback_queries : int;
   failed_queries : (string * string) list;
   strategies : (string * int) list;
+  engine : string;
+  check_mismatches : int;
   jobs : int;
   query_seconds : float array;
   worker_busy : float array;
@@ -29,14 +31,14 @@ let conflict_set db q deltas =
    query, so no Delta_eval state is shared across domains; [db] and
    [deltas] are only read. The task's return value is a pure function
    of (db, query, deltas) — scheduling cannot influence it. *)
-let build_row ?attempt db deltas index (q, valuation) =
+let build_row ?attempt ?engine db deltas index (q, valuation) =
   if Qp_fault.enabled () then
     Qp_fault.maybe_fail ?attempt ~key:index "conflict.query";
   Qp_obs.with_span "conflict.query"
     ~args:(fun () -> [ ("query", Qp_obs.Str q.Query.name) ])
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let prep = Delta_eval.prepare db q in
+  let prep = Delta_eval.prepare ?engine db q in
   let items = conflict_set_prepared prep deltas in
   Qp_obs.annotate (fun () ->
       [
@@ -47,7 +49,7 @@ let build_row ?attempt db deltas index (q, valuation) =
     Delta_eval.strategy_name prep,
     Unix.gettimeofday () -. t0 )
 
-let hypergraph ?on_progress ?jobs db valued_queries deltas =
+let hypergraph ?on_progress ?jobs ?engine db valued_queries deltas =
   Qp_obs.with_span "conflict.build"
     ~args:(fun () ->
       [
@@ -56,11 +58,19 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
       ])
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  (* Resolve the engine here, once: workers inherit it as an explicit
+     argument instead of re-reading the process default in their own
+     domain, so a concurrent [set_default_engine] cannot split a build
+     across engines. *)
+  let engine =
+    match engine with Some e -> e | None -> Delta_eval.default_engine ()
+  in
+  let mismatches0 = Delta_eval.check_mismatches () in
   let rows = Array.mapi (fun i r -> (i, r)) (Array.of_list valued_queries) in
   let total = Array.length rows in
   let results, pool =
     Qp_util.Parallel.map_result_stats ?jobs
-      (fun (i, row) -> build_row db deltas i row)
+      (fun (i, row) -> build_row ~engine db deltas i row)
       rows
   in
   (* Sequential index-ordered merge: specs come out in workload order
@@ -83,7 +93,7 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
         | Error { Qp_util.Parallel.message; _ } -> (
             Qp_obs.counter "conflict.query_retries" 1;
             let i, row = rows.(i) in
-            match build_row ~attempt:1 db deltas i row with
+            match build_row ~attempt:1 ~engine db deltas i row with
             | r -> Ok r
             | exception e -> Error (message, Printexc.to_string e))
       in
@@ -115,6 +125,9 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
     List.sort compare
       (Hashtbl.fold (fun name n acc -> (name, n) :: acc) by_strategy [])
   in
+  let check_mismatches = Delta_eval.check_mismatches () - mismatches0 in
+  if check_mismatches > 0 then
+    Qp_obs.counter "conflict.rel_check_mismatches" check_mismatches;
   let stats =
     {
       queries = total;
@@ -123,6 +136,8 @@ let hypergraph ?on_progress ?jobs db valued_queries deltas =
         Option.value (Hashtbl.find_opt by_strategy "fallback") ~default:0;
       failed_queries;
       strategies;
+      engine = Delta_eval.engine_name engine;
+      check_mismatches;
       jobs = pool.Qp_util.Parallel.jobs;
       query_seconds;
       worker_busy = pool.Qp_util.Parallel.busy;
@@ -150,9 +165,13 @@ let query_time_histogram ?buckets stats =
       (Qp_util.Histogram.create ?buckets micros)
 
 let pp_stats fmt s =
-  Format.fprintf fmt "%d queries x %d support deltas in %.2fs (%d job%s)@."
+  Format.fprintf fmt
+    "%d queries x %d support deltas in %.2fs (%d job%s, %s engine)@."
     s.queries s.support s.elapsed s.jobs
-    (if s.jobs = 1 then "" else "s");
+    (if s.jobs = 1 then "" else "s")
+    s.engine;
+  if s.engine = "check" then
+    Format.fprintf fmt "  cross-engine mismatches: %d@." s.check_mismatches;
   Format.fprintf fmt "  strategies: %s@."
     (String.concat ", "
        (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) s.strategies));

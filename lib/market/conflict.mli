@@ -28,6 +28,12 @@ type stats = {
   strategies : (string * int) list;
       (** query count per {!Qp_relational.Delta_eval.strategy_name},
           sorted by name — the delta-eval vs fallback split *)
+  engine : string;
+      (** {!Qp_relational.Delta_eval.engine_name} of the engine the
+          build ran on ("row", "columnar" or "check") *)
+  check_mismatches : int;
+      (** cross-engine disagreements observed during this build; always
+          [0] outside check mode, and expected [0] within it *)
   jobs : int;  (** worker-pool size actually used for the build *)
   query_seconds : float array;
       (** per-query prepare+scan wall-clock seconds, in workload order *)
@@ -43,6 +49,7 @@ val conflict_set : Database.t -> Query.t -> Delta.t array -> int array
 val hypergraph :
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?jobs:int ->
+  ?engine:Qp_relational.Delta_eval.engine ->
   Database.t ->
   (Query.t * float) list ->
   Delta.t array ->
@@ -54,7 +61,12 @@ val hypergraph :
     Queries are distributed over the {!Qp_util.Parallel} pool ([jobs]
     overrides [QP_JOBS]); the merge is sequential in workload order, so
     the hypergraph (edge order, items, valuations) is bit-identical at
-    any job count. [on_progress] fires from the merge side only — once
+    any job count. [engine] selects the relational engine per
+    {!Qp_relational.Delta_eval.prepare} (default
+    {!Qp_relational.Delta_eval.default_engine}), resolved once before
+    fan-out so every worker uses the same engine; in check mode,
+    disagreements land in [check_mismatches] and the
+    ["conflict.rel_check_mismatches"] counter. [on_progress] fires from the merge side only — once
     per query with [done_] strictly increasing from 1 to [total] —
     never from a worker domain.
 

@@ -1,0 +1,96 @@
+(* Packed bit vector over 63-bit words. The predicate kernels build one
+   of these per conjunct and combine them with whole-word boolean
+   operations; the tail bits of the last word are kept zero so that
+   word-wise combination never sets a bit past [len]. *)
+
+type t = { words : int array; len : int }
+
+let width = 63
+
+let nwords len = (len + width - 1) / width
+
+let create len = { words = Array.make (nwords len) 0; len }
+
+(* Mask keeping only the valid bits of the last word. *)
+let tail_mask len =
+  let r = len mod width in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let full len =
+  let t = { words = Array.make (nwords len) (-1); len } in
+  let n = nwords len in
+  if n > 0 then t.words.(n - 1) <- t.words.(n - 1) land tail_mask len;
+  t
+
+let length t = t.len
+
+let get t i = (t.words.(i / width) lsr (i mod width)) land 1 = 1
+
+let set t i = t.words.(i / width) <- t.words.(i / width) lor (1 lsl (i mod width))
+
+let clear t i =
+  t.words.(i / width) <- t.words.(i / width) land lnot (1 lsl (i mod width))
+
+let init len f =
+  let t = create len in
+  for wi = 0 to nwords len - 1 do
+    let base = wi * width in
+    let hi = min (width - 1) (len - 1 - base) in
+    let acc = ref 0 in
+    for b = 0 to hi do
+      acc := !acc lor (Bool.to_int (f (base + b)) lsl b)
+    done;
+    t.words.(wi) <- !acc
+  done;
+  t
+
+let check_len a b op =
+  if a.len <> b.len then invalid_arg ("Bitset." ^ op ^ ": length mismatch")
+
+let inter_into dst src =
+  check_len dst src "inter_into";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let union_into dst src =
+  check_len dst src "union_into";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let complement_into t =
+  let n = nwords t.len in
+  for i = 0 to n - 1 do
+    t.words.(i) <- lnot t.words.(i)
+  done;
+  if n > 0 then t.words.(n - 1) <- t.words.(n - 1) land tail_mask t.len
+
+let rec ntz_loop x acc = if x land 1 = 1 then acc else ntz_loop (x lsr 1) (acc + 1)
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    let base = wi * width in
+    while !w <> 0 do
+      let b = ntz_loop !w 0 in
+      f (base + b);
+      w := !w land (!w - 1)
+    done
+  done
+
+let count t =
+  let c = ref 0 in
+  iter (fun _ -> incr c) t;
+  !c
+
+let to_array t =
+  let n = count t in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      out.(!k) <- i;
+      incr k)
+    t;
+  out

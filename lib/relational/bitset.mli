@@ -1,0 +1,52 @@
+(** Packed bit vectors (selection masks for the columnar engine).
+
+    A mask over the rows of one relation: the predicate kernels in
+    {!Col_eval} produce one mask per conjunct and combine them with
+    whole-word boolean operations. Bits past the logical length are
+    kept zero, so word-wise combination is closed over well-formed
+    masks. *)
+
+type t
+
+val create : int -> t
+(** [create len] — all bits clear. *)
+
+val full : int -> t
+(** [full len] — all [len] bits set. *)
+
+val init : int -> (int -> bool) -> t
+(** [init len f] — bit [i] holds [f i]; [f] is applied in index order,
+    accumulated word-at-a-time (the vectorized-kernel building block). *)
+
+val length : t -> int
+(** Logical number of bits. *)
+
+val get : t -> int -> bool
+(** [get t i] — bit [i]. *)
+
+val set : t -> int -> unit
+(** Set bit [i]. *)
+
+val clear : t -> int -> unit
+(** Clear bit [i]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] — [dst <- dst AND src]. Lengths must match. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] — [dst <- dst OR src]. Lengths must match. *)
+
+val complement_into : t -> unit
+(** Flip every bit in place (within the logical length — tail bits stay
+    zero). Implements SQL [NOT] over a predicate mask: rows where the
+    inner predicate was false {e or null} become set, matching the
+    row engine's two-valued semantics. *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Apply to each set bit in increasing order, skipping zero words. *)
+
+val to_array : t -> int array
+(** Set bits in increasing order (the selection vector). *)

@@ -1,0 +1,63 @@
+(** Columnar join enumeration — the vectorized engine behind
+    [QP_REL_ENGINE=columnar].
+
+    Shares {!Eval}'s plan (resolution, predicate classification, equi
+    detection) and its output construction ({!Eval.result_of_envs});
+    replaces candidate filtering with vectorized kernels over
+    {!Col_table} columns and equi probes with unboxed int / dictionary
+    hash indexes. Environments materialize as pointers to the source
+    relations' row tuples, so both engines enumerate the same multiset
+    of environments and build answers through the same code. *)
+
+type t
+(** Per-instance prepared state: per-level selection vectors and join
+    indexes (the columnar analogue of {!Eval.prejoined}). *)
+
+val prepare : Eval.plan -> Database.t -> t
+(** Build selection vectors and indexes for one instance (columnar
+    images are cached per relation, see
+    {!Col_table.of_relation_cached}). *)
+
+val plan : t -> Eval.plan
+(** The plan this state was prepared from. *)
+
+val join_prejoined : t -> Expr.env list
+(** Every [WHERE]-satisfying join environment (as {!Eval.join_prejoined}). *)
+
+val join_fixed : t -> int * Relation.tuple -> Expr.env list
+(** Environments with one [FROM] position pinned to a given tuple (as
+    {!Eval.join_fixed}, including the reverse level-0 bucket
+    restriction). *)
+
+val run : t -> Result_set.t
+(** The full query answer from this engine — used by the cross-engine
+    identity tests. *)
+
+(** {2 Per-delta emptiness pre-checks}
+
+    {!Delta_eval}'s hot loop asks, per delta, for the contributions of
+    the old and new tuple; for most deltas both are empty. These decide
+    that common case from precomputed state in a few hash lookups,
+    skipping {!join_fixed} entirely. *)
+
+val seed_participating : t -> Expr.env list -> unit
+(** Record the satisfying envs (as returned by {!join_prejoined}) so
+    {!tuple_participates} need not re-enumerate. A no-op if already
+    seeded, and for star plans, which never consult the table: their
+    pins are decided directly from indexes and per-level masks. *)
+
+val tuple_participates : t -> int -> Relation.tuple -> bool
+(** Whether a tuple equal by value to [tup] can occur at [FROM]
+    position [lvl] in a satisfying env. [false] is always exact — it
+    proves the pinned old tuple contributes nothing. Star plans (no
+    cross-level filters, every equi probing only level 0) answer from
+    index probes and reverse-bucket/mask tests without enumerating;
+    other plans hash the seeded (or lazily enumerated) env set. *)
+
+val may_extend : t -> int -> Relation.tuple -> bool
+(** Joinability of a {e new} tuple pinned at a level — a tuple the
+    database never held, so env membership cannot answer it. [false]
+    is exact (the tuple fails its level's single conjuncts, or a
+    required partner bucket/mask is empty); [true] means "maybe", and
+    the caller falls back to {!join_fixed}. Exact on star plans except
+    for pinned levels probed only by non-column expressions. *)

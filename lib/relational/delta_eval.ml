@@ -1,3 +1,44 @@
+(* --- engine selection ------------------------------------------------ *)
+
+type engine = Row | Columnar | Check
+
+let engine_name = function
+  | Row -> "row"
+  | Columnar -> "columnar"
+  | Check -> "check"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "row" -> Some Row
+  | "columnar" -> Some Columnar
+  | "check" -> Some Check
+  | _ -> None
+
+(* Fail fast on an unknown QP_REL_ENGINE: a typo silently falling back
+   to the default would defeat the point of asking for a cross-check. *)
+let initial_engine =
+  match Sys.getenv_opt "QP_REL_ENGINE" with
+  | None -> Columnar
+  | Some s -> (
+      match engine_of_string s with
+      | Some e -> e
+      | None ->
+          Printf.eprintf
+            "QP_REL_ENGINE=%s is not a relational engine (expected row, \
+             columnar or check)\n"
+            s;
+          exit 2)
+
+let engine_ref = ref initial_engine
+let default_engine () = !engine_ref
+let set_default_engine e = engine_ref := e
+
+let mismatch_count = Atomic.make 0
+let check_mismatches () = Atomic.get mismatch_count
+let reset_check_mismatches () = Atomic.set mismatch_count 0
+
+(* --- strategies ------------------------------------------------------ *)
+
 type group = { acc : Agg_state.acc; mutable base_out : Value.t array option }
 
 type grouped_state = {
@@ -9,34 +50,56 @@ type strategy =
   | Rowwise
   | Rowwise_distinct of (Value.t array, int) Hashtbl.t
   | Grouped of grouped_state
+  | Limited of { k : int; base_rows : Value.t array array }
+      (* plain LIMIT-k query: the full sorted projected multiset; a
+         delta changes the answer iff it changes the first k rows *)
   | Fallback
 
-type t = {
+type backend = B_row of Eval.prejoined | B_col of Col_eval.t
+
+type core = {
   db : Database.t;
   q : Query.t;
   plan : Eval.plan;
-  prejoined : Eval.prejoined;
+  backend : backend;
   positions : (string, int list) Hashtbl.t;  (** table name -> FROM levels *)
   strategy : strategy;
+  referenced : bool array array;
+      (** per level, per column: does the query read this column?
+          Powers the columnar engine's unreferenced-cell short circuit. *)
+  rels : (string, Relation.t) Hashtbl.t;
+      (** per-delta relation resolution cache (skips the lowercasing
+          name lookup inside {!Database.relation} on every delta) *)
   mutable base : Result_set.t option;
 }
 
-let query t = t.q
+type t = {
+  engine : engine;
+  main : core;
+  check_row : core option;
+      (** in check mode, the row-engine oracle evaluated alongside *)
+}
 
-let base_result t =
-  match t.base with
+let query t = t.main.q
+
+let core_base core =
+  match core.base with
   | Some r -> r
   | None ->
-      let r = Eval.run_plan t.plan t.db in
-      t.base <- Some r;
+      let r = Eval.run_plan core.plan core.db in
+      core.base <- Some r;
       r
 
-let strategy_name t =
-  match t.strategy with
+let base_result t = core_base t.main
+
+let strategy_name_of = function
   | Rowwise -> "rowwise"
   | Rowwise_distinct _ -> "rowwise-distinct"
   | Grouped _ -> "grouped"
+  | Limited _ -> "limited"
   | Fallback -> "fallback"
+
+let strategy_name t = strategy_name_of t.main.strategy
 
 (* Grouped answers stay per-key comparable only when every selected
    field is itself a group key; then output rows are pairwise distinct
@@ -59,61 +122,161 @@ let table_positions q =
     q.Query.from;
   positions
 
-let choose_strategy plan q envs positions =
-  let self_join = Hashtbl.fold (fun _ ps b -> b || List.length ps > 1) positions false in
-  if self_join || q.Query.limit <> None then Fallback
-  else if Query.has_aggregate q || q.Query.group_by <> [] then
-    if q.Query.distinct then Fallback
-    else if q.Query.group_by = [] && List.exists (function Query.Field _ -> true | Query.Aggregate _ -> false) q.Query.select
-    then Fallback
-    else if not (fields_are_group_keys q) then Fallback
-    else begin
-      let groups = Hashtbl.create 64 in
-      List.iter
-        (fun env ->
-          let key = Eval.group_key plan env in
-          let g =
-            match Hashtbl.find_opt groups key with
-            | Some g -> g
-            | None ->
-                let g = { acc = Agg_state.create (Eval.agg_kinds plan); base_out = None } in
-                Hashtbl.add groups key g;
-                g
-          in
-          Agg_state.add g.acc (Eval.agg_row plan env))
-        envs;
-      Grouped { groups; global = q.Query.group_by = [] }
-    end
-  else if q.Query.distinct then begin
-    let counts = Hashtbl.create 256 in
-    List.iter
-      (fun env ->
-        let row = Eval.project plan env in
-        let cur = Option.value (Hashtbl.find_opt counts row) ~default:0 in
-        Hashtbl.replace counts row (cur + 1))
-      envs;
-    Rowwise_distinct counts
-  end
-  else Rowwise
-
-let prepare db q =
-  let plan = Eval.prepare db q in
-  let prejoined = Eval.precompute_levels plan db in
-  let positions = table_positions q in
-  let needs_envs =
-    (Query.has_aggregate q || q.Query.group_by <> [] || q.Query.distinct)
-    && q.Query.limit = None
+(* Which (level, column) cells can influence the answer: every column
+   referenced by the WHERE clause, the select items, the GROUP BY keys
+   or the aggregate arguments. A Cell_change on an unreferenced column
+   cannot change the answer (row multiplicities are unchanged and no
+   output or predicate reads the cell). *)
+let referenced_columns plan q =
+  let env_schemas = Eval.from_env plan in
+  let refs =
+    Array.map (fun (_, s) -> Array.make (Schema.arity s) false) env_schemas
   in
-  let envs = if needs_envs then Eval.join_prejoined plan prejoined else [] in
+  let mark e =
+    List.iter
+      (fun cr ->
+        let lvl, col = Expr.resolve env_schemas cr in
+        refs.(lvl).(col) <- true)
+      (Expr.columns e)
+  in
+  Option.iter mark q.Query.where;
+  List.iter
+    (function
+      | Query.Field (e, _) -> mark e
+      | Query.Aggregate (fn, _) -> (
+          match fn with
+          | Query.Count_star -> ()
+          | Query.Count e | Query.Count_distinct e | Query.Sum e
+          | Query.Avg e | Query.Min e | Query.Max e ->
+              mark e))
+    q.Query.select;
+  List.iter mark q.Query.group_by;
+  refs
+
+let is_plain q =
+  (not (Query.has_aggregate q))
+  && q.Query.group_by = [] && not q.Query.distinct
+
+let choose_strategy plan q envs positions =
+  let self_join =
+    Hashtbl.fold (fun _ ps b -> b || List.length ps > 1) positions false
+  in
+  if self_join then Fallback
+  else
+    match q.Query.limit with
+    | Some k when is_plain q ->
+        let base_rows =
+          Array.of_list (List.map (Eval.project plan) envs)
+        in
+        Array.sort Result_set.compare_rows base_rows;
+        Limited { k; base_rows }
+    | Some _ -> Fallback
+    | None ->
+        if Query.has_aggregate q || q.Query.group_by <> [] then
+          if q.Query.distinct then Fallback
+          else if
+            q.Query.group_by = []
+            && List.exists
+                 (function Query.Field _ -> true | Query.Aggregate _ -> false)
+                 q.Query.select
+          then Fallback
+          else if not (fields_are_group_keys q) then Fallback
+          else begin
+            let groups = Hashtbl.create 64 in
+            List.iter
+              (fun env ->
+                let key = Eval.group_key plan env in
+                let g =
+                  match Hashtbl.find_opt groups key with
+                  | Some g -> g
+                  | None ->
+                      let g =
+                        {
+                          acc = Agg_state.create (Eval.agg_kinds plan);
+                          base_out = None;
+                        }
+                      in
+                      Hashtbl.add groups key g;
+                      g
+                in
+                Agg_state.add g.acc (Eval.agg_row plan env))
+              envs;
+            Grouped { groups; global = q.Query.group_by = [] }
+          end
+        else if q.Query.distinct then begin
+          let counts = Hashtbl.create 256 in
+          List.iter
+            (fun env ->
+              let row = Eval.project plan env in
+              let cur = Option.value (Hashtbl.find_opt counts row) ~default:0 in
+              Hashtbl.replace counts row (cur + 1))
+            envs;
+          Rowwise_distinct counts
+        end
+        else Rowwise
+
+let prepare_core ~columnar db q plan positions =
+  let backend =
+    if columnar then B_col (Col_eval.prepare plan db)
+    else B_row (Eval.precompute_levels plan db)
+  in
+  let self_join =
+    Hashtbl.fold (fun _ ps b -> b || List.length ps > 1) positions false
+  in
+  let needs_envs =
+    (not self_join)
+    && ((Query.has_aggregate q || q.Query.group_by <> [] || q.Query.distinct)
+        && q.Query.limit = None
+       || (is_plain q && q.Query.limit <> None))
+  in
+  let envs =
+    if not needs_envs then []
+    else
+      match backend with
+      | B_row prejoined -> Eval.join_prejoined plan prejoined
+      | B_col col -> Col_eval.join_prejoined col
+  in
   let strategy = choose_strategy plan q envs positions in
-  { db; q; plan; prejoined; positions; strategy; base = None }
+  (* The envs were just enumerated; hand them to the columnar engine so
+     its per-delta emptiness pre-check needn't enumerate them again. *)
+  (match backend with
+  | B_col col when needs_envs -> Col_eval.seed_participating col envs
+  | _ -> ());
+  {
+    db;
+    q;
+    plan;
+    backend;
+    positions;
+    strategy;
+    referenced = referenced_columns plan q;
+    rels = Hashtbl.create 4;
+    base = None;
+  }
+
+let prepare ?engine db q =
+  let engine = Option.value engine ~default:(default_engine ()) in
+  let plan = Eval.prepare db q in
+  let positions = table_positions q in
+  let main =
+    prepare_core ~columnar:(engine <> Row) db q plan positions
+  in
+  let check_row =
+    if engine = Check then
+      Some (prepare_core ~columnar:false db q plan positions)
+    else None
+  in
+  { engine; main; check_row }
 
 (* --- per-delta contribution ----------------------------------------- *)
 
-let contributions t level tup_opt =
+let contributions core level tup_opt =
   match tup_opt with
   | None -> []
-  | Some tup -> Eval.join_fixed t.plan t.prejoined (level, tup)
+  | Some tup -> (
+      match core.backend with
+      | B_row prejoined -> Eval.join_fixed core.plan prejoined (level, tup)
+      | B_col col -> Col_eval.join_fixed col (level, tup))
 
 let multiset_equal rows_a rows_b =
   List.length rows_a = List.length rows_b
@@ -123,14 +286,14 @@ let multiset_equal rows_a rows_b =
     (fun a b -> Result_set.compare_rows a b = 0)
     (sort rows_a) (sort rows_b)
 
-let rowwise_differs t removed added =
-  let proj envs = List.map (Eval.project t.plan) envs in
+let rowwise_differs core removed added =
+  let proj envs = List.map (Eval.project core.plan) envs in
   not (multiset_equal (proj removed) (proj added))
 
-let distinct_differs t counts removed added =
+let distinct_differs core counts removed added =
   let net = Hashtbl.create 8 in
   let bump env d =
-    let row = Eval.project t.plan env in
+    let row = Eval.project core.plan env in
     let cur = Option.value (Hashtbl.find_opt net row) ~default:0 in
     Hashtbl.replace net row (cur + d)
   in
@@ -152,20 +315,22 @@ let group_base_out g =
       g.base_out <- Some out;
       out
 
-let grouped_differs t gs removed added =
+let grouped_differs core gs removed added =
   let by_key = Hashtbl.create 8 in
   let file d env =
-    let key = Eval.group_key t.plan env in
+    let key = Eval.group_key core.plan env in
     let rem, add =
       Option.value (Hashtbl.find_opt by_key key) ~default:([], [])
     in
-    let row = Eval.agg_row t.plan env in
+    let row = Eval.agg_row core.plan env in
     if d < 0 then Hashtbl.replace by_key key (row :: rem, add)
     else Hashtbl.replace by_key key (rem, row :: add)
   in
   List.iter (file (-1)) removed;
   List.iter (file 1) added;
-  let arr_equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b in
+  let arr_equal a b =
+    Array.length a = Array.length b && Array.for_all2 Value.equal a b
+  in
   Hashtbl.fold
     (fun key (rem, add) acc ->
       acc
@@ -177,8 +342,9 @@ let grouped_differs t gs removed added =
               if gs.global then
                 (* A global aggregate never loses its single output row;
                    it degrades to the empty-input row. *)
-                not (arr_equal (group_base_out g)
-                       (Agg_state.empty_output (Eval.agg_kinds t.plan)))
+                not
+                  (arr_equal (group_base_out g)
+                     (Agg_state.empty_output (Eval.agg_kinds core.plan)))
               else true
           | Some out -> not (arr_equal (group_base_out g) out))
       | None ->
@@ -186,36 +352,167 @@ let grouped_differs t gs removed added =
           add <> []
           &&
           if gs.global then
-            let acc0 = Agg_state.create (Eval.agg_kinds t.plan) in
+            let acc0 = Agg_state.create (Eval.agg_kinds core.plan) in
             List.iter (Agg_state.add acc0) add;
-            not (arr_equal (Agg_state.output acc0)
-                   (Agg_state.empty_output (Eval.agg_kinds t.plan)))
+            not
+              (arr_equal (Agg_state.output acc0)
+                 (Agg_state.empty_output (Eval.agg_kinds core.plan)))
           else true)
     by_key false
 
-let fallback_differs t delta =
-  let perturbed = Delta.apply t.db delta in
-  not (Result_set.equal (Eval.run_plan t.plan perturbed) (base_result t))
+(* LIMIT-k on a plain query truncates the canonically sorted projected
+   multiset; the answer changes iff the first k rows of that sorted
+   multiset change. Walk the base rows (minus removals, merged with
+   additions) against the original first k — O(k + |delta rows|). *)
+let limited_differs core k base_rows removed added =
+  let proj envs =
+    List.sort Result_set.compare_rows
+      (List.map (Eval.project core.plan) envs)
+  in
+  let rem = ref (proj removed) and add = ref (proj added) in
+  let nb = Array.length base_rows in
+  let new_len = nb - List.length !rem + List.length !add in
+  let kept = min k nb and kept' = min k new_len in
+  if kept <> kept' then true
+  else begin
+    (* Next base row surviving removal. Removed rows are contributions
+       of a stored tuple, so each occurs in the base multiset; both
+       sequences are sorted, so equal heads cancel. *)
+    let bi = ref 0 in
+    let rec base_next () =
+      if !bi >= nb then None
+      else
+        match !rem with
+        | r :: rest when Result_set.compare_rows r base_rows.(!bi) = 0 ->
+            incr bi;
+            rem := rest;
+            base_next ()
+        | _ -> Some base_rows.(!bi)
+    in
+    let differs = ref false in
+    let taken = ref 0 in
+    while (not !differs) && !taken < kept' do
+      let next =
+        match (base_next (), !add) with
+        | None, [] -> None (* unreachable: kept' rows always exist *)
+        | Some b, [] ->
+            incr bi;
+            Some b
+        | None, a :: rest ->
+            add := rest;
+            Some a
+        | Some b, a :: rest ->
+            if Result_set.compare_rows b a <= 0 then begin
+              incr bi;
+              Some b
+            end
+            else begin
+              add := rest;
+              Some a
+            end
+      in
+      (match next with
+      | None -> differs := true
+      | Some row ->
+          if Result_set.compare_rows row base_rows.(!taken) <> 0 then
+            differs := true);
+      incr taken
+    done;
+    !differs
+  end
 
-let differs t delta =
-  let table = String.lowercase_ascii (Delta.relation delta) in
-  match Hashtbl.find_opt t.positions table with
+let fallback_differs core delta =
+  let perturbed = Delta.apply core.db delta in
+  not (Result_set.equal (Eval.run_plan core.plan perturbed) (core_base core))
+
+(* The columnar engine short-circuits cell changes on columns the query
+   never reads: the answer is a function of the referenced cells and
+   the row multiset, and a Cell_change alters neither. The row engine
+   stays free of this shortcut so check mode exercises it. *)
+let unreferenced_cell core levels delta =
+  match delta with
+  | Delta.Row_drop _ -> false
+  | Delta.Cell_change { col; _ } ->
+      List.for_all (fun lvl -> not core.referenced.(lvl).(col)) levels
+
+(* Positions are keyed by lowercased table name; generated deltas name
+   tables in canonical (lower) case already, so try the raw name before
+   paying for a fresh lowercased string per delta. *)
+let find_positions core table =
+  match Hashtbl.find_opt core.positions table with
+  | Some levels -> Some levels
+  | None -> Hashtbl.find_opt core.positions (String.lowercase_ascii table)
+
+(* Delta.changed_tuple with the relation lookup memoized per core. *)
+let changed_tuple core delta =
+  let name = Delta.relation delta in
+  let r =
+    match Hashtbl.find_opt core.rels name with
+    | Some r -> r
+    | None ->
+        let r = Database.relation core.db name in
+        Hashtbl.add core.rels name r;
+        r
+  in
+  match delta with
+  | Delta.Cell_change { row; col; value; _ } ->
+      let old_tup = Relation.tuple r row in
+      let new_tup = Array.copy old_tup in
+      new_tup.(col) <- value;
+      (old_tup, Some new_tup)
+  | Delta.Row_drop { row; _ } -> (Relation.tuple r row, None)
+
+let core_differs core delta =
+  match find_positions core (Delta.relation delta) with
   | None -> false
   | Some levels -> (
-      match t.strategy with
-      | Fallback -> fallback_differs t delta
-      | strategy -> (
-          match levels with
-          | [ level ] -> (
-              let old_tup, new_tup = Delta.changed_tuple t.db delta in
-              let removed = contributions t level (Some old_tup) in
-              let added = contributions t level new_tup in
-              match strategy with
-              | Rowwise -> rowwise_differs t removed added
-              | Rowwise_distinct counts -> distinct_differs t counts removed added
-              | Grouped gs -> grouped_differs t gs removed added
-              | Fallback -> assert false)
-          | _ ->
-              (* Self-joins force the fallback strategy at prepare
-                 time, so this is unreachable; stay safe regardless. *)
-              fallback_differs t delta))
+      if
+        (match core.backend with B_col _ -> true | B_row _ -> false)
+        && unreferenced_cell core levels delta
+      then false
+      else
+        match core.strategy with
+        | Fallback -> fallback_differs core delta
+        | strategy -> (
+            match levels with
+            | [ level ] -> (
+                let old_tup, new_tup = changed_tuple core delta in
+                (* Columnar fast path: when neither the old nor the new
+                   tuple can appear in a satisfying env, both
+                   contribution sets are empty and every incremental
+                   strategy answers "no change" on empty deltas. *)
+                let provably_empty =
+                  match core.backend with
+                  | B_row _ -> false
+                  | B_col col ->
+                      (not (Col_eval.tuple_participates col level old_tup))
+                      && (match new_tup with
+                         | None -> true
+                         | Some nt -> not (Col_eval.may_extend col level nt))
+                in
+                if provably_empty then false
+                else
+                  let removed = contributions core level (Some old_tup) in
+                  let added = contributions core level new_tup in
+                  match strategy with
+                  | Rowwise -> rowwise_differs core removed added
+                  | Rowwise_distinct counts ->
+                      distinct_differs core counts removed added
+                  | Grouped gs -> grouped_differs core gs removed added
+                  | Limited { k; base_rows } ->
+                      limited_differs core k base_rows removed added
+                  | Fallback -> assert false)
+            | _ ->
+                (* Self-joins force the fallback strategy at prepare
+                   time, so this is unreachable; stay safe regardless. *)
+                fallback_differs core delta))
+
+let differs t delta =
+  match t.check_row with
+  | None -> core_differs t.main delta
+  | Some row_core ->
+      let col_ans = core_differs t.main delta in
+      let row_ans = core_differs row_core delta in
+      if col_ans <> row_ans then Atomic.incr mismatch_count;
+      (* the row engine is the oracle *)
+      row_ans

@@ -30,6 +30,7 @@ type plan = {
 
 let query p = p.query
 let from_env p = p.env_schemas
+let table_names p = p.table_names
 
 let rec split_conjuncts = function
   | Expr.And (a, b) -> split_conjuncts a @ split_conjuncts b
@@ -162,6 +163,22 @@ let cross_filters plan =
       Array.of_list
         (List.filter (fun f -> not (is_single lvl f)) (Array.to_list fs)))
     plan.filters
+
+(* --- introspection for the columnar engine ------------------------- *)
+
+type filter_info = { f_ast : Expr.t; f_comp : Expr.compiled }
+
+let single_filters plan lvl =
+  List.filter_map
+    (fun c ->
+      if is_single lvl c then Some { f_ast = c.ast; f_comp = c.comp } else None)
+    (Array.to_list plan.filters.(lvl))
+
+let cross_compiled plan =
+  Array.map (Array.map (fun c -> c.comp)) (cross_filters plan)
+
+let level_equis plan lvl =
+  List.map (fun e -> (e.key_col, e.probe, e.probe_col0)) plan.equis.(lvl)
 
 let build_level_plan plan lvl raw =
   let n = Array.length plan.env_schemas in
@@ -352,8 +369,7 @@ let dedupe_sorted rows =
       List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
       arr
 
-let run_plan plan db =
-  let envs = join_all plan db in
+let result_of_envs plan envs =
   let is_grouped = plan.group_by <> [||] || Array.length plan.agg_kinds > 0 in
   let rows =
     if is_grouped then grouped_rows plan envs else plain_rows plan envs
@@ -368,4 +384,5 @@ let run_plan plan db =
   | Some k -> Result_set.truncated_to k result
   | None -> result
 
+let run_plan plan db = result_of_envs plan (join_all plan db)
 let run db q = run_plan (prepare db q) db

@@ -86,3 +86,9 @@ val compile : (string * Schema.t) array -> t -> compiled
 
 val is_true : Value.t -> bool
 (** [Int 0] and [Null] are false; everything else is true. *)
+
+val resolve : (string * Schema.t) array -> col_ref -> int * int
+(** [(level, column)] position of a column reference in the [FROM]
+    environment — the same resolution {!compile} performs, exposed so
+    the columnar kernels can map conjunct ASTs onto columns. Raises
+    [Invalid_argument] on unresolved or ambiguous references. *)

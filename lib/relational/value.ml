@@ -14,10 +14,41 @@ let ratio num den =
   let g = if g = 0 then 1 else g in
   if den / g = 1 then Int (num / g) else Ratio (num / g, den / g)
 
-(* Exact comparison of p/q vs r/s by cross-multiplication. Magnitudes in
-   this codebase stay far below sqrt(max_int), so the products cannot
-   overflow. *)
-let compare_num p q r s = compare (p * s) (r * q)
+(* Exact comparison of p/q vs r/s (q, s > 0). Cross-multiplication is
+   exact only while both products stay within native-int range; AVG
+   numerators are sums over whole relations and can exceed
+   sqrt(max_int), so past that bound we fall back to a continued-
+   fraction descent: compare the floor quotients, then recurse on the
+   reciprocals of the remainders. Remainders are strictly smaller than
+   their divisors, so the recursion terminates, and every intermediate
+   stays within native range (floor division/remainder only). *)
+let rec compare_frac p q r s =
+  (* Floor division with the remainder in [0, den): OCaml (/) truncates
+     toward zero, so shift negative results down by one. The [d * den]
+     products never overflow because |d * den| <= |num| by construction
+     (d is the truncated quotient). *)
+  let floor_divmod num den =
+    let d = num / den in
+    let m = num - (d * den) in
+    if m < 0 then (d - 1, m + den) else (d, m)
+  in
+  let d1, m1 = floor_divmod p q and d2, m2 = floor_divmod r s in
+  if d1 <> d2 then compare d1 d2
+  else if m1 = 0 then if m2 = 0 then 0 else -1
+  else if m2 = 0 then 1
+  else
+    (* m1/q vs m2/s with 0 < m1 < q, 0 < m2 < s: equivalent to the
+       flipped comparison of the reciprocals s/m2 vs q/m1. *)
+    compare_frac s m2 q m1
+
+let compare_num p q r s =
+  if q <= 0 || s <= 0 then
+    invalid_arg "Value.compare_num: denominators must be positive";
+  (* Fast path: with all four magnitudes below 2^31 the products are
+     exact in a 63-bit native int. *)
+  let small x = -0x4000_0000 < x && x < 0x4000_0000 in
+  if small p && small q && small r && small s then compare (p * s) (r * q)
+  else compare_frac p q r s
 
 let compare a b =
   match (a, b) with

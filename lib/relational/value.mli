@@ -20,6 +20,16 @@ val ratio : int -> int -> t
     numerator, and collapses to [Int] when the denominator is 1.
     Requires [den <> 0]. *)
 
+val compare_num : int -> int -> int -> int -> int
+(** [compare_num p q r s] compares the exact rationals [p/q] and [r/s].
+    Requires [q > 0] and [s > 0] (raises [Invalid_argument] otherwise).
+    Overflow-safe at any magnitude: cross-multiplies while all four
+    operands fit below [2^31], and otherwise switches to an exact
+    continued-fraction descent (floor-quotient comparison, recursing on
+    the reciprocal remainders). This is the single numeric-comparison
+    kernel: {!compare} and the columnar predicate kernels both route
+    rational comparisons through it. *)
+
 val compare : t -> t -> int
 (** Total order: [Null] < numerics (compared as rationals) < strings. *)
 

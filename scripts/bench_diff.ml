@@ -12,6 +12,13 @@
                   may grow at most 10% while the pivot ratio may shrink
                   at most 10% (pivot counts are deterministic, so these
                   bounds are tight on purpose — wall-clock is not gated);
+     - conflict:  every workload's hypergraph must be bit-identical
+                  across relational engines and job counts with zero
+                  check-mode disagreements and no dropped queries; the
+                  same-run row/columnar per-query-mean ratio must hold
+                  its floor (5x on ssb, parity elsewhere) and the
+                  absolute columnar per-query mean may grow at most 3x
+                  over baseline;
      - serve:     served quotes must stay bit-identical to the oracle
                   (identity_mismatches = 0), no level may report client
                   errors, the broker's own METRICS counters must agree
@@ -222,6 +229,75 @@ let check_serve ~baseline ~current =
   | None, _ -> fail "baseline serve: no level with quotes_per_sec"
   | _, None -> fail "current serve: no level with quotes_per_sec"
 
+let check_conflict ~baseline ~current =
+  let workload_assoc ~file j =
+    match list_field ~file j "workloads" with
+    | None -> []
+    | Some ws ->
+        List.filter_map
+          (fun w ->
+            match Option.bind (Json.member "workload" w) Json.str with
+            | Some name -> Some (name, w)
+            | None ->
+                fail "%s: workload entry without a name" file;
+                None)
+          ws
+  in
+  let base_ws = workload_assoc ~file:"baseline conflict" baseline in
+  let cur_ws = workload_assoc ~file:"current conflict" current in
+  List.iter
+    (fun (name, w) ->
+      (* Correctness pins: every engine/job combination built the same
+         hypergraph and check mode saw zero disagreements. *)
+      (match Json.member "fingerprints_equal" w with
+      | Some (Json.Bool true) -> ok "conflict %s engines bit-identical" name
+      | Some _ -> fail "conflict %s: hypergraphs differ across engines" name
+      | None -> fail "current conflict: %s missing fingerprints_equal" name);
+      (match num_field ~file:"current conflict" w "check_mismatches" with
+      | Some 0.0 -> ok "conflict %s check_mismatches 0" name
+      | Some m ->
+          fail "conflict %s check_mismatches %.0f (columnar engine diverges \
+                from the row oracle)" name m
+      | None -> ());
+      (match num_field ~file:"current conflict" w "failed_queries" with
+      | Some 0.0 -> ()
+      | Some m -> fail "conflict %s dropped %.0f queries" name m
+      | None -> ());
+      (* The tentpole metric: same-run per-query-mean ratio row/columnar
+         at jobs=1. Same-run ratios are steady on a noisy box, so this
+         floor is meaningful even where absolute times are not. *)
+      (match num_field ~file:"current conflict" w "speedup_columnar" with
+      | Some s ->
+          let floor = if name = "ssb" then 5.0 else 1.0 in
+          if s >= floor then
+            ok "conflict %s columnar speedup %.2fx/query (floor %.1fx)" name s
+              floor
+          else
+            fail "conflict %s columnar speedup %.2fx/query fell below the \
+                  %.1fx floor" name s floor
+      | None -> ());
+      (* Absolute guard vs baseline, deliberately loose (3x) — catches a
+         collapse of the whole build, not scheduler noise. *)
+      match
+        ( Option.bind (List.assoc_opt name base_ws) (fun b ->
+              Option.bind (Json.member "query_seconds_mean" b) Json.num),
+          num_field ~file:"current conflict" w "query_seconds_mean" )
+      with
+      | Some b, Some c ->
+          if c <= 3.0 *. b then
+            ok "conflict %s query mean %.2fms (baseline %.2fms, limit 3x)"
+              name (c *. 1e3) (b *. 1e3)
+          else
+            fail "conflict %s query mean grew %.2fms -> %.2fms (over 3x \
+                  baseline)" name (b *. 1e3) (c *. 1e3)
+      | _ -> ())
+    cur_ws;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name cur_ws) then
+        fail "conflict workload %S present in baseline, missing now" name)
+    base_ws
+
 let compare_pair name check ~baseline_dir ~current_dir =
   let file = "BENCH_" ^ name ^ ".json" in
   let bpath = Filename.concat baseline_dir file in
@@ -247,6 +323,7 @@ let () =
   compare_pair "simplex" check_simplex ~baseline_dir ~current_dir;
   compare_pair "warmstart" check_warmstart ~baseline_dir ~current_dir;
   compare_pair "serve" check_serve ~baseline_dir ~current_dir;
+  compare_pair "conflict" check_conflict ~baseline_dir ~current_dir;
   if !failures > 0 then begin
     Printf.printf
       "bench gate: %d regression(s) vs %s — if intentional, refresh the \

@@ -98,7 +98,7 @@ let random_pred rand table =
 let random_query rand i =
   let open Query in
   let name = Printf.sprintf "RQ%d" i in
-  match Random.State.int rand 8 with
+  match Random.State.int rand 9 with
   | 0 ->
       make ~name ~from:[ "Users" ]
         ~where:(random_pred rand "Users")
@@ -150,10 +150,16 @@ let random_query rand i =
           Field (Expr.col "gender", "gender");
           Aggregate (Sum (Expr.col "amount"), "spend");
         ]
-  | _ ->
+  | 7 ->
       make ~name ~from:[ "Users" ] ~limit:(1 + Random.State.int rand 3)
         ~where:(random_pred rand "Users")
         [ Field (Expr.col "uid", "uid"); Field (Expr.col "name", "name") ]
+  | _ ->
+      (* DISTINCT + LIMIT has no incremental strategy: exercises fallback *)
+      make ~name ~distinct:true ~from:[ "Users" ]
+        ~limit:(1 + Random.State.int rand 3)
+        ~where:(random_pred rand "Users")
+        [ Field (Expr.col "gender", "gender") ]
 
 let random_delta rand db =
   let relations = Array.of_list (Database.relations db) in

@@ -1,0 +1,190 @@
+(* Cross-engine identity: the columnar engine must enumerate exactly
+   the environments the row engine does, so full answers, conflict sets
+   and whole hypergraphs are bit-identical between engines. *)
+
+open Fixtures
+module Col_eval = R.Col_eval
+module Eval = R.Eval
+module Delta_eval = R.Delta_eval
+module Delta = R.Delta
+module Result_set = R.Result_set
+module WI = Qp_experiments.Workload_instances
+module Conflict = Qp_market.Conflict
+module H = Qp_core.Hypergraph
+
+let columnar_run database query =
+  let plan = Eval.prepare database query in
+  Col_eval.run (Col_eval.prepare plan database)
+
+(* 120 random databases x 8 query shapes: the full answers agree. *)
+let test_run_matches_row () =
+  let rand = Random.State.make [| 1811 |] in
+  for round = 1 to 120 do
+    let database = random_db rand in
+    for qi = 1 to 8 do
+      let query = random_query rand ((round * 10) + qi) in
+      let row = Eval.run database query in
+      let col = columnar_run database query in
+      if not (Result_set.equal row col) then
+        Alcotest.failf "round %d: engines disagree on %s" round
+          (Query.to_sql query)
+    done
+  done
+
+(* The vectorized LIKE kernel evaluates patterns over the dictionary;
+   pin it against the row engine (itself property-tested against a
+   naive reference in test_like.ml) across random pattern shapes. *)
+let test_like_kernel_matches_row () =
+  let rand = Random.State.make [| 4243 |] in
+  let pattern () =
+    String.init
+      (1 + Random.State.int rand 6)
+      (fun _ -> "ab%_c%".[Random.State.int rand 6])
+  in
+  for round = 1 to 200 do
+    let database = random_db rand in
+    let query =
+      Query.make
+        ~name:(Printf.sprintf "L%d" round)
+        ~from:[ "Users" ]
+        ~where:(Expr.Like (Expr.col "name", pattern ()))
+        [ Query.Field (Expr.col "name", "name") ]
+    in
+    let row = Eval.run database query in
+    let col = columnar_run database query in
+    if not (Result_set.equal row col) then
+      Alcotest.failf "round %d: LIKE kernel diverges on %s" round
+        (Query.to_sql query)
+  done
+
+(* In check mode the row oracle runs alongside on every delta; the big
+   random property must finish with zero recorded disagreements. *)
+let test_check_mode_clean () =
+  let rand = Random.State.make [| 9001 |] in
+  let before = Delta_eval.check_mismatches () in
+  for round = 1 to 60 do
+    let database = random_db rand in
+    for qi = 1 to 8 do
+      let query = random_query rand ((round * 10) + qi) in
+      let prep = Delta_eval.prepare ~engine:Delta_eval.Check database query in
+      for _ = 1 to 10 do
+        ignore (Delta_eval.differs prep (random_delta rand database))
+      done
+    done
+  done;
+  Alcotest.(check int) "no cross-engine mismatches" before
+    (Delta_eval.check_mismatches ())
+
+let fingerprint h =
+  Array.map (fun e -> (e.H.name, e.H.items, e.H.valuation)) (H.edges h)
+
+(* All four paper workloads at tiny scale: row, columnar and check
+   builds produce bit-identical hypergraphs, and check observes zero
+   disagreements. *)
+let test_workload_hypergraph_identity () =
+  List.iter
+    (fun key ->
+      let inst = WI.build key ~scale:WI.Tiny ~seed:7 () in
+      let valued = List.map (fun q -> (q, 1.0)) inst.WI.queries in
+      let build engine =
+        Conflict.hypergraph ~jobs:1 ~engine inst.WI.db valued inst.WI.deltas
+      in
+      let h_row, _ = build Delta_eval.Row in
+      let h_col, _ = build Delta_eval.Columnar in
+      let h_chk, chk_stats = build Delta_eval.Check in
+      Alcotest.(check bool)
+        (key ^ ": row = columnar")
+        true
+        (fingerprint h_row = fingerprint h_col);
+      Alcotest.(check bool)
+        (key ^ ": row = check")
+        true
+        (fingerprint h_row = fingerprint h_chk);
+      Alcotest.(check int)
+        (key ^ ": check mismatches")
+        0 chk_stats.Conflict.check_mismatches;
+      Alcotest.(check string)
+        (key ^ ": stats engine")
+        "check" chk_stats.Conflict.engine)
+    WI.keys
+
+(* Satellite of ISSUE 10: Q16 (plain LIMIT 2 over Country) used to be
+   the skewed workload's single fallback; it now gets the dedicated
+   limited strategy, and the workload builds fallback-free. *)
+let test_skewed_has_no_fallback () =
+  let inst = WI.skewed ~scale:WI.Tiny ~seed:7 () in
+  Alcotest.(check int) "skewed fallback queries" 0
+    inst.WI.build_stats.Conflict.fallback_queries;
+  let q16 =
+    List.find (fun q -> q.Query.name = "Q16") inst.WI.queries
+  in
+  let prep = Delta_eval.prepare inst.WI.db q16 in
+  Alcotest.(check string) "Q16 strategy" "limited"
+    (Delta_eval.strategy_name prep)
+
+(* Directed limited-strategy cases around the truncation boundary. *)
+let test_limited_boundary () =
+  let reference query delta =
+    let before = R.Eval.run db query in
+    let after = R.Eval.run (Delta.apply db delta) query in
+    not (Result_set.equal before after)
+  in
+  let q k =
+    Query.make ~name:(Printf.sprintf "lim%d" k) ~from:[ "Users" ] ~limit:k
+      [ Query.Field (Expr.col "name", "name") ]
+  in
+  let cases =
+    [
+      (* names sort Abe < Alice < Bob < Cathy; LIMIT 2 keeps Abe, Alice *)
+      ("below cut", q 2, Delta.Cell_change
+         { relation = "Users"; row = 2; col = 1; value = Value.Str "Zoe" });
+      ("into cut", q 2, Delta.Cell_change
+         { relation = "Users"; row = 2; col = 1; value = Value.Str "Aaron" });
+      ("inside cut", q 2, Delta.Cell_change
+         { relation = "Users"; row = 0; col = 1; value = Value.Str "Abel" });
+      ("drop inside", q 2, Delta.Row_drop { relation = "Users"; row = 1 });
+      ("drop below", q 3, Delta.Row_drop { relation = "Users"; row = 3 });
+      ("limit covers all", q 10, Delta.Cell_change
+         { relation = "Users"; row = 3; col = 1; value = Value.Str "Carl" });
+      (* unreferenced column: age never read by the projection *)
+      ("unreferenced cell", q 2, Delta.Cell_change
+         { relation = "Users"; row = 0; col = 3; value = Value.Int 99 });
+    ]
+  in
+  List.iter
+    (fun (name, query, delta) ->
+      List.iter
+        (fun engine ->
+          let prep = Delta_eval.prepare ~engine db query in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s (%s)" name (Delta_eval.engine_name engine))
+            (reference query delta)
+            (Delta_eval.differs prep delta))
+        [ Delta_eval.Row; Delta_eval.Columnar; Delta_eval.Check ])
+    cases
+
+let test_engine_of_string () =
+  Alcotest.(check string) "row" "row"
+    (Delta_eval.engine_name
+       (Option.get (Delta_eval.engine_of_string "Row")));
+  Alcotest.(check string) "columnar" "columnar"
+    (Delta_eval.engine_name
+       (Option.get (Delta_eval.engine_of_string "columnar")));
+  Alcotest.(check string) "check" "check"
+    (Delta_eval.engine_name
+       (Option.get (Delta_eval.engine_of_string "CHECK")));
+  Alcotest.(check bool) "unknown rejected" true
+    (Delta_eval.engine_of_string "vectorized" = None)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "col-eval",
+    [
+      t "columnar run matches row" test_run_matches_row;
+      t "LIKE kernel matches row" test_like_kernel_matches_row;
+      t "check mode records no mismatches" test_check_mode_clean;
+      t "workload hypergraphs engine-identical" test_workload_hypergraph_identity;
+      t "skewed workload has no fallback" test_skewed_has_no_fallback;
+      t "limited strategy boundary cases" test_limited_boundary;
+      t "engine_of_string" test_engine_of_string;
+    ] )

@@ -34,8 +34,11 @@ let test_strategy_selection () =
     (Query.make ~name:"grp" ~from:[ "Users" ] ~group_by:[ Expr.col "gender" ]
        [ Query.Field (Expr.col "gender", "g");
          Query.Aggregate (Query.Count_star, "c") ]);
-  check_strategy "fallback"
+  check_strategy "limited"
     (Query.make ~name:"lim" ~from:[ "Users" ] ~limit:1 [ field (Expr.col "name") ]);
+  check_strategy "fallback"
+    (Query.make ~name:"dlim" ~distinct:true ~from:[ "Users" ] ~limit:1
+       [ field (Expr.col "gender") ]);
   check_strategy "fallback"
     (Query.make ~name:"self" ~from:[ "Users A"; "Users B" ]
        ~where:Expr.(eq (col ~table:"A" "uid") (col ~table:"B" "uid"))
@@ -217,7 +220,7 @@ let test_differs_matches_reference () =
     (fun s ->
       Alcotest.(check bool) ("strategy covered: " ^ s) true
         (Hashtbl.mem strategies s))
-    [ "rowwise"; "rowwise-distinct"; "grouped"; "fallback" ]
+    [ "rowwise"; "rowwise-distinct"; "grouped"; "limited"; "fallback" ]
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in

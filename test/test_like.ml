@@ -58,6 +58,45 @@ let prop_matches_reference =
   QCheck2.Test.make ~name:"matches naive reference" ~count:2000 gen
     (fun (pattern, s) -> m pattern s = reference pattern s 0 0)
 
+(* Wider sweep: longer patterns over a 3-letter alphabet so wildcard
+   runs ('%%', '%_%', trailing '%_') appear often, and strings long
+   enough to force multi-step backtracking through the last-star
+   restart in Like.matches. *)
+let prop_matches_reference_wide =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; '%'; '%'; '_' ])
+           (int_range 0 12))
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 16)))
+  in
+  QCheck2.Test.make ~name:"matches naive reference (wide)" ~count:4000 gen
+    (fun (pattern, s) -> m pattern s = reference pattern s 0 0)
+
+(* The suspect edge shapes called out during review, pinned explicitly:
+   '_' immediately after the final '%', consecutive '%%' runs, and the
+   empty-pattern/empty-string corners. An exhaustive sweep (patterns up
+   to length 5 over {a,b,%,_} x strings up to length 5 over {a,b})
+   found no divergence from the naive reference; these pins keep the
+   shapes covered at a glance. *)
+let test_edge_shapes () =
+  Alcotest.(check bool) "_ after final %: too short" false (m "a%_" "a");
+  Alcotest.(check bool) "_ after final %: exact" true (m "a%_" "ab");
+  Alcotest.(check bool) "_ after final %: longer" true (m "a%_" "abcd");
+  Alcotest.(check bool) "%_ alone rejects empty" false (m "%_" "");
+  Alcotest.(check bool) "%_ alone accepts one" true (m "%_" "x");
+  Alcotest.(check bool) "%_%_ needs two" false (m "%_%_" "x");
+  Alcotest.(check bool) "%_%_ takes two" true (m "%_%_" "xy");
+  Alcotest.(check bool) "%% equals %" true (m "a%%b" "axyzb");
+  Alcotest.(check bool) "%% empty gap" true (m "a%%b" "ab");
+  Alcotest.(check bool) "%%% only" true (m "%%%" "");
+  Alcotest.(check bool) "empty pattern, empty string" true (m "" "");
+  Alcotest.(check bool) "empty pattern, nonempty string" false (m "" "a");
+  Alcotest.(check bool) "nonempty pattern, empty string" false (m "a" "");
+  Alcotest.(check bool) "backtrack across repeats" true
+    (m "%ab%ab" "aab_abxab");
+  Alcotest.(check bool) "backtrack dead end" false (m "%ab%ac" "ababab")
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "like",
@@ -66,5 +105,7 @@ let suite =
       t "percent" test_percent;
       t "underscore" test_underscore;
       t "case sensitive" test_case_sensitive;
+      t "edge shapes" test_edge_shapes;
       QCheck_alcotest.to_alcotest prop_matches_reference;
+      QCheck_alcotest.to_alcotest prop_matches_reference_wide;
     ] )

@@ -40,6 +40,87 @@ let test_pp () =
   Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
   Alcotest.(check string) "ratio" "3/2" (Value.to_string (Value.ratio 3 2))
 
+(* Overflow boundary for compare_num: cross-multiplication is exact
+   below 2^31 per operand; these cases sit at and beyond that boundary,
+   where the old implementation wrapped around. *)
+let test_compare_num_overflow () =
+  let big = 1 lsl 31 in
+  (* (2^31+1)/2^31 > 2^31/(2^31+1): both products ~2^62, near max_int. *)
+  Alcotest.(check int) "(b+1)/b > b/(b+1)" 1
+    (Value.compare_num (big + 1) big big (big + 1));
+  Alcotest.(check int) "b/(b+1) < (b+1)/b" (-1)
+    (Value.compare_num big (big + 1) (big + 1) big);
+  (* (2^31+1)/2^31 vs (2^31+2)/(2^31+1): cross products exceed max_int
+     (~4.6e18 each); the continued-fraction path must still order them
+     correctly: (b+1)^2 = b^2+2b+1 > b(b+2) = b^2+2b. *)
+  Alcotest.(check int) "(b+1)/b > (b+2)/(b+1)" 1
+    (Value.compare_num (big + 1) big (big + 2) (big + 1));
+  (* Equal after scaling: 2*(3^20)/3^20 = 2/1 even though the raw cross
+     products overflow. *)
+  let p20 = int_of_float (3.0 ** 20.0) in
+  Alcotest.(check int) "2*3^20/3^20 = 2" 0
+    (Value.compare_num (2 * p20) p20 2 1);
+  (* Huge numerators of both signs against 0 and each other. *)
+  Alcotest.(check int) "max_int/1 > 0" 1 (Value.compare_num max_int 1 0 1);
+  Alcotest.(check int) "min_int/1 < 0" (-1) (Value.compare_num min_int 1 0 1);
+  Alcotest.(check int) "min_int/3 < min_int/5" (-1)
+    (Value.compare_num min_int 3 min_int 5);
+  Alcotest.(check int) "min_int/1 < min_int/2" (-1)
+    (Value.compare_num min_int 1 min_int 2);
+  Alcotest.(check int) "max_int/2 > min_int/2" 1
+    (Value.compare_num max_int 2 min_int 2);
+  Alcotest.(check int) "max_int/max_int = 1" 0
+    (Value.compare_num max_int max_int 1 1);
+  (* AVG-realistic scale: SUM of 6000 prices ~6e6 cents each gives
+     numerators ~4e10, far past the old sqrt(max_int) comment. *)
+  Alcotest.(check int) "4e10/6000 vs (4e10+1)/6000" (-1)
+    (Value.compare_num 40_000_000_000 6000 40_000_000_001 6000);
+  Alcotest.(check bool) "bad denominator rejected" true
+    (try ignore (Value.compare_num 1 0 1 1); false
+     with Invalid_argument _ -> true)
+
+(* qcheck: the continued-fraction path agrees with the multiply path
+   wherever the multiply path is exact, across mixed magnitudes. *)
+let prop_compare_num_vs_exact =
+  QCheck2.Test.make ~name:"compare_num matches exact cross-multiplication"
+    ~count:2000
+    QCheck2.Gen.(
+      let mag =
+        oneof
+          [ int_range (-1000) 1000;
+            int_range (-(1 lsl 40)) (1 lsl 40);
+            oneofl [ min_int; min_int + 1; max_int; max_int - 1; 0; 1; -1 ] ]
+      in
+      let den = oneof [ int_range 1 1000; int_range 1 (1 lsl 40) ] in
+      quad mag den mag den)
+    (fun (p, q, r, s) ->
+      (* Reference: compare p/q vs r/s exactly via floats only when the
+         values are exactly representable, otherwise via the identity
+         with explicit quotient+remainder long division (always exact,
+         independent implementation). *)
+      let rec longcmp p q r s =
+        let fd a b =
+          let d = a / b in
+          let m = a - (d * b) in
+          if m < 0 then (d - 1, m + b) else (d, m)
+        in
+        let d1, m1 = fd p q and d2, m2 = fd r s in
+        if d1 <> d2 then compare d1 d2
+        else if m1 = 0 && m2 = 0 then 0
+        else if m1 = 0 then -1
+        else if m2 = 0 then 1
+        else longcmp s m2 q m1
+      in
+      let got = Value.compare_num p q r s in
+      (* cross-check against multiplication when provably exact; note
+         Int.abs min_int overflows, hence the range test *)
+      let small x = -(1 lsl 30) < x && x < 1 lsl 30 in
+      (if small p && small q && small r && small s then
+         got = compare (p * s) (r * q)
+       else true)
+      && got = longcmp p q r s
+      && got = -Value.compare_num r s p q)
+
 (* qcheck: total order laws on a generator of values *)
 let value_gen =
   QCheck2.Gen.(
@@ -90,6 +171,8 @@ let suite =
       t "cross-kind ordering" test_compare_across_kinds;
       t "accessors" test_accessors;
       t "pretty printing" test_pp;
+      t "compare_num overflow boundary" test_compare_num_overflow;
+      QCheck_alcotest.to_alcotest prop_compare_num_vs_exact;
       QCheck_alcotest.to_alcotest prop_antisym;
       QCheck_alcotest.to_alcotest prop_transitive;
       QCheck_alcotest.to_alcotest prop_ratio_consistent;
